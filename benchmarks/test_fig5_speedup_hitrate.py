@@ -1,0 +1,58 @@
+"""Figure 5: whole-application speedup and prediction HitRate, 11 apps.
+
+Paper result: 1.89x-16.8x speedup, harmonic mean 5.50x, Blackscholes the
+largest; HitRate 93 % (MG, Canneal), 94 % (AMG), 98 % (streamcluster) and
+100 % elsewhere, at mu = 10 % over 2000 input problems per app.
+
+This bench reruns the protocol at reproduction scale (100 problems per app,
+simulated devices) and asserts the *shape*: every app speeds up,
+Blackscholes leads, the harmonic mean lands in the same order of magnitude,
+and hit rates are high across the board.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import evaluate_surrogate
+from repro.perf import harmonic_mean
+
+from conftest import APP_NAMES, MU, N_EVAL_PROBLEMS, eval_rng
+
+
+def _evaluate_all(all_builds):
+    rows = {}
+    for name in APP_NAMES:
+        rows[name] = evaluate_surrogate(
+            all_builds[name].surrogate,
+            n_problems=N_EVAL_PROBLEMS,
+            mu=MU,
+            rng=eval_rng(),
+        )
+    return rows
+
+
+def test_fig5_speedup_and_hitrate(all_builds, benchmark):
+    rows = benchmark.pedantic(
+        lambda: _evaluate_all(all_builds), rounds=1, iterations=1
+    )
+
+    speedups = {name: rows[name].speedup for name in APP_NAMES}
+    hits = {name: rows[name].hit_rate for name in APP_NAMES}
+    hmean = harmonic_mean(list(speedups.values()))
+
+    print("\n=== Fig. 5: speedup and prediction HitRate (mu=10%) ===")
+    print(f"{'application':<14} {'type':<5} {'speedup':>9} {'HitRate':>9}")
+    for name in APP_NAMES:
+        row = rows[name]
+        print(f"{name:<14} {row.app_type:<5} {row.speedup:>8.2f}x {row.hit_rate:>8.1%}")
+    print(f"{'harmonic mean':<20} {hmean:>8.2f}x")
+    print(f"paper: 1.89x-16.8x, harmonic mean 5.50x; HitRate 93-100%")
+
+    # --- shape assertions (see DESIGN.md §6) ---
+    assert all(s > 1.0 for s in speedups.values()), speedups
+    assert max(speedups, key=speedups.get) == "Blackscholes"
+    assert speedups["Blackscholes"] > 8.0
+    assert 1.5 <= hmean <= 20.0
+    assert all(h >= 0.7 for h in hits.values()), hits
+    assert np.mean(list(hits.values())) >= 0.85

@@ -1,0 +1,52 @@
+"""§7.3 offline-overhead analysis: trace generation, BO, autoencoder training.
+
+Paper result: trace generation 24-59 min, Bayesian optimization 6-13 h,
+autoencoder training 1.4-2.2 h per application — BO dominates, trace
+generation is the smallest phase, and the whole offline cost amortizes
+because it is paid once.
+
+At reproduction scale absolute times are seconds, but the ordering must
+hold: BO (which trains a model per trial) > autoencoder training (one AE
+per outer iteration) > trace generation (one instrumented run).
+"""
+
+from __future__ import annotations
+
+from conftest import APP_NAMES
+
+PHASES = ("trace_generation", "autoencoder_training", "bayesian_optimization")
+
+
+def _collect(all_builds):
+    table = {}
+    for name in APP_NAMES:
+        timers = all_builds[name].timers
+        table[name] = {phase: timers.phases.get(phase, 0.0) for phase in PHASES}
+    return table
+
+
+def test_offline_overheads(all_builds, benchmark):
+    table = benchmark.pedantic(lambda: _collect(all_builds), rounds=1, iterations=1)
+
+    print("\n=== §7.3 offline phases (seconds at reproduction scale) ===")
+    print(f"{'application':<14}{'trace':>10}{'AE train':>12}{'BO':>12}{'BO share':>10}")
+    totals = {phase: 0.0 for phase in PHASES}
+    for name in APP_NAMES:
+        row = table[name]
+        total = sum(row.values())
+        print(
+            f"{name:<14}{row['trace_generation']:>10.2f}"
+            f"{row['autoencoder_training']:>12.2f}"
+            f"{row['bayesian_optimization']:>12.2f}"
+            f"{row['bayesian_optimization'] / total:>9.1%}"
+        )
+        for phase in PHASES:
+            totals[phase] += row[phase]
+    print("paper: trace 24-59 min | BO 6-13 h | AE 1.4-2.2 h  (BO dominates)")
+
+    # --- shape assertions (aggregate, since per-app budgets vary) ---
+    assert totals["bayesian_optimization"] > totals["autoencoder_training"]
+    assert totals["bayesian_optimization"] > totals["trace_generation"]
+    assert totals["trace_generation"] < totals["autoencoder_training"]
+    for name in APP_NAMES:
+        assert all(table[name][phase] > 0 for phase in PHASES), name

@@ -1,0 +1,44 @@
+"""repro — a from-scratch reproduction of Auto-HPCnet (HPDC '23).
+
+Auto-HPCnet is an end-to-end framework that replaces annotated code regions
+of HPC applications with automatically-constructed neural-network
+surrogates.  This package rebuilds the full system in NumPy: the
+compiler-based extractor, sparse-matrix substrate, customized autoencoder,
+hierarchical 2D neural-architecture search, serving runtime and the 11
+evaluation applications.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    import numpy as np
+    from repro import AutoHPCnet, AutoHPCnetConfig
+    from repro.apps import BlackscholesApplication
+    from repro.core import evaluate_surrogate
+
+    app = BlackscholesApplication()
+    framework = AutoHPCnet(AutoHPCnetConfig(quality_loss=0.10))
+    build = framework.build(app)
+    row = evaluate_surrogate(build.surrogate, n_problems=50)
+    print(row.format())
+"""
+
+from .core import (
+    AutoHPCnet,
+    AutoHPCnetConfig,
+    BuildResult,
+    DeployedSurrogate,
+    EvaluationRow,
+    evaluate_surrogate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoHPCnet",
+    "AutoHPCnetConfig",
+    "BuildResult",
+    "DeployedSurrogate",
+    "EvaluationRow",
+    "evaluate_surrogate",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""The 11 evaluation applications of Table 2, plus the registry."""
+
+from .base import Application, ExactRun, RegionCost
+from .cg import CGApplication, cg_solver
+from .fft import FFTApplication, fft_solver
+from .mg import MGApplication, mg_solver
+from .blackscholes import BlackscholesApplication, blk_schls_eq_euro_no_div
+from .canneal import CannealApplication, annealing
+from .fluidanimate import FluidanimateApplication, ns_equation
+from .streamcluster import StreamclusterApplication, dimension_reduction
+from .x264 import X264Application, encode_frame, ssim
+from .miniqmc import MiniQMCApplication, determinant
+from .amg import AMGApplication, pcg_solver
+from .laghos import LaghosApplication, solve_velocity
+
+__all__ = [
+    "Application", "ExactRun", "RegionCost",
+    "CGApplication", "FFTApplication", "MGApplication",
+    "BlackscholesApplication", "CannealApplication",
+    "FluidanimateApplication", "StreamclusterApplication", "X264Application",
+    "MiniQMCApplication", "AMGApplication", "LaghosApplication",
+    "cg_solver", "fft_solver", "mg_solver", "blk_schls_eq_euro_no_div",
+    "annealing", "ns_equation", "dimension_reduction", "encode_frame", "ssim",
+    "determinant", "pcg_solver", "solve_velocity",
+    "ALL_APPLICATIONS", "make_application",
+]
+
+#: ordered as in Table 2
+ALL_APPLICATIONS: tuple[type[Application], ...] = (
+    CGApplication,
+    FFTApplication,
+    MGApplication,
+    BlackscholesApplication,
+    CannealApplication,
+    FluidanimateApplication,
+    StreamclusterApplication,
+    X264Application,
+    MiniQMCApplication,
+    AMGApplication,
+    LaghosApplication,
+)
+
+_BY_NAME = {cls.name.lower(): cls for cls in ALL_APPLICATIONS}
+
+
+def make_application(name: str, **kwargs) -> Application:
+    """Instantiate an application by its Table 2 name (case-insensitive)."""
+    try:
+        cls = _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+    return cls(**kwargs)

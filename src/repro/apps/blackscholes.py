@@ -1,0 +1,116 @@
+"""PARSEC Blackscholes (Table 2, Type II).
+
+The replaced region is ``BlkSchlsEqEuroNoDiv`` — the closed-form European
+option pricer, including PARSEC's polynomial cumulative-normal
+approximation (CNDF) rather than a library erf, so the region is the same
+branch-free arithmetic pipeline the paper offloads.  QoI: the computed
+price (portfolio mean).
+
+This is the paper's largest-speedup app (16.8x): the region is pure
+element-wise arithmetic with no data dependencies, exactly what a small MLP
+replaces well and a GPU runs at full tilt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..extract.directives import code_region
+from .base import Application, RegionCost
+
+__all__ = ["BlackscholesApplication", "blk_schls_eq_euro_no_div"]
+
+
+@code_region(
+    name="blackscholes",
+    live_after=("prices",),
+    description="PARSEC BlkSchlsEqEuroNoDiv with polynomial CNDF",
+)
+def blk_schls_eq_euro_no_div(spot, strike, rate, volatility, expiry, otype):
+    """European option prices; ``otype`` > 0.5 marks puts."""
+    # PARSEC's CNDF polynomial (Abramowitz & Stegun 26.2.17)
+    sqrt_t = np.sqrt(expiry)
+    d1 = (np.log(spot / strike) + (rate + 0.5 * volatility**2) * expiry) / (
+        volatility * sqrt_t
+    )
+    d2 = d1 - volatility * sqrt_t
+
+    sign1 = np.sign(d1)
+    sign2 = np.sign(d2)
+    a1 = np.abs(d1)
+    a2 = np.abs(d2)
+    k1 = 1.0 / (1.0 + 0.2316419 * a1)
+    k2 = 1.0 / (1.0 + 0.2316419 * a2)
+    poly1 = k1 * (0.319381530 + k1 * (-0.356563782 + k1 * (1.781477937 + k1 * (-1.821255978 + k1 * 1.330274429))))
+    poly2 = k2 * (0.319381530 + k2 * (-0.356563782 + k2 * (1.781477937 + k2 * (-1.821255978 + k2 * 1.330274429))))
+    pdf1 = 0.3989422804014327 * np.exp(-0.5 * a1 * a1)
+    pdf2 = 0.3989422804014327 * np.exp(-0.5 * a2 * a2)
+    cnd1 = 1.0 - pdf1 * poly1
+    cnd2 = 1.0 - pdf2 * poly2
+    nd1 = np.where(sign1 < 0, 1.0 - cnd1, cnd1)
+    nd2 = np.where(sign2 < 0, 1.0 - cnd2, cnd2)
+
+    discount = strike * np.exp(-rate * expiry)
+    call = spot * nd1 - discount * nd2
+    put = discount * (1.0 - nd2) - spot * (1.0 - nd1)
+    prices = np.where(otype > 0.5, put, call)
+    return prices
+
+
+class BlackscholesApplication(Application):
+    """Portfolio pricing around the Black-Scholes kernel."""
+
+    name = "Blackscholes"
+    app_type = "II"
+    replaced_function = "BlkSchlsEqEuroNoDiv"
+    qoi_name = "The computed price"
+
+    #: projects the 32-option mini portfolio to the PARSEC native input
+    cost_scale = 3e7
+    data_scale = 3e3
+
+    def __init__(self, n_options: int = 32, seed: int = 11) -> None:
+        self.n = int(n_options)
+        rng = np.random.default_rng(seed)
+        # fixed portfolio; per-problem inputs jitter around it (§3.2)
+        self.base = {
+            "spot": rng.uniform(80.0, 120.0, self.n),
+            "strike": rng.uniform(80.0, 120.0, self.n),
+            "rate": np.full(self.n, 0.05) + rng.uniform(-0.01, 0.01, self.n),
+            "volatility": rng.uniform(0.15, 0.5, self.n),
+            "expiry": rng.uniform(0.5, 2.0, self.n),
+            "otype": (rng.random(self.n) < 0.5).astype(np.float64),
+        }
+
+    @property
+    def region_fn(self) -> Callable:
+        return blk_schls_eq_euro_no_div
+
+    def example_problem(self, rng: np.random.Generator) -> dict[str, Any]:
+        problem = {k: v.copy() for k, v in self.base.items()}
+        for key in ("spot", "strike", "volatility", "expiry"):
+            problem[key] = problem[key] * rng.uniform(0.95, 1.05, self.n)
+        problem["rate"] = problem["rate"] + rng.uniform(-0.005, 0.005, self.n)
+        return problem
+
+    def nas_overrides(self):
+        # training budget this region needs for the quality constraint
+        return {"num_epochs": 250, "patience": 40}
+
+    def perturb_names(self):
+        # option type is categorical; everything else varies smoothly
+        return ("spot", "strike", "rate", "volatility", "expiry")
+
+    def qoi_from_outputs(self, problem, outputs) -> float:
+        return float(np.mean(np.asarray(outputs["prices"], dtype=np.float64)))
+
+    def region_cost(self, problem, outputs) -> RegionCost:
+        # ~60 arithmetic ops per option (logs, exps, the two CNDF polys)
+        return RegionCost(flops=60.0 * self.n, bytes_moved=7.0 * self.n * 8)
+
+    def other_cost(self, problem) -> RegionCost:
+        # PARSEC's driver (packing + final sum) is tiny next to the kernel —
+        # why Blackscholes is the paper's largest speedup (16.8x)
+        return self.region_cost(problem, {}).scaled(0.06)

@@ -1,0 +1,137 @@
+"""PARSEC Canneal: VLSI routing by annealing (Table 2, Type II).
+
+The replaced region ``Annealing`` takes a netlist (pairwise connection
+weights) and an initial element placement on a grid and runs a
+deterministic annealing schedule of pairwise swap proposals (temperature
+acceptance uses a hash-derived pseudo-random stream so the region is a pure
+function of its inputs, which the surrogate assumption of §3.2 requires).
+QoI: the final routing cost (total weighted wire length).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..extract.directives import code_region
+from .base import Application, RegionCost
+
+__all__ = ["CannealApplication", "annealing"]
+
+
+@code_region(
+    name="canneal",
+    live_after=("cost",),
+    description="deterministic simulated annealing for net routing cost",
+)
+def annealing(weights, positions0, temps, proposals):
+    """Minimize total weighted Manhattan wire length by pairwise swaps.
+
+    ``weights`` is the symmetric netlist matrix, ``positions0`` the initial
+    (n, 2) grid placement, ``temps`` the temperature schedule and
+    ``proposals`` a precomputed (steps, 2) integer array of swap candidates
+    (the deterministic analogue of canneal's random element picks).
+    """
+    positions = positions0.copy()
+    n = weights.shape[0]
+    # routing cost: sum_ij w_ij * (|dx| + |dy|)
+    dx = np.abs(positions[:, 0][:, None] - positions[:, 0][None, :])
+    dy = np.abs(positions[:, 1][:, None] - positions[:, 1][None, :])
+    cost = float(np.sum(weights * (dx + dy)) / 2.0)
+    step = 0
+    for t in temps:
+        for k in range(proposals.shape[0]):
+            a = int(proposals[k, 0])
+            b = int(proposals[k, 1])
+            if a == b:
+                continue
+            # swap delta over the two rows; the a<->b term itself is
+            # invariant under the swap, so mask both endpoints out
+            pa = positions[a].copy()
+            pb = positions[b].copy()
+            da_old = np.abs(positions[:, 0] - pa[0]) + np.abs(positions[:, 1] - pa[1])
+            db_old = np.abs(positions[:, 0] - pb[0]) + np.abs(positions[:, 1] - pb[1])
+            wa = weights[a].copy()
+            wb = weights[b].copy()
+            wa[a] = 0.0
+            wa[b] = 0.0
+            wb[a] = 0.0
+            wb[b] = 0.0
+            delta = float(wa @ (db_old - da_old) + wb @ (da_old - db_old))
+            step = step + 1
+            accept = delta < 0.0
+            if not accept and t > 0.0:
+                # deterministic pseudo-random acceptance from the step index
+                u = ((step * 2654435761) % 1000003) / 1000003.0
+                accept = u < np.exp(-delta / t)
+            if accept:
+                positions[a] = pb
+                positions[b] = pa
+                cost = cost + delta
+    return cost, positions
+
+
+class CannealApplication(Application):
+    """Routing-cost minimization on a synthetic netlist."""
+
+    name = "Canneal"
+    app_type = "II"
+    replaced_function = "Annealing"
+    qoi_name = "Routing cost"
+
+    #: projects the 16-element mini netlist to the PARSEC native input
+    cost_scale = 5e5
+    data_scale = 5e3
+
+    def __init__(self, n_elements: int = 16, grid: int = 8, seed: int = 77) -> None:
+        self.n = int(n_elements)
+        self.grid = int(grid)
+        rng = np.random.default_rng(seed)
+        # fixed placement geometry, proposal schedule and netlist *pattern*;
+        # only the connection weights vary per problem (§3.2)
+        coords = rng.choice(self.grid * self.grid, size=self.n, replace=False)
+        self.positions0 = np.column_stack(np.divmod(coords, self.grid)).astype(np.float64)
+        self.temps = np.array([1.0, 0.5, 0.2, 0.0])
+        steps = 4 * self.n
+        self.proposals = rng.integers(0, self.n, size=(steps, 2))
+        pattern = np.triu(rng.random((self.n, self.n)) < 0.3, 1)
+        base = np.triu(rng.random((self.n, self.n)), 1) * pattern
+        self.base_weights = base + base.T
+
+    @property
+    def region_fn(self) -> Callable:
+        return annealing
+
+    def example_problem(self, rng: np.random.Generator) -> dict[str, Any]:
+        jitter = 1.0 + 0.05 * rng.standard_normal((self.n, self.n))
+        weights = np.abs(self.base_weights * (jitter + jitter.T) / 2.0)
+        return {
+            "weights": weights,
+            "positions0": self.positions0,
+            "temps": self.temps,
+            "proposals": self.proposals,
+        }
+
+    def nas_overrides(self):
+        # training budget this region needs for the quality constraint
+        return {"num_epochs": 300, "patience": 40}
+
+    def perturb_names(self):
+        return ("weights",)
+
+    def qoi_from_outputs(self, problem, outputs) -> float:
+        return float(outputs["cost"])
+
+    def region_cost(self, problem, outputs) -> RegionCost:
+        steps = self.temps.size * self.proposals.shape[0]
+        per_step = 10.0 * self.n           # four distance rows + two dots
+        return RegionCost(
+            flops=steps * per_step + 3.0 * self.n * self.n,
+            bytes_moved=steps * 6.0 * self.n * 8,
+        )
+
+    def other_cost(self, problem) -> RegionCost:
+        # canneal's netlist parsing/validation is comparable to one
+        # annealing schedule at native scale (millions of elements)
+        return self.region_cost(problem, {}).scaled(1.0)

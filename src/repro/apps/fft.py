@@ -1,0 +1,109 @@
+"""NPB FT-style FFT application (Table 2, Type I).
+
+The replaced region is ``FFT_solver``: a from-scratch iterative radix-2
+Cooley-Tukey transform of a complex signal (kept as separate real/imaginary
+arrays so the extractor sees plain float features).  The surrounding
+application, as in NPB FT, evolves a field in spectral space; the QoI is
+the output sequence of the FFT, summarized as its RMS magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..extract.directives import code_region
+from ..perf.counting import fft_cost
+from .base import Application, RegionCost
+
+__all__ = ["FFTApplication", "fft_solver"]
+
+
+@code_region(
+    name="fft_solver",
+    live_after=("re_out", "im_out"),
+    description="iterative radix-2 Cooley-Tukey FFT",
+)
+def fft_solver(re, im):
+    """Radix-2 decimation-in-time FFT of the complex signal ``re + i*im``."""
+    n = re.shape[0]
+    levels = 0
+    size = 1
+    while size < n:
+        size = size * 2
+        levels = levels + 1
+    # bit-reversal permutation
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for i in range(levels):
+        rev = (rev * 2) | ((idx >> i) & 1)
+    re_out = re[rev].copy()
+    im_out = im[rev].copy()
+    # butterfly stages
+    size = 2
+    while size <= n:
+        half = size // 2
+        k = np.arange(half)
+        ang = -2.0 * np.pi * k / size
+        wr = np.cos(ang)
+        wi = np.sin(ang)
+        for start in range(0, n, size):
+            lo = slice(start, start + half)
+            hi = slice(start + half, start + size)
+            tr = wr * re_out[hi] - wi * im_out[hi]
+            ti = wr * im_out[hi] + wi * re_out[hi]
+            re_out[hi] = re_out[lo] - tr
+            im_out[hi] = im_out[lo] - ti
+            re_out[lo] = re_out[lo] + tr
+            im_out[lo] = im_out[lo] + ti
+        size = size * 2
+    return re_out, im_out
+
+
+class FFTApplication(Application):
+    """Spectral evolution driver around the FFT kernel."""
+
+    name = "FFT"
+    app_type = "I"
+    replaced_function = "FFT_solver"
+    qoi_name = "Output sequence of FFT"
+
+    #: projects the n=32 mini transform to NPB FT class-B scale
+    cost_scale = 1e7
+    data_scale = 3e3
+
+    def __init__(self, n: int = 32) -> None:
+        if n & (n - 1):
+            raise ValueError("signal length must be a power of two")
+        self.n = int(n)
+
+    @property
+    def region_fn(self) -> Callable:
+        return fft_solver
+
+    def example_problem(self, rng: np.random.Generator) -> dict[str, Any]:
+        # smooth band-limited signal, the NPB FT initial-condition flavour
+        t = np.linspace(0.0, 1.0, self.n, endpoint=False)
+        re = np.sin(2 * np.pi * 3 * t) + 0.5 * np.cos(2 * np.pi * 5 * t)
+        re = re + 0.1 * rng.standard_normal(self.n)
+        im = 0.1 * rng.standard_normal(self.n)
+        return {"re": re, "im": im}
+
+    def nas_overrides(self):
+        # training budget this region needs for the quality constraint
+        return {"num_epochs": 300, "patience": 40}
+
+    def qoi_from_outputs(self, problem, outputs) -> float:
+        re = np.asarray(outputs["re_out"], dtype=np.float64)
+        im = np.asarray(outputs["im_out"], dtype=np.float64)
+        return float(np.sqrt(np.mean(re**2 + im**2)))
+
+    def region_cost(self, problem, outputs) -> RegionCost:
+        flops, bytes_moved = fft_cost(self.n)
+        return RegionCost(flops=flops, bytes_moved=bytes_moved)
+
+    def other_cost(self, problem) -> RegionCost:
+        # NPB FT outside the transform: spectral evolution + checksum,
+        # about half a transform's worth of streaming work per step
+        return self.region_cost(problem, {}).scaled(0.5)

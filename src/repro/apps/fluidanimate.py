@@ -1,0 +1,144 @@
+"""PARSEC fluidanimate: incompressible fluid step (Table 2, Type II).
+
+The replaced region ``NS_equation`` advances a small 2-D Eulerian fluid one
+time step: semi-Lagrangian advection of the velocity field followed by a
+Jacobi pressure projection enforcing incompressibility (the stable-fluids
+formulation, the same numerical core as the paper's fluid-simulation
+motivating example [20, 89]).
+
+QoI (Table 2): *particle distance* — the application advects marker
+particles through the returned velocity field and measures their mean
+pairwise distance, so surrogate velocity errors surface exactly where a
+user would see them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..extract.directives import code_region
+from ..perf.counting import stencil_cost
+from .base import Application, RegionCost
+
+__all__ = ["FluidanimateApplication", "ns_equation"]
+
+
+@code_region(
+    name="fluidanimate",
+    live_after=("u_out", "v_out"),
+    description="semi-Lagrangian advection + Jacobi pressure projection",
+)
+def ns_equation(u, v, dt, jacobi_iters):
+    """One incompressible Navier-Stokes step on an (n, n) periodic grid."""
+    n = u.shape[0]
+    idx = np.arange(n)
+    # semi-Lagrangian advection: trace back along the velocity field
+    xs = (idx[None, :] - dt * u * n) % n
+    ys = (idx[:, None] - dt * v * n) % n
+    x0 = np.floor(xs).astype(np.int64) % n
+    y0 = np.floor(ys).astype(np.int64) % n
+    x1 = (x0 + 1) % n
+    y1 = (y0 + 1) % n
+    fx = xs - np.floor(xs)
+    fy = ys - np.floor(ys)
+    rows = np.arange(n)[:, None] * np.ones(n, dtype=np.int64)[None, :]
+    u_adv = (1 - fy) * ((1 - fx) * u[y0, x0] + fx * u[y0, x1]) + fy * (
+        (1 - fx) * u[y1, x0] + fx * u[y1, x1]
+    )
+    v_adv = (1 - fy) * ((1 - fx) * v[y0, x0] + fx * v[y0, x1]) + fy * (
+        (1 - fx) * v[y1, x0] + fx * v[y1, x1]
+    )
+    # pressure projection: solve lap(p) = div(u) with Jacobi, then subtract grad p
+    div = 0.5 * (
+        np.roll(u_adv, -1, axis=1) - np.roll(u_adv, 1, axis=1)
+        + np.roll(v_adv, -1, axis=0) - np.roll(v_adv, 1, axis=0)
+    )
+    p = np.zeros_like(div)
+    for k in range(jacobi_iters):
+        p = 0.25 * (
+            np.roll(p, 1, axis=0) + np.roll(p, -1, axis=0)
+            + np.roll(p, 1, axis=1) + np.roll(p, -1, axis=1)
+            - div
+        )
+    u_out = u_adv - 0.5 * (np.roll(p, -1, axis=1) - np.roll(p, 1, axis=1))
+    v_out = v_adv - 0.5 * (np.roll(p, -1, axis=0) - np.roll(p, 1, axis=0))
+    return u_out, v_out
+
+
+class FluidanimateApplication(Application):
+    """Marker-particle fluid animation around the NS step."""
+
+    name = "fluidanimate"
+    app_type = "II"
+    replaced_function = "NS_equation"
+    qoi_name = "Particle distance"
+
+    #: projects the 12x12 mini grid to PARSEC fluidanimate native scale
+    cost_scale = 5e5
+    data_scale = 3e3
+
+    def __init__(self, n: int = 12, n_particles: int = 20, seed: int = 5) -> None:
+        self.n = int(n)
+        self.dt = 0.05
+        self.jacobi_iters = 20
+        rng = np.random.default_rng(seed)
+        self.particles = rng.uniform(0, self.n, size=(n_particles, 2))
+        # fixed vortex configuration; problems jitter the field around it
+        y, x = np.meshgrid(np.arange(self.n), np.arange(self.n), indexing="ij")
+        u = np.zeros((self.n, self.n))
+        v = np.zeros((self.n, self.n))
+        for _ in range(3):
+            cx, cy = rng.uniform(0, self.n, 2)
+            s = rng.uniform(1.5, 3.0)
+            amp = rng.uniform(-1.0, 1.0)
+            blob = amp * np.exp(-(((x - cx) ** 2 + (y - cy) ** 2) / (2 * s**2)))
+            u += -blob * (y - cy) / self.n
+            v += blob * (x - cx) / self.n
+        self.base_u, self.base_v = u, v
+
+    @property
+    def region_fn(self) -> Callable:
+        return ns_equation
+
+    def example_problem(self, rng: np.random.Generator) -> dict[str, Any]:
+        scale = 0.05 * max(np.abs(self.base_u).max(), np.abs(self.base_v).max())
+        return {
+            "u": self.base_u + scale * rng.standard_normal((self.n, self.n)),
+            "v": self.base_v + scale * rng.standard_normal((self.n, self.n)),
+            "dt": self.dt,
+            "jacobi_iters": self.jacobi_iters,
+        }
+
+    def perturb_names(self):
+        return ("u", "v")
+
+    def qoi_from_outputs(self, problem, outputs) -> float:
+        """Advect marker particles one step; mean pairwise distance."""
+        u_out = np.asarray(outputs["u_out"], dtype=np.float64)
+        v_out = np.asarray(outputs["v_out"], dtype=np.float64)
+        pts = self.particles.copy()
+        gx = np.clip(pts[:, 0].astype(np.int64), 0, self.n - 1)
+        gy = np.clip(pts[:, 1].astype(np.int64), 0, self.n - 1)
+        pts[:, 0] += self.dt * self.n * u_out[gy, gx]
+        pts[:, 1] += self.dt * self.n * v_out[gy, gx]
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=2))
+        m = dist.shape[0]
+        return float(dist.sum() / (m * (m - 1)))
+
+    def region_cost(self, problem, outputs) -> RegionCost:
+        cells = self.n * self.n
+        f_adv = 30.0 * cells * 2                 # bilinear advection, u and v
+        f_st, b_st = stencil_cost(cells, 5)
+        f_proj = (self.jacobi_iters + 3) * f_st  # Jacobi sweeps + div/grad
+        return RegionCost(
+            flops=f_adv + f_proj,
+            bytes_moved=(self.jacobi_iters + 5) * b_st,
+        )
+
+    def other_cost(self, problem) -> RegionCost:
+        # particle advection + rendering is small next to the pressure
+        # solve, consistent with the paper's large fluid-sim speedups
+        return self.region_cost(problem, {}).scaled(0.15)

@@ -1,0 +1,135 @@
+"""ECP Laghos: Lagrangian compressible gas dynamics (Table 2, Type III).
+
+The replaced region ``SolveVelocity`` is the momentum update of a 1-D
+staggered-grid Lagrangian hydro step (the Sod shock-tube setting): corner
+forces from zone pressures plus artificial viscosity drive a tridiagonal
+consistent-mass solve (Thomas algorithm) for the new node velocities.
+QoI (Table 2): the velocity divergence (the quantity Laghos feeds into the
+energy update).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..extract.directives import code_region
+from .base import Application, RegionCost
+
+__all__ = ["LaghosApplication", "solve_velocity"]
+
+
+@code_region(
+    name="laghos_solve_velocity",
+    live_after=("v_new",),
+    description="momentum solve: corner forces + tridiagonal mass solve",
+)
+def solve_velocity(v, p, x_nodes, rho, dt, visc_coeff):
+    """New node velocities from zone pressures on a staggered 1-D grid.
+
+    ``v``/``x_nodes`` live on the n+1 nodes; ``p``/``rho`` on the n zones.
+    """
+    n = p.shape[0]
+    dx = x_nodes[1:] - x_nodes[:-1]
+    # artificial viscosity (von Neumann-Richtmyer): only in compression
+    dv = v[1:] - v[:-1]
+    compress = dv < 0.0
+    q = np.where(compress, visc_coeff * rho * dv * dv, 0.0)
+    ptot = p + q
+    # corner forces: pressure difference across each interior node
+    force = np.zeros(n + 1)
+    force[1:-1] = -(ptot[1:] - ptot[:-1])
+    force[0] = -(ptot[0] - ptot[0])      # reflecting walls
+    force[-1] = -(ptot[-1] - ptot[-1])
+    # consistent mass matrix: tridiagonal, lumped from zone masses
+    m_zone = rho * dx
+    diag = np.zeros(n + 1)
+    diag[:-1] = diag[:-1] + m_zone / 3.0
+    diag[1:] = diag[1:] + m_zone / 3.0
+    off = m_zone / 6.0
+    rhs = dt * force
+    # Thomas algorithm
+    c_prime = np.zeros(n)
+    d_prime = np.zeros(n + 1)
+    c_prime[0] = off[0] / diag[0]
+    d_prime[0] = rhs[0] / diag[0]
+    for i in range(1, n):
+        denom = diag[i] - off[i - 1] * c_prime[i - 1]
+        c_prime[i] = off[i] / denom
+        d_prime[i] = (rhs[i] - off[i - 1] * d_prime[i - 1]) / denom
+    denom_last = diag[n] - off[n - 1] * c_prime[n - 1]
+    d_prime[n] = (rhs[n] - off[n - 1] * d_prime[n - 1]) / denom_last
+    dv_sol = np.zeros(n + 1)
+    dv_sol[n] = d_prime[n]
+    for i in range(n - 1, -1, -1):
+        dv_sol[i] = d_prime[i] - c_prime[i] * dv_sol[i + 1]
+    v_new = v + dv_sol
+    return v_new
+
+
+class LaghosApplication(Application):
+    """Sod shock-tube momentum update."""
+
+    name = "Laghos"
+    app_type = "III"
+    replaced_function = "SolveVelocity"
+    qoi_name = "Velocity Divergence"
+
+    #: projects the 32-zone mini tube to Laghos production meshes
+    cost_scale = 3e7
+    data_scale = 5e3
+
+    def __init__(self, n_zones: int = 32) -> None:
+        self.n = int(n_zones)
+        self.dt = 0.002
+        self.visc_coeff = 1.5
+        self.x_nodes = np.linspace(0.0, 1.0, self.n + 1)
+
+    @property
+    def region_fn(self) -> Callable:
+        return solve_velocity
+
+    def example_problem(self, rng: np.random.Generator) -> dict[str, Any]:
+        # Sod tube: high-pressure left state, low-pressure right state
+        mid = self.n // 2
+        p = np.where(np.arange(self.n) < mid, 1.0, 0.1)
+        rho = np.where(np.arange(self.n) < mid, 1.0, 0.125)
+        p = p * (1.0 + 0.05 * rng.standard_normal(self.n))
+        rho = rho * (1.0 + 0.05 * rng.standard_normal(self.n))
+        # smooth initial velocity profile + small noise: the QoI (an L1 sum
+        # of neighbour differences) must reflect the flow, not white noise
+        v = 0.05 * np.sin(2 * np.pi * self.x_nodes) + 0.005 * rng.standard_normal(self.n + 1)
+        return {
+            "v": v,
+            "p": np.abs(p),
+            "x_nodes": self.x_nodes,
+            "rho": np.abs(rho),
+            "dt": self.dt,
+            "visc_coeff": self.visc_coeff,
+        }
+
+    def nas_overrides(self):
+        # training budget this region needs for the quality constraint
+        return {"num_epochs": 400, "patience": 50, "inner_trials": 8}
+
+    def perturb_names(self):
+        return ("v", "p", "rho")
+
+    def qoi_from_outputs(self, problem, outputs) -> float:
+        # RMS velocity divergence: dominated by the shock interface, where
+        # the physics lives, rather than by per-node noise
+        v_new = np.asarray(outputs["v_new"], dtype=np.float64)
+        dx = self.x_nodes[1:] - self.x_nodes[:-1]
+        div = (v_new[1:] - v_new[:-1]) / dx
+        return float(np.sqrt(np.mean(div**2)))
+
+    def region_cost(self, problem, outputs) -> RegionCost:
+        n = self.n
+        # viscosity + forces + the two Thomas sweeps
+        return RegionCost(flops=30.0 * n, bytes_moved=12.0 * n * 8)
+
+    def other_cost(self, problem) -> RegionCost:
+        # the rest of the hydro step: energy update + mesh motion + EOS,
+        # comparable to the momentum solve itself
+        return self.region_cost(problem, {}).scaled(1.0)

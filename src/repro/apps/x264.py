@@ -1,0 +1,126 @@
+"""PARSEC x264: lossy video encoding (Table 2, Type II).
+
+The replaced region ``Encoding`` is the transform/quantization core of a
+block codec: 4x4 DCT of the motion-compensated residual against the
+previous frame, quantization at quality ``qp``, then dequantization and
+inverse DCT to produce the reconstructed frame (exactly what an encoder's
+reconstruction loop computes).  QoI (Table 2): the structural similarity
+(SSIM) between the source and reconstructed frames.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..extract.directives import code_region
+from .base import Application, RegionCost
+
+__all__ = ["X264Application", "encode_frame", "ssim"]
+
+_BLOCK = 4
+
+
+def _dct_matrix(n: int) -> np.ndarray:
+    k = np.arange(n)
+    mat = np.sqrt(2.0 / n) * np.cos(np.pi * (2 * k[None, :] + 1) * k[:, None] / (2 * n))
+    mat[0] = np.sqrt(1.0 / n)
+    return mat
+
+
+_DCT = _dct_matrix(_BLOCK)
+
+
+@code_region(
+    name="x264_encoding",
+    live_after=("recon",),
+    description="blockwise DCT + quantize + reconstruct of a frame residual",
+)
+def encode_frame(frame, previous, qp):
+    """Encode ``frame`` against ``previous``; return the reconstruction."""
+    residual = frame - previous
+    h = residual.shape[0]
+    w = residual.shape[1]
+    recon = previous.copy()
+    for by in range(0, h, 4):
+        for bx in range(0, w, 4):
+            block = residual[by : by + 4, bx : bx + 4]
+            coeff = _DCT @ block @ _DCT.T
+            quant = np.round(coeff / qp)
+            deq = quant * qp
+            rec_block = _DCT.T @ deq @ _DCT
+            recon[by : by + 4, bx : bx + 4] = previous[by : by + 4, bx : bx + 4] + rec_block
+    return recon
+
+
+def ssim(a: np.ndarray, b: np.ndarray) -> float:
+    """Global structural-similarity index between two images."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c1, c2 = 0.01**2, 0.03**2
+    mu_a, mu_b = a.mean(), b.mean()
+    var_a, var_b = a.var(), b.var()
+    cov = ((a - mu_a) * (b - mu_b)).mean()
+    return float(
+        ((2 * mu_a * mu_b + c1) * (2 * cov + c2))
+        / ((mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2))
+    )
+
+
+class X264Application(Application):
+    """Two-frame encoding scenario around the transform core."""
+
+    name = "X264"
+    app_type = "II"
+    replaced_function = "Encoding"
+    qoi_name = "Structure similarity"
+
+    #: projects the 16x16 mini frame to 1080p encoding scale
+    cost_scale = 1e7
+    data_scale = 8e3
+
+    def __init__(self, size: int = 16, qp: float = 0.05, seed: int = 21) -> None:
+        if size % _BLOCK:
+            raise ValueError("frame size must be a multiple of the 4x4 block")
+        self.size = int(size)
+        self.qp = float(qp)
+        rng = np.random.default_rng(seed)
+        self.base_frame = self._synthetic_frame(rng)
+
+    def _synthetic_frame(self, rng: np.random.Generator) -> np.ndarray:
+        y, x = np.meshgrid(np.arange(self.size), np.arange(self.size), indexing="ij")
+        frame = 0.5 + 0.3 * np.sin(2 * np.pi * x / self.size) * np.cos(
+            2 * np.pi * y / self.size
+        )
+        return frame + 0.05 * rng.standard_normal((self.size, self.size))
+
+    @property
+    def region_fn(self) -> Callable:
+        return encode_frame
+
+    def example_problem(self, rng: np.random.Generator) -> dict[str, Any]:
+        # the new frame is the previous frame under fixed unit motion plus
+        # sensor noise — one motion regime, one surrogate (§3.2)
+        frame = np.roll(self.base_frame, 1, axis=1)
+        frame = frame + 0.02 * rng.standard_normal(frame.shape)
+        return {"frame": frame, "previous": self.base_frame, "qp": self.qp}
+
+    def perturb_names(self):
+        return ("frame",)
+
+    def qoi_from_outputs(self, problem, outputs) -> float:
+        return ssim(problem["frame"], np.asarray(outputs["recon"], dtype=np.float64))
+
+    def region_cost(self, problem, outputs) -> RegionCost:
+        blocks = (self.size // _BLOCK) ** 2
+        # 4 matmuls of 4x4 per block (2 DCT + 2 IDCT) + quant/dequant
+        per_block = 4 * 2 * (_BLOCK**3) + 3 * _BLOCK * _BLOCK
+        return RegionCost(
+            flops=float(blocks * per_block),
+            bytes_moved=3.0 * self.size * self.size * 8,
+        )
+
+    def other_cost(self, problem) -> RegionCost:
+        # motion search + entropy coding outside the transform core
+        return self.region_cost(problem, {}).scaled(0.4)

@@ -1,0 +1,12 @@
+"""Customized autoencoder for sparse-input feature reduction (paper §4)."""
+
+from .model import Autoencoder, hourglass_widths
+from .training import AETrainConfig, AETrainResult, train_autoencoder
+
+__all__ = [
+    "Autoencoder",
+    "hourglass_widths",
+    "AETrainConfig",
+    "AETrainResult",
+    "train_autoencoder",
+]

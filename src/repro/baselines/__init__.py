@@ -1,0 +1,20 @@
+"""Comparison baselines of §7.2: ACCEPT, loop perforation, Autokeras."""
+
+from .accept import ACCEPT_TOPOLOGIES, build_accept_surrogate
+from .autokeras import build_autokeras_surrogate
+from .perforation import (
+    PERFORATABLE,
+    PerforationResult,
+    evaluate_perforation,
+    find_max_rate,
+    perforated_run,
+)
+from .comparison import METHODS, MethodRow, compare_methods
+
+__all__ = [
+    "ACCEPT_TOPOLOGIES", "build_accept_surrogate",
+    "build_autokeras_surrogate",
+    "PERFORATABLE", "PerforationResult", "evaluate_perforation",
+    "find_max_rate", "perforated_run",
+    "METHODS", "MethodRow", "compare_methods",
+]

@@ -1,0 +1,21 @@
+"""Bayesian optimization substrate: GP, acquisitions, constrained search."""
+
+from .gp import GaussianProcess, matern52_kernel, rbf_kernel
+from .acquisition import (
+    constrained_expected_improvement,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_feasible,
+    probability_of_improvement,
+)
+from .optimize import BayesianOptimizer, Observation
+from .baselines import grid_search, random_search
+
+__all__ = [
+    "GaussianProcess", "matern52_kernel", "rbf_kernel",
+    "constrained_expected_improvement", "expected_improvement",
+    "lower_confidence_bound", "probability_feasible",
+    "probability_of_improvement",
+    "BayesianOptimizer", "Observation",
+    "grid_search", "random_search",
+]

@@ -1,0 +1,77 @@
+"""Non-Bayesian search baselines: grid search and random search.
+
+Grid search is the comparison point of §7.2 ("Effectiveness of Bayesian
+Optimization"): it sweeps a fixed lattice of the encoded space with no
+model guidance, so it needs more evaluations to reach the same model
+quality.  Both baselines share the constrained-minimization interface of
+:class:`repro.bo.optimize.BayesianOptimizer` results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .optimize import Observation
+
+__all__ = ["grid_search", "random_search"]
+
+
+def grid_search(
+    evaluate: Callable[[np.ndarray], tuple[float, Optional[float]]],
+    axes: Sequence[Sequence[float]],
+    *,
+    threshold: Optional[float] = None,
+    max_evaluations: Optional[int] = None,
+) -> tuple[Optional[Observation], list[Observation]]:
+    """Exhaustive sweep over the Cartesian product of ``axes``.
+
+    Returns (best feasible observation, all observations).  ``threshold``
+    applies the same quality gate the BO uses, so the comparison is fair.
+    """
+    if not axes or any(len(a) == 0 for a in axes):
+        raise ValueError("every grid axis needs at least one value")
+    history: list[Observation] = []
+    for i, point in enumerate(itertools.product(*axes)):
+        if max_evaluations is not None and i >= max_evaluations:
+            break
+        x = np.asarray(point, dtype=np.float64)
+        objective, constraint = evaluate(x)
+        history.append(Observation(tuple(x), float(objective), constraint))
+    return _best(history, threshold), history
+
+
+def random_search(
+    evaluate: Callable[[np.ndarray], tuple[float, Optional[float]]],
+    sample: Callable[[np.random.Generator], np.ndarray],
+    n_iterations: int,
+    *,
+    threshold: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple[Optional[Observation], list[Observation]]:
+    """Uniform random sampling baseline."""
+    if n_iterations < 1:
+        raise ValueError("n_iterations must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    history: list[Observation] = []
+    for _ in range(n_iterations):
+        x = np.asarray(sample(rng), dtype=np.float64)
+        objective, constraint = evaluate(x)
+        history.append(Observation(tuple(x), float(objective), constraint))
+    return _best(history, threshold), history
+
+
+def _best(
+    history: list[Observation], threshold: Optional[float]
+) -> Optional[Observation]:
+    feasible = [
+        o
+        for o in history
+        if threshold is None
+        or (o.constraint is not None and o.constraint <= threshold)
+    ]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda o: o.objective)

@@ -1,0 +1,161 @@
+"""Constrained Bayesian optimizer with an ask/tell interface.
+
+The optimizer follows the paper's three-step loop (§5.2): **update** the
+Gaussian-process model(s) with all observations, **generate** the next
+candidate by maximizing a (constrained) acquisition over a candidate pool,
+and **evaluate** — the caller evaluates the candidate and reports back via
+:meth:`BayesianOptimizer.tell`.
+
+Two GPs are maintained: one for the cost objective ``f_c`` and one for the
+quality-degradation constraint ``f_e`` (threshold epsilon).  When no
+feasible point is known yet, the acquisition falls back to maximizing the
+probability of feasibility — search effort goes to *finding* a valid model
+first, which is the quality-awareness the paper contrasts with plain
+AutoML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .acquisition import (
+    constrained_expected_improvement,
+    expected_improvement,
+    probability_feasible,
+)
+from .gp import GaussianProcess
+
+__all__ = ["Observation", "BayesianOptimizer"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One evaluated point: encoded vector, objective, optional constraint."""
+
+    x: tuple[float, ...]
+    objective: float
+    constraint: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.objective):
+            raise ValueError("objective must be finite")
+
+
+class BayesianOptimizer:
+    """Minimize ``objective`` s.t. ``constraint <= threshold`` (optional)."""
+
+    def __init__(
+        self,
+        *,
+        threshold: Optional[float] = None,
+        init_samples: int = 3,
+        rng: Optional[np.random.Generator] = None,
+        xi: float = 0.0,
+    ) -> None:
+        if init_samples < 1:
+            raise ValueError("init_samples must be >= 1")
+        self.threshold = threshold
+        self.init_samples = init_samples
+        self.rng = rng or np.random.default_rng(0)
+        self.xi = xi
+        self.observations: list[Observation] = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def constrained(self) -> bool:
+        return self.threshold is not None
+
+    def _feasible(self) -> list[Observation]:
+        if not self.constrained:
+            return list(self.observations)
+        return [
+            o
+            for o in self.observations
+            if o.constraint is not None and o.constraint <= self.threshold
+        ]
+
+    @property
+    def best(self) -> Optional[Observation]:
+        """Best feasible observation so far (or None)."""
+        feasible = self._feasible()
+        if not feasible:
+            return None
+        return min(feasible, key=lambda o: o.objective)
+
+    def tell(self, x: Sequence[float], objective: float, constraint: Optional[float] = None) -> None:
+        """Report one evaluation (the **evaluation** step)."""
+        if self.constrained and constraint is None:
+            raise ValueError("constrained optimizer needs a constraint value")
+        self.observations.append(
+            Observation(tuple(float(v) for v in x), float(objective), constraint)
+        )
+
+    # -- candidate selection -------------------------------------------------
+
+    def ask(self, candidates: np.ndarray) -> int:
+        """Pick the index of the most promising candidate row.
+
+        During warm-up (< ``init_samples`` observations) candidates are
+        chosen at random — these seed the Gaussian process (Table 1's
+        ``bayesianInit``).  Afterwards the **update** + **generation**
+        steps run: fit GPs on all observations and maximize the acquisition.
+        """
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        if candidates.shape[0] == 0:
+            raise ValueError("no candidates to choose from")
+        if len(self.observations) < self.init_samples:
+            return int(self.rng.integers(candidates.shape[0]))
+
+        x = np.array([o.x for o in self.observations])
+        y = np.array([o.objective for o in self.observations])
+        obj_gp = GaussianProcess().fit(x, y)
+        mean, std = obj_gp.predict(candidates)
+
+        if not self.constrained:
+            scores = expected_improvement(mean, std, float(y.min()), self.xi)
+            return int(np.argmax(scores))
+
+        c = np.array(
+            [o.constraint for o in self.observations], dtype=np.float64
+        )
+        con_gp = GaussianProcess().fit(x, c)
+        c_mean, c_std = con_gp.predict(candidates)
+
+        best = self.best
+        if best is None:
+            # no feasible point known: hunt feasibility first
+            scores = probability_feasible(c_mean, c_std, float(self.threshold))
+        else:
+            scores = constrained_expected_improvement(
+                mean, std, best.objective, c_mean, c_std, float(self.threshold), self.xi
+            )
+        return int(np.argmax(scores))
+
+    # -- convenience driver ----------------------------------------------------
+
+    def minimize(
+        self,
+        evaluate: Callable[[np.ndarray], tuple[float, Optional[float]]],
+        sample_candidates: Callable[[np.random.Generator], np.ndarray],
+        n_iterations: int,
+        *,
+        pool_size: int = 64,
+    ) -> Optional[Observation]:
+        """Run the full loop: repeatedly ask over a sampled pool, evaluate, tell.
+
+        ``sample_candidates(rng)`` returns one encoded candidate row; a pool
+        of ``pool_size`` rows is drawn per iteration and the acquisition
+        picks among them (standard practice for discrete NAS spaces).
+        """
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        for _ in range(n_iterations):
+            pool = np.array([sample_candidates(self.rng) for _ in range(pool_size)])
+            idx = self.ask(pool)
+            objective, constraint = evaluate(pool[idx])
+            self.tell(pool[idx], objective, constraint)
+        return self.best

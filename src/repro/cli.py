@@ -1,0 +1,158 @@
+"""Command-line interface: the user-facing script of §6.1.
+
+The paper wraps the workflow in scripts the domain scientist runs after
+annotating a region.  This CLI exposes the same verbs::
+
+    python -m repro list-apps
+    python -m repro trace CG --dot /tmp/cg.dot
+    python -m repro build Blackscholes --samples 400 --out /tmp/bs
+    python -m repro evaluate Blackscholes --problems 50
+    python -m repro compare FFT
+
+``build`` writes the surrogate package (and the search checkpoint) to
+``--out``; ``evaluate`` and ``compare`` build in-process with the given
+budgets and run the Fig. 5 / Fig. 6 protocols.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .apps import ALL_APPLICATIONS, make_application
+from .core import AutoHPCnet, AutoHPCnetConfig, evaluate_surrogate
+from .core.reports import format_build_report, format_evaluation_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-HPCnet reproduction: NN surrogates for HPC regions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the Table 2 applications")
+
+    trace = sub.add_parser("trace", help="run the extractor on an app's region")
+    trace.add_argument("app", help="application name (see list-apps)")
+    trace.add_argument("--samples", type=int, default=20)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--dot", help="also write the DDDG as Graphviz DOT to this path")
+
+    build = sub.add_parser("build", help="build a surrogate end to end")
+    build.add_argument("app")
+    build.add_argument("--samples", type=int, default=400)
+    build.add_argument("--outer", type=int, default=2)
+    build.add_argument("--inner", type=int, default=3)
+    build.add_argument("--quality-loss", type=float, default=0.10)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--out", help="directory for the package + checkpoint")
+
+    evaluate = sub.add_parser("evaluate", help="Fig. 5 protocol on one app")
+    evaluate.add_argument("app")
+    evaluate.add_argument("--problems", type=int, default=50)
+    evaluate.add_argument("--mu", type=float, default=0.10)
+    evaluate.add_argument("--samples", type=int, default=400)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser(
+        "compare", help="Fig. 6 protocol: vs ACCEPT / perforation / Autokeras"
+    )
+    compare.add_argument("app")
+    compare.add_argument("--problems", type=int, default=30)
+    compare.add_argument("--samples", type=int, default=400)
+    compare.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> AutoHPCnetConfig:
+    return AutoHPCnetConfig(
+        n_samples=args.samples,
+        outer_iterations=getattr(args, "outer", 2),
+        inner_trials=getattr(args, "inner", 3),
+        quality_loss=getattr(args, "quality_loss", 0.10),
+        seed=args.seed,
+    )
+
+
+def _cmd_list_apps() -> int:
+    print(f"{'name':<16}{'type':<6}{'replaced function':<22}{'QoI'}")
+    for cls in ALL_APPLICATIONS:
+        print(f"{cls.name:<16}{cls.app_type:<6}{cls.replaced_function:<22}{cls.qoi_name}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    app = make_application(args.app)
+    acq = app.acquire(n_samples=args.samples, rng=np.random.default_rng(args.seed))
+    print(acq.summary())
+    print(f"inputs:    {list(acq.io.inputs)}")
+    print(f"outputs:   {list(acq.io.outputs)}")
+    print(f"internals: {list(acq.io.internals)}")
+    if args.dot:
+        from .extract import write_dot
+
+        path = write_dot(acq.dddg, args.dot, acq.io)
+        print(f"DDDG written to {path}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    app = make_application(args.app)
+    build = AutoHPCnet(_config(args)).build(app, checkpoint_dir=args.out)
+    print(format_build_report(build))
+    if args.out:
+        build.surrogate.package.save(f"{args.out}/package")
+        print(f"\npackage saved to {args.out}/package")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    app = make_application(args.app)
+    build = AutoHPCnet(_config(args)).build(app)
+    row = evaluate_surrogate(
+        build.surrogate,
+        n_problems=args.problems,
+        mu=args.mu,
+        rng=np.random.default_rng(args.seed + 1),
+    )
+    print(format_evaluation_table([row]))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .baselines import compare_methods
+
+    app = make_application(args.app)
+    config = AutoHPCnetConfig(n_samples=args.samples, seed=args.seed)
+    rows = compare_methods(
+        app, config=config, n_problems=args.problems, seed=args.seed
+    )
+    for row in rows:
+        print(row.format())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-apps":
+        return _cmd_list_apps()
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

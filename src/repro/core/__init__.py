@@ -1,0 +1,20 @@
+"""Auto-HPCnet core: configuration, end-to-end pipeline, evaluation."""
+
+from .config import AutoHPCnetConfig
+from .scaling import Scaler
+from .pipeline import AutoHPCnet, BuildResult, DeployedSurrogate
+from .evaluation import EvaluationRow, evaluate_surrogate
+from .reports import format_build_report, format_evaluation_table, format_phase_table
+
+__all__ = [
+    "AutoHPCnetConfig",
+    "Scaler",
+    "AutoHPCnet",
+    "BuildResult",
+    "DeployedSurrogate",
+    "EvaluationRow",
+    "evaluate_surrogate",
+    "format_build_report",
+    "format_evaluation_table",
+    "format_phase_table",
+]

@@ -1,0 +1,229 @@
+"""The Auto-HPCnet end-to-end pipeline (Fig. 1).
+
+``AutoHPCnet.build(app)`` runs the whole workflow on one application:
+
+1. **Data acquisition** (§3): trace the annotated region, build the DDDG,
+   classify inputs/outputs, generate training samples by perturbation.
+2. **Preprocessing**: standardize features (Table 1 ``preprocessing``).
+3. **2D NAS** (§4+§5): hierarchical BO over (K, θ) with the app-level
+   quality constraint — f_e is measured by actually running the
+   application's QoI on validation problems with the candidate surrogate.
+4. **Packaging**: the result is a :class:`DeployedSurrogate` that can stand
+   in for the region in the running application.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from ..apps.base import Application
+from ..extract.acquisition import AcquisitionResult
+from ..nas.hierarchical import Hierarchical2DSearch, SearchResult
+from ..nas.package import SurrogatePackage
+from ..nas.space import CNNSpace, InputDimSpace, TopologySpace
+from ..perf.metrics import relative_qoi_error
+from ..perf.timers import PhaseTimer
+from .config import AutoHPCnetConfig
+from .scaling import Scaler
+
+__all__ = ["DeployedSurrogate", "BuildResult", "AutoHPCnet"]
+
+
+@dataclass
+class DeployedSurrogate:
+    """A surrogate wired to one application's region signature."""
+
+    app: Application
+    package: SurrogatePackage
+    input_schema: Any
+    output_schema: Any
+    x_scaler: Scaler
+    y_scaler: Scaler
+
+    def predict_vector(self, x: np.ndarray) -> np.ndarray:
+        """Flat raw input features -> flat raw output features."""
+        z = self.x_scaler.transform(np.atleast_2d(x))
+        y_scaled = self.package.predict(z)
+        y = self.y_scaler.inverse(y_scaled)
+        return y[0] if np.asarray(x).ndim == 1 else y
+
+    def run(self, problem: Mapping[str, Any]) -> dict[str, Any]:
+        """Replace the region for one input problem; returns output dict."""
+        x = self.input_schema.flatten(problem)
+        y = self.predict_vector(x)
+        return self.output_schema.unflatten(y)
+
+    def qoi(self, problem: Mapping[str, Any]) -> float:
+        """Application QoI when the surrogate replaces the region."""
+        return self.app.qoi_from_outputs(problem, self.run(problem))
+
+    def input_bytes(self, problem: Mapping[str, Any]) -> float:
+        """Bytes shipped to the device per invocation (compressed if sparse)."""
+        total = 0.0
+        for f in self.input_schema.fields:
+            value = problem[f.name]
+            if hasattr(value, "nbytes") and callable(getattr(value, "nbytes")):
+                total += value.nbytes()       # our sparse matrices
+            elif isinstance(value, np.ndarray):
+                total += value.nbytes
+            else:
+                total += 8.0
+        return total
+
+
+@dataclass
+class BuildResult:
+    """Everything produced by one end-to-end build."""
+
+    surrogate: DeployedSurrogate
+    acquisition: AcquisitionResult
+    search: SearchResult
+    timers: PhaseTimer
+    f_e: float
+    f_c: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.acquisition.summary()}\n"
+            f"{self.search.summary()}\n"
+            f"offline phases:\n{self.timers.report()}"
+        )
+
+
+class AutoHPCnet:
+    """Facade: configure once, build surrogates for any annotated app."""
+
+    def __init__(self, config: AutoHPCnetConfig = AutoHPCnetConfig()) -> None:
+        self.config = config
+
+    # -- quality constraint ------------------------------------------------------
+
+    def _make_quality_fn(
+        self,
+        app: Application,
+        input_schema,
+        output_schema,
+        x_scaler: Scaler,
+        y_scaler: Scaler,
+    ):
+        """f_e = fraction of validation problems violating the QoI tolerance.
+
+        This is Eqn 3 turned into a constraint: a problem counts against the
+        surrogate when its QoI degradation exceeds ``qoi_mu``, so the search
+        minimizes exactly the quantity the evaluation's HitRate reports
+        (f_e = 1 - HitRate on the validation problems).
+        """
+        rng = np.random.default_rng(self.config.seed + 999)
+        problems = app.generate_problems(self.config.quality_problems, rng)
+        exact_qois = [app.run_exact(p).qoi for p in problems]
+        mu = self.config.qoi_mu
+
+        def quality_fn(package: SurrogatePackage) -> float:
+            violations = 0
+            for problem, exact in zip(problems, exact_qois):
+                x = input_schema.flatten(problem)
+                z = x_scaler.transform(x[None, :])
+                y = y_scaler.inverse(package.predict(z))[0]
+                outputs = output_schema.unflatten(y)
+                surrogate_qoi = app.qoi_from_outputs(problem, outputs)
+                if relative_qoi_error(exact, surrogate_qoi) > mu:
+                    violations += 1
+            return violations / len(problems)
+
+        return quality_fn
+
+    # -- main entry point -------------------------------------------------------------
+
+    def build(
+        self,
+        app: Application,
+        *,
+        checkpoint_dir: Optional[str] = None,
+    ) -> BuildResult:
+        """Run acquisition + 2D NAS for ``app``; returns the deployed surrogate."""
+        cfg = self.config
+        timers = PhaseTimer()
+
+        with timers.measure("trace_generation"):
+            acq = app.acquire(
+                n_samples=cfg.n_samples,
+                rng=np.random.default_rng(cfg.seed),
+                dddg_workers=2,
+            )
+
+        if cfg.preprocessing == "standardize" and not app.sparse_input():
+            x_scaler = Scaler.fit(acq.x)
+        else:
+            # scaling a sparse input would destroy its zero pattern
+            x_scaler = Scaler.identity(acq.input_dim)
+        y_scaler = (
+            Scaler.fit(acq.y)
+            if cfg.preprocessing == "standardize"
+            else Scaler.identity(acq.output_dim)
+        )
+        x = x_scaler.transform(acq.x)
+        y = y_scaler.transform(acq.y)
+
+        quality_fn = self._make_quality_fn(
+            app, acq.input_schema, acq.output_schema, x_scaler, y_scaler
+        )
+
+        overrides = app.nas_overrides()
+        if cfg.model_type == "cnn":
+            # convolutional surrogates consume the raw feature signal, so
+            # the search runs fullInput (pool factors are tied to the
+            # signal length, which feature reduction would change per K)
+            overrides = dict(overrides)
+            overrides["search_type"] = "fullInput"
+        search_config = cfg.to_search_config(
+            sparse_input=app.sparse_input(), **overrides
+        )
+        if cfg.model_type == "cnn":
+            topology_space = CNNSpace(
+                signal_length=acq.input_dim,
+                max_layers=2,
+                channel_choices=(2, 4, 8),
+                kernel_choices=(3, 5),
+                pool_choices=(1, 2),
+                activations=("relu", "tanh"),
+            )
+        else:
+            topology_space = TopologySpace(
+                max_layers=3,
+                width_choices=(8, 16, 32, 64, 128),
+                activations=("relu", "tanh"),
+                allow_residual=True,
+            )
+        input_space = InputDimSpace.geometric(
+            acq.input_dim, levels=cfg.input_dim_levels, min_dim=4
+        )
+        search = Hierarchical2DSearch(topology_space, input_space, search_config)
+        result = search.run(x, y, quality_fn=quality_fn, checkpoint_dir=checkpoint_dir)
+        timers = timers.merged(result.timers)
+
+        if result.best is None:
+            raise RuntimeError(
+                f"2D NAS found no surrogate for {app.name}; "
+                "increase budgets or relax quality_loss"
+            )
+
+        surrogate = DeployedSurrogate(
+            app=app,
+            package=result.best.package,
+            input_schema=acq.input_schema,
+            output_schema=acq.output_schema,
+            x_scaler=x_scaler,
+            y_scaler=y_scaler,
+        )
+        return BuildResult(
+            surrogate=surrogate,
+            acquisition=acq,
+            search=result,
+            timers=timers,
+            f_e=result.best.f_e,
+            f_c=result.best.f_c,
+        )

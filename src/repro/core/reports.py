@@ -1,0 +1,73 @@
+"""Report formatting: the tables the framework prints for its user.
+
+Shared by the CLI and the benchmark harness so every consumer renders the
+same rows (Fig. 5-style evaluation tables, method comparisons, offline
+phase breakdowns).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..perf.metrics import harmonic_mean
+from .evaluation import EvaluationRow
+
+__all__ = ["format_evaluation_table", "format_build_report", "format_phase_table"]
+
+
+def format_evaluation_table(rows: Sequence[EvaluationRow]) -> str:
+    """Fig. 5-style table: one line per application plus the harmonic mean."""
+    if not rows:
+        raise ValueError("no evaluation rows to format")
+    lines = [
+        f"{'application':<14} {'type':<5} {'speedup':>9} {'HitRate':>9} "
+        f"{'T_solver':>10} {'T_NN':>10} {'T_load':>10} {'T_other':>10}"
+    ]
+    for row in rows:
+        b = row.breakdown
+        lines.append(
+            f"{row.app_name:<14} {row.app_type:<5} {row.speedup:>8.2f}x "
+            f"{row.hit_rate:>8.1%} {b.t_numerical_solver:>9.3f}s "
+            f"{b.t_nn_infer:>9.4f}s {b.t_data_load:>9.4f}s {b.t_other:>9.3f}s"
+        )
+    hmean = harmonic_mean([row.speedup for row in rows])
+    lines.append(f"{'harmonic mean':<20} {hmean:>8.2f}x")
+    return "\n".join(lines)
+
+
+def format_build_report(build) -> str:
+    """Human-readable summary of one AutoHPCnet.build result."""
+    search = build.search
+    lines = [
+        build.acquisition.summary(),
+        search.summary(),
+        "",
+        "outer-loop history (K, f_c, f_e, sigma_y):",
+    ]
+    for obs in search.outer_history:
+        lines.append(
+            f"  K={obs.k:<6} f_c={obs.f_c:.3e}s  f_e={obs.f_e:.3f}  "
+            f"sigma_y={obs.ae_sigma:.3f}  ({obs.inner_trials} inner trials)"
+        )
+    lines.append("")
+    lines.append("offline phases:")
+    lines.append(build.timers.report())
+    return "\n".join(lines)
+
+
+def format_phase_table(breakdowns: Mapping[str, Mapping[str, float]]) -> str:
+    """Phase-share table keyed by label -> {phase: fraction}."""
+    if not breakdowns:
+        raise ValueError("no breakdowns to format")
+    phases: list[str] = []
+    for shares in breakdowns.values():
+        for phase in shares:
+            if phase not in phases:
+                phases.append(phase)
+    header = f"{'label':<16}" + "".join(f"{p:>16}" for p in phases)
+    lines = [header]
+    for label, shares in breakdowns.items():
+        lines.append(
+            f"{label:<16}" + "".join(f"{shares.get(p, 0.0):>15.1%} " for p in phases)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Feature standardization (Table 1's ``preprocessing`` knob)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Scaler"]
+
+
+@dataclass(frozen=True)
+class Scaler:
+    """Per-feature affine scaler: ``z = (x - mean) / std``."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, x: np.ndarray) -> "Scaler":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        return cls(mean=mean, std=std)
+
+    @classmethod
+    def identity(cls, dim: int) -> "Scaler":
+        return cls(mean=np.zeros(dim), std=np.ones(dim))
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=np.float64) - self.mean) / self.std
+
+    def inverse(self, z: np.ndarray) -> np.ndarray:
+        return np.asarray(z, dtype=np.float64) * self.std + self.mean
+
+    @property
+    def is_identity(self) -> bool:
+        return bool(np.all(self.mean == 0.0) and np.all(self.std == 1.0))

@@ -1,0 +1,31 @@
+"""Compiler-based extractor: tracing, DDDG, I/O identification, sampling.
+
+This subpackage is the LLVM-Tracer substitute (DESIGN.md §2).  Public API::
+
+    from repro.extract import code_region, RegionTracer, build_dddg
+    from repro.extract import classify_io, acquire, Perturbation
+"""
+
+from .analysis import analyze_statement, count_ops, names_read, names_written
+from .directives import RegionSpec, code_region, get_region_spec
+from .events import LoopTrace, StmtHit, StmtInfo, Trace
+from .tracer import Recorder, RegionTracer
+from .dddg import DDDG, IOClassification, build_dddg, classify_io
+from .liveness import live_in, uses_before_defs
+from .features import FeatureField, FeatureSchema, batch_to_csr, build_schema
+from .sampling import Perturbation, SampleGenerator, perturb_value, returned_names
+from .acquisition import AcquisitionResult, acquire
+from .export import summarize_dddg, to_dot, write_dot
+
+__all__ = [
+    "analyze_statement", "count_ops", "names_read", "names_written",
+    "RegionSpec", "code_region", "get_region_spec",
+    "LoopTrace", "StmtHit", "StmtInfo", "Trace",
+    "Recorder", "RegionTracer",
+    "DDDG", "IOClassification", "build_dddg", "classify_io",
+    "live_in", "uses_before_defs",
+    "FeatureField", "FeatureSchema", "batch_to_csr", "build_schema",
+    "Perturbation", "SampleGenerator", "perturb_value", "returned_names",
+    "AcquisitionResult", "acquire",
+    "summarize_dddg", "to_dot", "write_dot",
+]

@@ -1,0 +1,217 @@
+"""Static AST analysis: per-statement read/write sets and use-def facts.
+
+This plays the role LLVM IR metadata plays in the paper's tracer: for every
+statement of an annotated region we precompute which variables it loads and
+stores (at *array granularity* — a subscripted access records the base
+array name, which is exactly the paper's "group variables from the same
+array" rule of §3.1).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .events import StmtInfo
+
+__all__ = ["analyze_statement", "names_read", "names_written", "count_ops"]
+
+_ARITH_NODES = (ast.BinOp, ast.UnaryOp, ast.Compare, ast.BoolOp)
+
+
+class _LoadStoreVisitor(ast.NodeVisitor):
+    """Collects loads/stores with array-granularity subscript handling."""
+
+    def __init__(self) -> None:
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+        self.arrays_read: set[str] = set()
+        self.arrays_written: set[str] = set()
+        self.op_count = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _base_name(node: ast.AST) -> str | None:
+        """Innermost Name of a Subscript/Attribute chain."""
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def _visit_value(self, node: ast.AST | None) -> None:
+        if node is not None:
+            self.visit(node)
+
+    def _record_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.writes.add(target.id)
+        elif isinstance(target, ast.Subscript):
+            base = self._base_name(target)
+            if base:
+                # writing one element reads+writes the array object
+                self.writes.add(base)
+                self.arrays_written.add(base)
+                self.reads.add(base)
+                self.arrays_read.add(base)
+            self._visit_value(target.slice)
+        elif isinstance(target, ast.Attribute):
+            base = self._base_name(target)
+            if base:
+                self.writes.add(base)
+                self.reads.add(base)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element)
+        elif isinstance(target, ast.Starred):
+            self._record_target(target.value)
+
+    # -- visitors ---------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.reads.add(node.id)
+        elif isinstance(node.ctx, ast.Store):
+            self.writes.add(node.id)
+        else:  # Del
+            self.writes.add(node.id)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        base = self._base_name(node)
+        if base is not None:
+            if isinstance(node.ctx, ast.Load):
+                self.reads.add(base)
+                self.arrays_read.add(base)
+            else:
+                self.writes.add(base)
+                self.arrays_written.add(base)
+                self.reads.add(base)
+                self.arrays_read.add(base)
+        self._visit_value(node.slice)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # attribute access on a variable counts as reading that variable
+        base = self._base_name(node)
+        if base is not None:
+            self.reads.add(base)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self.op_count += 1
+        self.generic_visit(node)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> None:
+        self.op_count += 1
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self.op_count += len(node.ops)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # method calls like a.dot(b) read 'a'; plain calls read the callee
+        self._visit_value(node.func)
+        for arg in node.args:
+            self._visit_value(arg)
+        for kw in node.keywords:
+            self._visit_value(kw.value)
+        self.op_count += 1  # call treated as one opaque operation
+
+
+def _analyze_expr(node: ast.AST) -> _LoadStoreVisitor:
+    visitor = _LoadStoreVisitor()
+    visitor.visit(node)
+    return visitor
+
+
+def analyze_statement(stmt: ast.stmt, stmt_id: int) -> StmtInfo:
+    """Compute the :class:`StmtInfo` for one statement.
+
+    For compound statements (for/while/if) only the *header* is analyzed —
+    the body statements get their own ids when the tracer walks the tree.
+    """
+    visitor = _LoadStoreVisitor()
+    kind = "expr"
+    if isinstance(stmt, ast.Assign):
+        kind = "assign"
+        visitor._visit_value(stmt.value)
+        for target in stmt.targets:
+            visitor._record_target(target)
+    elif isinstance(stmt, ast.AugAssign):
+        kind = "augassign"
+        visitor._visit_value(stmt.value)
+        visitor.op_count += 1
+        # target is read-modify-write
+        visitor._record_target(stmt.target)
+        read_side = _analyze_expr(ast.copy_location(
+            ast.Name(id="__dummy__", ctx=ast.Load()), stmt))
+        del read_side
+        base = visitor._base_name(stmt.target) if not isinstance(stmt.target, ast.Name) else stmt.target.id
+        if base:
+            visitor.reads.add(base)
+    elif isinstance(stmt, ast.AnnAssign):
+        kind = "assign"
+        visitor._visit_value(stmt.value)
+        if stmt.target is not None:
+            visitor._record_target(stmt.target)
+    elif isinstance(stmt, ast.For):
+        kind = "for"
+        visitor._visit_value(stmt.iter)
+        visitor._record_target(stmt.target)
+    elif isinstance(stmt, ast.While):
+        kind = "while"
+        visitor._visit_value(stmt.test)
+    elif isinstance(stmt, ast.If):
+        kind = "if"
+        visitor._visit_value(stmt.test)
+    elif isinstance(stmt, ast.Return):
+        kind = "return"
+        visitor._visit_value(stmt.value)
+    elif isinstance(stmt, ast.Expr):
+        kind = "expr"
+        visitor._visit_value(stmt.value)
+    elif isinstance(stmt, (ast.Break, ast.Continue, ast.Pass)):
+        kind = "control"
+    else:
+        visitor.visit(stmt)
+        kind = type(stmt).__name__.lower()
+
+    try:
+        source = ast.unparse(stmt).splitlines()[0]
+    except Exception:  # pragma: no cover - unparse is best effort
+        source = f"<{kind}>"
+
+    return StmtInfo(
+        stmt_id=stmt_id,
+        lineno=getattr(stmt, "lineno", 0),
+        kind=kind,
+        reads=frozenset(visitor.reads),
+        writes=frozenset(visitor.writes),
+        arrays_read=frozenset(visitor.arrays_read),
+        arrays_written=frozenset(visitor.arrays_written),
+        op_count=visitor.op_count,
+        source=source,
+    )
+
+
+def names_read(node: ast.AST) -> frozenset[str]:
+    """All variable names loaded anywhere under ``node``."""
+    return frozenset(_analyze_expr(node).reads)
+
+
+def names_written(node: ast.AST) -> frozenset[str]:
+    """All variable names stored anywhere under ``node``."""
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store,)):
+            writes.add(sub.id)
+        elif isinstance(sub, ast.Subscript) and isinstance(sub.ctx, ast.Store):
+            base = _LoadStoreVisitor._base_name(sub)
+            if base:
+                writes.add(base)
+    del reads
+    return frozenset(writes)
+
+
+def count_ops(node: ast.AST) -> int:
+    """Arithmetic operation count under ``node``."""
+    return _analyze_expr(node).op_count

@@ -1,0 +1,81 @@
+"""User-facing region annotation (§6.1).
+
+The paper gives two compiler directives that mark the boundary of the code
+region to approximate.  The Python analogue is the :func:`code_region`
+decorator: it marks a function as the replaceable region and attaches the
+metadata the rest of the pipeline needs (name, QoI hint, the code that runs
+*after* the region for liveness analysis).
+
+Example::
+
+    @code_region(name="pcg_solver", live_after=("x",))
+    def solve(A, b, x0):
+        ...
+        return x
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["code_region", "RegionSpec", "get_region_spec"]
+
+_ATTR = "__autohpcnet_region__"
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Metadata attached to an annotated code region."""
+
+    name: str
+    fn: Callable
+    live_after: tuple[str, ...] = ()
+    continuation_source: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("code region needs a non-empty name")
+
+
+def code_region(
+    name: str,
+    *,
+    live_after: Sequence[str] = (),
+    continuation_source: Optional[str] = None,
+    description: str = "",
+) -> Callable[[Callable], Callable]:
+    """Mark a function as the to-be-replaced code region.
+
+    ``live_after`` names the variables the application reads after the
+    region (the paper derives this via liveness analysis over the rest of
+    the program; callers may alternatively pass ``continuation_source`` —
+    the source text of the code following the region — and let
+    :mod:`repro.extract.liveness` compute the live set).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        spec = RegionSpec(
+            name=name,
+            fn=fn,
+            live_after=tuple(live_after),
+            continuation_source=continuation_source,
+            description=description,
+        )
+        setattr(fn, _ATTR, spec)
+        return fn
+
+    return decorate
+
+
+def get_region_spec(fn: Callable) -> RegionSpec:
+    """Retrieve the :class:`RegionSpec` attached by :func:`code_region`."""
+    spec = getattr(fn, _ATTR, None)
+    if spec is None:
+        raise ValueError(
+            f"{getattr(fn, '__name__', fn)!r} is not an annotated code region; "
+            "decorate it with @code_region(...)"
+        )
+    return spec

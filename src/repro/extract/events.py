@@ -1,0 +1,202 @@
+"""Trace event model for the compiler-based extractor (§3.1).
+
+The tracer (LLVM-Tracer substitute) emits a hierarchical trace:
+
+* :class:`StmtHit` — one dynamic execution of a statement, carrying the
+  statically-analyzed read/write sets of that statement.
+* :class:`LoopTrace` — a loop whose iterations have been *compressed*: when
+  an iteration has the same control flow and touches the same (array)
+  variables as the previous one, only one copy is kept with a repeat count.
+  This is the paper's trace-size reduction.
+
+``flatten`` expands a compressed trace back to per-statement granularity
+(weighted by repeats) for consumers like the DDDG builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = ["StmtInfo", "StmtHit", "LoopTrace", "Trace", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class StmtInfo:
+    """Static facts about one source statement inside the region."""
+
+    stmt_id: int
+    lineno: int
+    kind: str                      # assign / augassign / for / while / if / expr / return
+    reads: frozenset[str]          # variable names read (base names for arrays)
+    writes: frozenset[str]         # variable names written
+    arrays_read: frozenset[str]    # subset of reads accessed via subscript
+    arrays_written: frozenset[str] # subset of writes accessed via subscript
+    op_count: int                  # arithmetic ops appearing in the statement
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class StmtHit:
+    """One dynamic execution of statement ``stmt_id``."""
+
+    stmt_id: int
+
+    def signature(self) -> tuple:
+        return ("s", self.stmt_id)
+
+
+@dataclass
+class LoopTrace:
+    """A loop's compressed iterations: list of (events, repeat_count)."""
+
+    loop_id: int
+    iterations: list[tuple[list["TraceEvent"], int]] = field(default_factory=list)
+
+    def signature(self) -> tuple:
+        return (
+            "l",
+            self.loop_id,
+            tuple(
+                (tuple(e.signature() for e in events), count)
+                for events, count in self.iterations
+            ),
+        )
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(count for _, count in self.iterations)
+
+    @property
+    def stored_iterations(self) -> int:
+        return len(self.iterations)
+
+
+TraceEvent = Union[StmtHit, LoopTrace]
+
+
+@dataclass
+class Trace:
+    """A complete region trace plus the static statement table."""
+
+    events: list[TraceEvent]
+    stmt_table: dict[int, StmtInfo]
+
+    def flatten(self) -> Iterator[tuple[int, int]]:
+        """Yield (stmt_id, multiplicity) in execution order.
+
+        Compressed loop iterations are yielded once with their repeat count
+        as the multiplicity (nested loops multiply).
+        """
+        yield from _flatten(self.events, 1)
+
+    def stored_length(self) -> int:
+        """Number of statement hits physically stored (post compression)."""
+        return sum(1 for _ in _walk_stored(self.events))
+
+    def dynamic_length(self) -> int:
+        """Number of statement executions the trace represents."""
+        return sum(mult for _, mult in self.flatten())
+
+    def compression_ratio(self) -> float:
+        stored = self.stored_length()
+        return self.dynamic_length() / stored if stored else 1.0
+
+
+    # -- persistence ------------------------------------------------------
+    #
+    # The paper's tracer materializes instruction traces on disk so the
+    # analysis stages can run separately; these methods serialize the
+    # compressed trace (events + statement table) as JSON.
+
+    def save(self, path) -> "Path":
+        import json
+        from pathlib import Path
+
+        payload = {
+            "version": 1,
+            "events": [_event_to_json(e) for e in self.events],
+            "stmt_table": {
+                str(sid): {
+                    "stmt_id": info.stmt_id,
+                    "lineno": info.lineno,
+                    "kind": info.kind,
+                    "reads": sorted(info.reads),
+                    "writes": sorted(info.writes),
+                    "arrays_read": sorted(info.arrays_read),
+                    "arrays_written": sorted(info.arrays_written),
+                    "op_count": info.op_count,
+                    "source": info.source,
+                }
+                for sid, info in self.stmt_table.items()
+            },
+        }
+        path = Path(path)
+        path.write_text(json.dumps(payload))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        import json
+        from pathlib import Path
+
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported trace version {payload.get('version')!r}")
+        stmt_table = {
+            int(sid): StmtInfo(
+                stmt_id=meta["stmt_id"],
+                lineno=meta["lineno"],
+                kind=meta["kind"],
+                reads=frozenset(meta["reads"]),
+                writes=frozenset(meta["writes"]),
+                arrays_read=frozenset(meta["arrays_read"]),
+                arrays_written=frozenset(meta["arrays_written"]),
+                op_count=meta["op_count"],
+                source=meta["source"],
+            )
+            for sid, meta in payload["stmt_table"].items()
+        }
+        events = [_event_from_json(e) for e in payload["events"]]
+        return cls(events=events, stmt_table=stmt_table)
+
+
+def _event_to_json(event: TraceEvent) -> dict:
+    if isinstance(event, StmtHit):
+        return {"t": "s", "id": event.stmt_id}
+    return {
+        "t": "l",
+        "id": event.loop_id,
+        "iters": [
+            ([_event_to_json(e) for e in inner], count)
+            for inner, count in event.iterations
+        ],
+    }
+
+
+def _event_from_json(payload: dict) -> TraceEvent:
+    if payload["t"] == "s":
+        return StmtHit(payload["id"])
+    iterations = [
+        ([_event_from_json(e) for e in inner], count)
+        for inner, count in payload["iters"]
+    ]
+    return LoopTrace(payload["id"], iterations)
+
+
+def _flatten(events: list[TraceEvent], mult: int) -> Iterator[tuple[int, int]]:
+    for event in events:
+        if isinstance(event, StmtHit):
+            yield event.stmt_id, mult
+        else:
+            for inner, count in event.iterations:
+                yield from _flatten(inner, mult * count)
+
+
+def _walk_stored(events: list[TraceEvent]) -> Iterator[int]:
+    for event in events:
+        if isinstance(event, StmtHit):
+            yield event.stmt_id
+        else:
+            for inner, _count in event.iterations:
+                yield from _walk_stored(inner)

@@ -1,0 +1,67 @@
+"""Liveness / use-def analysis for output-variable identification (§3.1).
+
+Taking only DDDG leaves as outputs is insufficient: a variable written in
+the region may be consumed by code *after* the region.  The paper combines
+liveness analysis with use-def chains over the continuation; here we
+compute, from the source text of the code following the region, the set of
+variables that are **used before being redefined** — the classic live-in
+set of the continuation.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from .analysis import analyze_statement
+
+__all__ = ["live_in", "uses_before_defs"]
+
+
+def _live_in_body(body: list[ast.stmt], live_out: frozenset[str]) -> frozenset[str]:
+    """Backward dataflow over a statement list: live = use ∪ (live - def)."""
+    live = set(live_out)
+    for stmt in reversed(body):
+        if isinstance(stmt, ast.If):
+            branch_live = set(_live_in_body(stmt.body, frozenset(live)))
+            branch_live |= _live_in_body(stmt.orelse, frozenset(live))
+            header = analyze_statement(stmt, -1)
+            live = branch_live | set(header.reads)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            # loop body may execute zero times: union of fall-through and
+            # one-iteration liveness, iterated to a (2-pass) fixed point
+            body_live = set(live)
+            for _ in range(2):
+                body_live |= _live_in_body(stmt.body, frozenset(body_live))
+            header = analyze_statement(stmt, -1)
+            live = (body_live | set(header.reads) | set(live)) - set()
+            if isinstance(stmt, ast.For):
+                live -= set()  # loop target defined by the loop itself
+                target_info = analyze_statement(stmt, -1)
+                live -= set(target_info.writes)
+                live |= set(header.reads)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        else:
+            info = analyze_statement(stmt, -1)
+            # a pure definition kills liveness; arrays written element-wise
+            # stay live (read-modify-write keeps them in `reads`)
+            live -= set(info.writes) - set(info.reads)
+            live |= set(info.reads)
+    return frozenset(live)
+
+
+def live_in(continuation_source: str) -> frozenset[str]:
+    """Variables live on entry to ``continuation_source``.
+
+    The source is the code that executes after the annotated region; the
+    result is the set of names the region must therefore expose as outputs
+    (intersected, by the caller, with what the region actually writes).
+    """
+    tree = ast.parse(textwrap.dedent(continuation_source))
+    return _live_in_body(tree.body, frozenset())
+
+
+def uses_before_defs(continuation_source: str) -> frozenset[str]:
+    """Alias of :func:`live_in` named after the use-def chain view."""
+    return live_in(continuation_source)

@@ -1,0 +1,195 @@
+"""Dynamic region tracer: the LLVM-Tracer substitute (§3.1, Step 1).
+
+Given a user-annotated code region (a Python function marked with
+:func:`repro.extract.directives.code_region`), the tracer:
+
+1. parses the region source and statically analyzes every statement's
+   load/store sets (:mod:`repro.extract.analysis`);
+2. rewrites the AST to insert recorder probes before every statement and
+   around every loop;
+3. executes the instrumented region on a concrete input, producing a
+   :class:`~repro.extract.events.Trace`.
+
+Loop compression follows the paper: when an iteration has the same control
+flow and touches the same array variables as the previous one, only one
+iteration is stored with a repeat count — the recorder compares iteration
+*signatures* online, so the stored trace never grows with the iteration
+count of regular loops.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Callable
+
+from .analysis import analyze_statement
+from .events import LoopTrace, StmtHit, StmtInfo, Trace, TraceEvent
+
+__all__ = ["Recorder", "RegionTracer"]
+
+_REC = "__autohpcnet_rec__"
+
+
+class _LoopFrame:
+    __slots__ = ("loop_id", "iterations", "buffer", "started", "compress")
+
+    def __init__(self, loop_id: int, compress: bool) -> None:
+        self.loop_id = loop_id
+        self.iterations: list[tuple[list[TraceEvent], int]] = []
+        self.buffer: list[TraceEvent] = []
+        self.started = False
+        self.compress = compress
+
+    def commit(self) -> None:
+        events = self.buffer
+        self.buffer = []
+        if self.compress and self.iterations:
+            last_events, last_count = self.iterations[-1]
+            if _signature(last_events) == _signature(events):
+                self.iterations[-1] = (last_events, last_count + 1)
+                return
+        self.iterations.append((events, 1))
+
+
+def _signature(events: list[TraceEvent]) -> tuple:
+    return tuple(e.signature() for e in events)
+
+
+class Recorder:
+    """Receives probe callbacks from the instrumented region."""
+
+    def __init__(self, compress: bool = True) -> None:
+        self.compress = compress
+        self.root: list[TraceEvent] = []
+        self._frames: list[_LoopFrame] = []
+
+    def _current(self) -> list[TraceEvent]:
+        return self._frames[-1].buffer if self._frames else self.root
+
+    def hit(self, stmt_id: int) -> None:
+        self._current().append(StmtHit(stmt_id))
+
+    def loop_enter(self, loop_id: int) -> None:
+        self._frames.append(_LoopFrame(loop_id, self.compress))
+
+    def loop_iter(self, loop_id: int) -> None:
+        frame = self._frames[-1]
+        if frame.loop_id != loop_id:  # pragma: no cover - defensive
+            raise RuntimeError("mismatched loop probes")
+        if frame.started:
+            frame.commit()
+        frame.started = True
+
+    def loop_exit(self, loop_id: int) -> None:
+        frame = self._frames.pop()
+        if frame.loop_id != loop_id:  # pragma: no cover - defensive
+            raise RuntimeError("mismatched loop probes")
+        if frame.started:
+            frame.commit()
+        self._current().append(LoopTrace(frame.loop_id, frame.iterations))
+
+
+class _Instrumenter(ast.NodeTransformer):
+    """Inserts recorder probes and assigns statement/loop ids."""
+
+    def __init__(self) -> None:
+        self.stmt_table: dict[int, StmtInfo] = {}
+        self._next_stmt = 0
+        self._next_loop = 0
+
+    def _probe(self, method: str, ident: int, template: ast.stmt) -> ast.stmt:
+        call = ast.Expr(
+            value=ast.Call(
+                func=ast.Attribute(
+                    value=ast.Name(id=_REC, ctx=ast.Load()),
+                    attr=method,
+                    ctx=ast.Load(),
+                ),
+                args=[ast.Constant(value=ident)],
+                keywords=[],
+            )
+        )
+        return ast.copy_location(ast.fix_missing_locations(call), template)
+
+    def instrument_body(self, body: list[ast.stmt]) -> list[ast.stmt]:
+        new_body: list[ast.stmt] = []
+        for stmt in body:
+            stmt_id = self._next_stmt
+            self._next_stmt += 1
+            self.stmt_table[stmt_id] = analyze_statement(stmt, stmt_id)
+            new_body.append(self._probe("hit", stmt_id, stmt))
+
+            if isinstance(stmt, (ast.For, ast.While)):
+                loop_id = self._next_loop
+                self._next_loop += 1
+                inner = self.instrument_body(stmt.body)
+                stmt.body = [self._probe("loop_iter", loop_id, stmt)] + inner
+                if stmt.orelse:
+                    stmt.orelse = self.instrument_body(stmt.orelse)
+                new_body.append(self._probe("loop_enter", loop_id, stmt))
+                new_body.append(stmt)
+                new_body.append(self._probe("loop_exit", loop_id, stmt))
+            elif isinstance(stmt, ast.If):
+                stmt.body = self.instrument_body(stmt.body)
+                if stmt.orelse:
+                    stmt.orelse = self.instrument_body(stmt.orelse)
+                new_body.append(stmt)
+            elif isinstance(stmt, (ast.With,)):
+                stmt.body = self.instrument_body(stmt.body)
+                new_body.append(stmt)
+            elif isinstance(stmt, ast.Try):
+                stmt.body = self.instrument_body(stmt.body)
+                for handler in stmt.handlers:
+                    handler.body = self.instrument_body(handler.body)
+                if stmt.orelse:
+                    stmt.orelse = self.instrument_body(stmt.orelse)
+                if stmt.finalbody:
+                    stmt.finalbody = self.instrument_body(stmt.finalbody)
+                new_body.append(stmt)
+            else:
+                # nested function/class defs are opaque (traced as one stmt)
+                new_body.append(stmt)
+        return new_body
+
+
+class RegionTracer:
+    """Compiles an instrumented twin of a region function and runs it."""
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+        func_def = next(
+            (n for n in tree.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))),
+            None,
+        )
+        if func_def is None:
+            raise ValueError("code region must be a function definition")
+        # drop decorators so instrumentation does not re-enter the tracer
+        func_def.decorator_list = []
+
+        instrumenter = _Instrumenter()
+        func_def.body = instrumenter.instrument_body(func_def.body)
+        ast.fix_missing_locations(tree)
+        self.stmt_table = instrumenter.stmt_table
+
+        code = compile(tree, filename=f"<instrumented {fn.__name__}>", mode="exec")
+        self._namespace: dict[str, Any] = dict(fn.__globals__)
+        exec(code, self._namespace)
+        self._instrumented: Callable = self._namespace[func_def.name]
+
+    def trace(
+        self, *args: Any, compress: bool = True, **kwargs: Any
+    ) -> tuple[Any, Trace]:
+        """Run the region on concrete inputs; returns (result, trace)."""
+        recorder = Recorder(compress=compress)
+        self._namespace[_REC] = recorder
+        try:
+            result = self._instrumented(*args, **kwargs)
+        finally:
+            self._namespace.pop(_REC, None)
+        if recorder._frames:  # pragma: no cover - defensive
+            raise RuntimeError("unbalanced loop probes after trace")
+        return result, Trace(events=recorder.root, stmt_table=dict(self.stmt_table))

@@ -1,0 +1,20 @@
+"""2D neural architecture search (paper §5) and the deployable surrogate."""
+
+from .space import CNNSpace, InputDimSpace, TopologySpace
+from .package import SurrogatePackage
+from .evaluation import CandidateResult, evaluate_topology, validation_quality
+from .inner import InnerSearchResult, TopologySearch
+from .hierarchical import (
+    Hierarchical2DSearch,
+    OuterObservation,
+    SearchConfig,
+    SearchResult,
+)
+
+__all__ = [
+    "CNNSpace", "InputDimSpace", "TopologySpace",
+    "SurrogatePackage",
+    "CandidateResult", "evaluate_topology", "validation_quality",
+    "InnerSearchResult", "TopologySearch",
+    "Hierarchical2DSearch", "OuterObservation", "SearchConfig", "SearchResult",
+]

@@ -1,0 +1,131 @@
+"""Candidate evaluation: train one surrogate and measure (f_c, f_e) (§5.1).
+
+Every NAS trial — inner or outer loop — funnels through
+:func:`evaluate_topology`: build the MLP for θ, train it on the (possibly
+feature-reduced) samples, then score
+
+* ``f_c`` — the *cost* of computing the output at runtime: estimated
+  inference seconds on the serving device (encoder + surrogate, batch 1);
+* ``f_e`` — the *quality degradation*: by default the mean relative error
+  on a held-out validation split, or an application-supplied quality
+  function that runs the real app and measures its QoI degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..autoencoder.model import Autoencoder
+from ..nn.cnn import AnyTopology, build_model
+from ..nn.mlp import Topology
+from ..nn.train import TrainConfig, train_model
+from ..perf.counting import nn_inference_cost
+from ..perf.devices import DeviceModel, TESLA_V100_NN
+from .package import SurrogatePackage
+
+__all__ = ["CandidateResult", "evaluate_topology", "validation_quality"]
+
+QualityFn = Callable[[SurrogatePackage], float]
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of one NAS trial."""
+
+    package: SurrogatePackage
+    f_c: float                 # estimated inference seconds (device model)
+    f_e: float                 # quality degradation in [0, inf)
+    val_error: float           # plain validation relative error
+    epochs: int
+
+    @property
+    def topology(self) -> AnyTopology:
+        return self.package.topology
+
+
+def validation_quality(
+    package: SurrogatePackage,
+    x_raw: np.ndarray,
+    y: np.ndarray,
+    eps: float = 1e-12,
+) -> float:
+    """Default f_e: mean relative output error on held-out raw inputs."""
+    pred = package.predict(x_raw)
+    num = np.linalg.norm(pred - y, axis=1)
+    den = np.linalg.norm(y, axis=1) + eps
+    return float(np.mean(num / den))
+
+
+def evaluate_topology(
+    topology: AnyTopology,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    autoencoder: Optional[Autoencoder] = None,
+    x_raw: Optional[np.ndarray] = None,
+    device: DeviceModel = TESLA_V100_NN,
+    quality_fn: Optional[QualityFn] = None,
+    train_config: TrainConfig = TrainConfig(num_epochs=60, patience=8),
+    rng: Optional[np.random.Generator] = None,
+    holdout_fraction: float = 0.2,
+    cost_metric: str = "time",
+) -> CandidateResult:
+    """Train a surrogate for ``topology`` and score it.
+
+    ``x`` is the model's direct input (already encoded when an autoencoder
+    is in play); ``x_raw`` is the un-reduced input used to evaluate the
+    *composite* encoder+surrogate quality.  A final holdout (never seen by
+    training) provides the default f_e.
+
+    ``cost_metric`` selects what f_c measures — "time" (seconds) or
+    "energy" (joules), per §5.1's "running time, energy or other execution
+    metric".
+    """
+    if cost_metric not in ("time", "energy"):
+        raise ValueError("cost_metric must be 'time' or 'energy'")
+    rng = rng or np.random.default_rng(0)
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    if x_raw is None:
+        x_raw = x
+    n = x.shape[0]
+    holdout = max(1, int(round(n * holdout_fraction)))
+    perm = rng.permutation(n)
+    fit_idx, hold_idx = perm[holdout:], perm[:holdout]
+    if fit_idx.size == 0:
+        fit_idx, hold_idx = perm, perm
+
+    model = build_model(x.shape[1], y.shape[1], topology, rng)
+    result = train_model(model, x[fit_idx], y[fit_idx], train_config)
+
+    package = SurrogatePackage(
+        model=model,
+        topology=topology,
+        input_dim=x_raw.shape[1],
+        output_dim=y.shape[1],
+        autoencoder=autoencoder,
+    )
+
+    val_error = validation_quality(package, x_raw[hold_idx], y[hold_idx])
+    f_e = quality_fn(package) if quality_fn is not None else val_error
+
+    flops, traffic = nn_inference_cost(model, batch=1)
+    if autoencoder is not None:
+        enc_flops = autoencoder.encode_flops(batch=1)
+        flops += enc_flops
+        traffic += enc_flops  # encoder weights stream once per inference
+    if cost_metric == "energy":
+        f_c = device.kernel_energy(flops, traffic)
+    else:
+        f_c = device.kernel_time(flops, traffic)
+
+    return CandidateResult(
+        package=package,
+        f_c=f_c,
+        f_e=float(f_e),
+        val_error=val_error,
+        epochs=result.epochs_run,
+    )

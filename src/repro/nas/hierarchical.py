@@ -1,0 +1,378 @@
+"""Hierarchical (2D) Bayesian optimization — Algorithm 2 of the paper.
+
+The *outer* loop searches the input dimension K: each iteration trains a
+fresh autoencoder with latent size K (§4.3), reduces the training inputs,
+and hands them to the *inner* loop, which searches the surrogate topology θ
+under the quality constraint.  The inner loop's best (f_c, f_e) flows back
+into the outer Gaussian process, which proposes the next K.
+
+The two optimization vectors are never mixed into one Euclidean embedding —
+the paper's argument for the hierarchy (§5.2) — and the search stops when
+the budget is exhausted or additional iterations stop improving f_c.
+
+The search is checkpointable (§6.1): pass ``checkpoint_dir`` and each
+completed outer iteration is persisted; re-running resumes where it left
+off and re-seeds the outer GP with the stored observations.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..autoencoder.model import Autoencoder
+from ..autoencoder.training import AETrainConfig, train_autoencoder
+from ..bo.optimize import BayesianOptimizer
+from ..nn.mlp import Topology
+from ..nn.train import TrainConfig
+from ..perf.devices import DeviceModel, TESLA_V100_NN
+from ..perf.timers import PhaseTimer
+from .evaluation import CandidateResult, QualityFn
+from .inner import InnerSearchResult, TopologySearch
+from .space import InputDimSpace, TopologySpace
+
+__all__ = ["SearchConfig", "OuterObservation", "SearchResult", "Hierarchical2DSearch"]
+
+_SEARCH_TYPES = ("autokeras", "userModel", "fullInput")
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """The Table 1 knobs, search level + model level."""
+
+    # search-level
+    search_type: str = "autokeras"
+    bayesian_init: int = 2
+    encoding_loss: float = 0.4     # acceptable sigma_y of the autoencoder
+    quality_loss: float = 0.10     # epsilon: acceptable app quality degradation
+    outer_iterations: int = 4
+    inner_trials: int = 5
+    # model-level
+    init_model: Optional[Topology] = None    # searchType=userModel start point
+    num_epochs: int = 60
+    train_ratio: float = 0.8
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 1e-4
+    patience: int = 20
+    ae_depth: int = 2
+    ae_epochs: int = 60
+    sparse_input: bool = False
+    cost_metric: str = "time"     # f_c: "time" or "energy" (§5.1)
+    #: stop the outer loop after this many iterations without improving the
+    #: best feasible f_c (Alg. 2: "a continuing search does not lead to
+    #: enough improvement"); None disables
+    stall_iterations: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.search_type not in _SEARCH_TYPES:
+            raise ValueError(f"searchType must be one of {_SEARCH_TYPES}")
+        if self.search_type == "userModel" and self.init_model is None:
+            raise ValueError("searchType=userModel requires init_model")
+        if self.outer_iterations < 1 or self.inner_trials < 1:
+            raise ValueError("iteration budgets must be >= 1")
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(
+            num_epochs=self.num_epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            train_ratio=self.train_ratio,
+            patience=self.patience,
+            weight_decay=self.weight_decay,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class OuterObservation:
+    """One completed outer-loop iteration."""
+
+    k: int
+    f_c: float
+    f_e: float
+    ae_sigma: float
+    inner_trials: int
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the whole 2D search."""
+
+    best: Optional[CandidateResult]
+    best_k: Optional[int]
+    outer_history: list[OuterObservation] = field(default_factory=list)
+    inner_results: dict[int, InnerSearchResult] = field(default_factory=dict)
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+
+    @property
+    def models_trained(self) -> int:
+        return sum(r.n_trials for r in self.inner_results.values())
+
+    @property
+    def feasible(self) -> bool:
+        return self.best is not None
+
+    def summary(self) -> str:
+        if self.best is None:
+            return "2D NAS: no feasible surrogate found"
+        return (
+            f"2D NAS: K={self.best_k}, {self.best.topology.describe()}, "
+            f"f_c={self.best.f_c:.3e}s, f_e={self.best.f_e:.4f}, "
+            f"{self.models_trained} models trained"
+        )
+
+
+class Hierarchical2DSearch:
+    """Coordinates the outer-K and inner-θ loops (Algorithm 2)."""
+
+    def __init__(
+        self,
+        topology_space: TopologySpace,
+        input_space: InputDimSpace,
+        config: SearchConfig = SearchConfig(),
+        *,
+        device: DeviceModel = TESLA_V100_NN,
+    ) -> None:
+        self.topology_space = topology_space
+        self.input_space = input_space
+        self.config = config
+        self.device = device
+
+    # -- feature reduction (outer-loop body, §4.3) -----------------------------
+
+    def _train_autoencoder(self, x: np.ndarray, k: int, seed: int) -> tuple[Autoencoder, float]:
+        ae = Autoencoder(
+            x.shape[1],
+            k,
+            depth=self.config.ae_depth,
+            sparse_input=self.config.sparse_input,
+            rng=np.random.default_rng(seed),
+        )
+        result = train_autoencoder(
+            ae,
+            x,
+            AETrainConfig(
+                num_epochs=self.config.ae_epochs,
+                lr=self.config.lr,
+                encoding_loss_bound=self.config.encoding_loss,
+                seed=seed,
+            ),
+        )
+        return ae, result.final_sigma
+
+    # -- checkpointing ------------------------------------------------------------
+
+    @staticmethod
+    def _state_path(checkpoint_dir: Path) -> Path:
+        return checkpoint_dir / "search_state.json"
+
+    def _load_state(self, checkpoint_dir: Optional[Path]) -> list[OuterObservation]:
+        if checkpoint_dir is None:
+            return []
+        path = self._state_path(checkpoint_dir)
+        if not path.exists():
+            return []
+        raw = json.loads(path.read_text())
+        return [OuterObservation(**entry) for entry in raw["outer_history"]]
+
+    def _save_state(
+        self, checkpoint_dir: Optional[Path], history: list[OuterObservation]
+    ) -> None:
+        if checkpoint_dir is None:
+            return
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        payload = {"outer_history": [vars(o) for o in history]}
+        self._state_path(checkpoint_dir).write_text(json.dumps(payload, indent=2))
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        quality_fn: Optional[QualityFn] = None,
+        checkpoint_dir: Optional[str | Path] = None,
+    ) -> SearchResult:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        cfg = self.config
+        checkpoint_path = Path(checkpoint_dir) if checkpoint_dir else None
+        result = SearchResult(best=None, best_k=None)
+        result.outer_history = self._load_state(checkpoint_path)
+
+        if cfg.search_type == "fullInput":
+            return self._run_full_input(x, y, quality_fn, result)
+
+        rng = np.random.default_rng(cfg.seed)
+        outer_bo = BayesianOptimizer(
+            threshold=cfg.quality_loss,
+            init_samples=max(1, cfg.bayesian_init),
+            rng=np.random.default_rng(cfg.seed + 7),
+        )
+        # re-seed the outer GP from a restored checkpoint
+        for obs in result.outer_history:
+            outer_bo.tell(self.input_space.encode(obs.k), math.log(obs.f_c), obs.f_e)
+
+        evaluated = {obs.k for obs in result.outer_history}
+        best: Optional[CandidateResult] = None
+        best_k: Optional[int] = None
+        iteration = len(result.outer_history)
+        stall = 0
+
+        while iteration < cfg.outer_iterations:
+            remaining = [k for k in self.input_space.choices if k not in evaluated]
+            candidates = remaining or list(self.input_space.choices)
+            if iteration == 0:
+                k = int(rng.choice(candidates))          # Alg 2 line 3: initRandom
+            else:
+                pool = np.array([self.input_space.encode(k) for k in candidates])
+                k = candidates[outer_bo.ask(pool)]
+
+            if k >= x.shape[1]:
+                # K equal to the raw input dimension means no reduction at
+                # all — the outer loop explores "keep the full input" as a
+                # first-class choice rather than paying a lossy identity AE
+                ae, sigma = None, 0.0
+                z = x
+            else:
+                with result.timers.measure("autoencoder_training"):
+                    ae, sigma = self._train_autoencoder(x, k, cfg.seed + iteration)
+                z = ae.encode(x)
+
+            inner = TopologySearch(
+                self.topology_space,
+                epsilon=cfg.quality_loss,
+                device=self.device,
+                train_config=cfg.train_config(),
+                init_samples=cfg.bayesian_init,
+                seed=cfg.seed + 31 * (iteration + 1),
+                cost_metric=cfg.cost_metric,
+            )
+            if cfg.search_type == "userModel" and iteration == 0:
+                initial = cfg.init_model
+            elif cfg.search_type == "autokeras" and hasattr(
+                self.topology_space, "width_choices"
+            ):
+                # Table 1 searchType=autokeras: seed each inner search with
+                # the default topology (a strong generic two-layer net), as
+                # the paper starts from Autokeras' default.  Non-MLP spaces
+                # (CNNSpace) have no generic default and start unseeded.
+                width = max(self.topology_space.width_choices)
+                acts = self.topology_space.activations
+                initial = Topology(
+                    hidden=(width, width),
+                    activation="tanh" if "tanh" in acts else acts[0],
+                    sparse_input=self.topology_space.sparse_input,
+                )
+            else:
+                initial = None
+            with result.timers.measure("bayesian_optimization"):
+                inner_result = inner.search(
+                    z,
+                    y,
+                    cfg.inner_trials,
+                    autoencoder=ae,
+                    x_raw=x,
+                    quality_fn=quality_fn,
+                    initial_topology=initial,
+                )
+            result.inner_results[k] = inner_result
+
+            candidate = inner_result.best
+            if candidate is not None:
+                outer_bo.tell(
+                    self.input_space.encode(k), math.log(candidate.f_c), candidate.f_e
+                )
+                result.outer_history.append(
+                    OuterObservation(
+                        k=k,
+                        f_c=candidate.f_c,
+                        f_e=candidate.f_e,
+                        ae_sigma=sigma,
+                        inner_trials=inner_result.n_trials,
+                    )
+                )
+                if candidate.f_e <= cfg.quality_loss and (
+                    best is None or candidate.f_c < best.f_c
+                ):
+                    best, best_k = candidate, k
+                    stall = 0
+                else:
+                    stall += 1
+            else:
+                stall += 1
+            evaluated.add(k)
+            iteration += 1
+            self._save_state(checkpoint_path, result.outer_history)
+            if (
+                cfg.stall_iterations is not None
+                and best is not None
+                and stall >= cfg.stall_iterations
+            ):
+                break   # continuing search is not improving f_c (Alg. 2)
+
+        # fall back to the lowest-f_e candidate when nothing met the bound
+        if best is None:
+            all_candidates = [
+                (k, c)
+                for k, r in result.inner_results.items()
+                for c in r.history
+            ]
+            if all_candidates:
+                best_k, best = min(all_candidates, key=lambda kc: kc[1].f_e)
+
+        result.best = best
+        result.best_k = best_k
+        if checkpoint_path is not None and best is not None:
+            best.package.save(checkpoint_path / "best_package")
+        return result
+
+    def _run_full_input(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        quality_fn: Optional[QualityFn],
+        result: SearchResult,
+    ) -> SearchResult:
+        """searchType=fullInput: no feature reduction, θ search only."""
+        cfg = self.config
+        inner = TopologySearch(
+            self.topology_space,
+            epsilon=cfg.quality_loss,
+            device=self.device,
+            train_config=cfg.train_config(),
+            init_samples=cfg.bayesian_init,
+            seed=cfg.seed,
+            cost_metric=cfg.cost_metric,
+        )
+        with result.timers.measure("bayesian_optimization"):
+            inner_result = inner.search(
+                x,
+                y,
+                cfg.inner_trials * cfg.outer_iterations,
+                quality_fn=quality_fn,
+                initial_topology=cfg.init_model,
+            )
+        k = x.shape[1]
+        result.inner_results[k] = inner_result
+        if inner_result.best is not None:
+            result.best = inner_result.best
+            result.best_k = k
+            result.outer_history.append(
+                OuterObservation(
+                    k=k,
+                    f_c=inner_result.best.f_c,
+                    f_e=inner_result.best.f_e,
+                    ae_sigma=0.0,
+                    inner_trials=inner_result.n_trials,
+                )
+            )
+        return result

@@ -1,0 +1,127 @@
+"""Inner (low-level) loop of Algorithm 2: topology search at fixed K.
+
+A constrained Bayesian optimization over the θ space: minimize inference
+cost ``f_c`` subject to quality ``f_e <= epsilon``.  This is the role
+Autokeras plays in the paper's implementation — but, unlike stock AutoML,
+the objective is runtime cost and the quality constraint is the
+application's, which is what "quality-oriented" (§6.2) means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..autoencoder.model import Autoencoder
+from ..bo.optimize import BayesianOptimizer
+from ..nn.mlp import Topology
+from ..nn.train import TrainConfig
+from ..perf.devices import DeviceModel, TESLA_V100_NN
+from .evaluation import CandidateResult, QualityFn, evaluate_topology
+from .space import TopologySpace
+
+__all__ = ["InnerSearchResult", "TopologySearch"]
+
+
+@dataclass
+class InnerSearchResult:
+    """Best candidate and full trial history of one inner-loop run."""
+
+    best: Optional[CandidateResult]
+    history: list[CandidateResult] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.history)
+
+    def feasible(self, epsilon: float) -> list[CandidateResult]:
+        return [c for c in self.history if c.f_e <= epsilon]
+
+
+class TopologySearch:
+    """BO-driven search over surrogate topologies (the low-level loop)."""
+
+    def __init__(
+        self,
+        space: TopologySpace,
+        *,
+        epsilon: float = 0.10,
+        device: DeviceModel = TESLA_V100_NN,
+        train_config: TrainConfig = TrainConfig(num_epochs=60, patience=8),
+        init_samples: int = 3,
+        pool_size: int = 48,
+        seed: int = 0,
+        cost_metric: str = "time",
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.space = space
+        self.epsilon = epsilon
+        self.device = device
+        self.train_config = train_config
+        self.init_samples = init_samples
+        self.pool_size = pool_size
+        self.seed = seed
+        self.cost_metric = cost_metric
+
+    def search(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        n_trials: int,
+        *,
+        autoencoder: Optional[Autoencoder] = None,
+        x_raw: Optional[np.ndarray] = None,
+        quality_fn: Optional[QualityFn] = None,
+        initial_topology: Optional[Topology] = None,
+    ) -> InnerSearchResult:
+        """Run ``n_trials`` update/generation/evaluation steps.
+
+        ``initial_topology`` implements Table 1's ``searchType=userModel``:
+        the user's topology is evaluated first and seeds the GP.
+        """
+        rng = np.random.default_rng(self.seed)
+        optimizer = BayesianOptimizer(
+            threshold=self.epsilon,
+            init_samples=self.init_samples,
+            rng=np.random.default_rng(self.seed + 1),
+        )
+        history: list[CandidateResult] = []
+
+        def run_trial(topology: Topology) -> CandidateResult:
+            candidate = evaluate_topology(
+                topology,
+                x,
+                y,
+                autoencoder=autoencoder,
+                x_raw=x_raw,
+                device=self.device,
+                quality_fn=quality_fn,
+                train_config=self.train_config,
+                rng=np.random.default_rng(self.seed + 100 + len(history)),
+                cost_metric=self.cost_metric,
+            )
+            history.append(candidate)
+            optimizer.tell(
+                self.space.encode(topology), math.log(candidate.f_c), candidate.f_e
+            )
+            return candidate
+
+        if initial_topology is not None and n_trials > 0:
+            run_trial(initial_topology)
+
+        while len(history) < n_trials:
+            pool = np.array(
+                [self.space.encode(self.space.sample(rng)) for _ in range(self.pool_size)]
+            )
+            idx = optimizer.ask(pool)
+            run_trial(self.space.decode(pool[idx]))
+
+        feasible = [c for c in history if c.f_e <= self.epsilon]
+        best = min(feasible, key=lambda c: c.f_c) if feasible else (
+            min(history, key=lambda c: c.f_e) if history else None
+        )
+        return InnerSearchResult(best=best, history=history)

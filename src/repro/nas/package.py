@@ -1,0 +1,129 @@
+"""SurrogatePackage: the deployable artifact of the 2D NAS.
+
+Bundles the trained autoencoder (when feature reduction is on) with the
+trained surrogate MLP, knows its own inference cost (for Eqn 2's
+``T_NN_infer`` under a device model) and serializes to a directory so
+surrogates can be saved, shared and re-loaded across applications (§6.1).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..autoencoder.model import Autoencoder
+from ..nn.layers import Sequential
+from ..nn.cnn import AnyTopology
+from ..nn.mlp import Topology
+from ..nn.serialize import load_model, save_model
+from ..nn.tensor import Tensor, no_grad
+from ..sparse import CSRMatrix
+
+__all__ = ["SurrogatePackage"]
+
+
+@dataclass
+class SurrogatePackage:
+    """Encoder (optional) + surrogate model, ready for online serving."""
+
+    model: Sequential
+    topology: AnyTopology
+    input_dim: int
+    output_dim: int
+    autoencoder: Optional[Autoencoder] = None
+
+    @property
+    def latent_dim(self) -> int:
+        return self.autoencoder.latent_dim if self.autoencoder else self.input_dim
+
+    @property
+    def uses_reduction(self) -> bool:
+        return self.autoencoder is not None
+
+    # -- inference ----------------------------------------------------------
+
+    def predict(self, x: Union[np.ndarray, CSRMatrix]) -> np.ndarray:
+        """Raw region inputs -> surrogate outputs (batch or single row)."""
+        single = isinstance(x, np.ndarray) and x.ndim == 1
+        if self.autoencoder is not None:
+            z = self.autoencoder.encode(x if not single else x[None, :])
+        else:
+            if isinstance(x, CSRMatrix):
+                z = x.to_dense()
+            else:
+                z = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        with no_grad():
+            out = self.model(Tensor(z)).data
+        return out[0] if single else out
+
+    def inference_flops(self, batch: int = 1) -> int:
+        """Online cost: encoder (if any) + surrogate forward."""
+        total = self.model.flops(batch)
+        if self.autoencoder is not None:
+            total += self.autoencoder.encode_flops(batch)
+        return total
+
+    def num_parameters(self) -> int:
+        total = self.model.num_parameters()
+        if self.autoencoder is not None:
+            total += sum(p.size for p in self.autoencoder.encoder.parameters())
+        return total
+
+    # -- serialization ----------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_model(self.model, self.topology, self.latent_dim, self.output_dim,
+                   directory / "surrogate.npz")
+        meta = {
+            "input_dim": self.input_dim,
+            "output_dim": self.output_dim,
+            "uses_reduction": self.uses_reduction,
+        }
+        if self.autoencoder is not None:
+            meta["autoencoder"] = {
+                "input_dim": self.autoencoder.input_dim,
+                "latent_dim": self.autoencoder.latent_dim,
+                "sparse_input": self.autoencoder.sparse_input,
+                "depth": sum(
+                    1 for layer in self.autoencoder.encoder
+                    if hasattr(layer, "weight")
+                ),
+            }
+            arrays = {
+                f"ae_param_{i}": p.data
+                for i, p in enumerate(self.autoencoder.parameters())
+            }
+            np.savez(directory / "autoencoder.npz", **arrays)
+        (directory / "package.json").write_text(json.dumps(meta, indent=2))
+        return directory
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "SurrogatePackage":
+        directory = Path(directory)
+        meta = json.loads((directory / "package.json").read_text())
+        model, topology, _in, out_dim = load_model(directory / "surrogate.npz")
+        autoencoder = None
+        if meta.get("uses_reduction"):
+            ae_meta = meta["autoencoder"]
+            autoencoder = Autoencoder(
+                ae_meta["input_dim"],
+                ae_meta["latent_dim"],
+                depth=ae_meta["depth"],
+                sparse_input=ae_meta["sparse_input"],
+            )
+            with np.load(directory / "autoencoder.npz") as archive:
+                for i, p in enumerate(autoencoder.parameters()):
+                    p.data = archive[f"ae_param_{i}"].astype(np.float64)
+        return cls(
+            model=model,
+            topology=topology,
+            input_dim=int(meta["input_dim"]),
+            output_dim=int(out_dim),
+            autoencoder=autoencoder,
+        )

@@ -1,0 +1,49 @@
+"""Minimal DNN framework: autograd tensors, layers, training, checkpointing.
+
+This subpackage is the substitute for TensorFlow/PyTorch in the Auto-HPCnet
+reproduction (see DESIGN.md §2).  Public API::
+
+    from repro.nn import Tensor, no_grad
+    from repro.nn import Dense, SparseDense, Activation, Sequential
+    from repro.nn import Topology, build_mlp
+    from repro.nn import TrainConfig, train_model, predict
+    from repro.nn import checkpoint, CheckpointSequential
+    from repro.nn import save_mlp, load_mlp
+"""
+
+from .tensor import Tensor, concat, no_grad, tensor, zeros, ones
+from .layers import (
+    ACTIVATIONS,
+    Activation,
+    Dense,
+    Module,
+    Residual,
+    Sequential,
+    SparseDense,
+)
+from .losses import huber_loss, mae_loss, mse_loss, relative_l2
+from .optim import Adam, Optimizer, SGD
+from .mlp import Topology, build_mlp
+from .conv import AvgPool1d, Conv1d, Flatten, MaxPool1d, SignalView, Upsample1d
+from .cnn import AnyTopology, CNNTopology, build_cnn, build_model
+from .conv2d import AvgPool2d, Conv2d, Deconv2d, ImageView, MaxPool2d, Upsample2d
+from .recurrent import LastStep, RNN, SequenceView
+from .train import TrainConfig, TrainResult, predict, train_model
+from .checkpoint import CheckpointSequential, activation_bytes, checkpoint
+from .serialize import load_mlp, load_model, save_mlp, save_model
+
+__all__ = [
+    "Tensor", "concat", "no_grad", "tensor", "zeros", "ones",
+    "ACTIVATIONS", "Activation", "Dense", "Module", "Residual",
+    "Sequential", "SparseDense",
+    "huber_loss", "mae_loss", "mse_loss", "relative_l2",
+    "Adam", "Optimizer", "SGD",
+    "Topology", "build_mlp",
+    "AvgPool1d", "Conv1d", "Flatten", "MaxPool1d", "SignalView", "Upsample1d",
+    "AnyTopology", "CNNTopology", "build_cnn", "build_model",
+    "AvgPool2d", "Conv2d", "Deconv2d", "ImageView", "MaxPool2d", "Upsample2d",
+    "LastStep", "RNN", "SequenceView",
+    "TrainConfig", "TrainResult", "predict", "train_model",
+    "CheckpointSequential", "activation_bytes", "checkpoint",
+    "load_mlp", "load_model", "save_mlp", "save_model",
+]

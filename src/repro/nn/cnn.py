@@ -1,0 +1,123 @@
+"""CNN surrogate construction (Table 1's non-default ``initModel`` type).
+
+A :class:`CNNTopology` materializes as::
+
+    SignalView -> [Conv1d -> Activation -> (Max|Avg)Pool1d | Upsample1d]*
+               -> Flatten -> Dense head
+
+The knobs are exactly §5.1's θ for convolutional surrogates: per-layer
+kernel size, channel count, pooling size and unpooling size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .conv import AvgPool1d, Conv1d, Flatten, MaxPool1d, SignalView, Upsample1d
+from .layers import ACTIVATIONS, Activation, Dense, Module, Sequential
+from .mlp import Topology, build_mlp
+
+__all__ = ["CNNTopology", "build_cnn", "build_model", "AnyTopology"]
+
+
+@dataclass(frozen=True)
+class CNNTopology:
+    """Convolutional surrogate parameters (θ for the CNN family).
+
+    ``pools[i]`` > 0 pools by that factor after conv layer i; < 0 upsamples
+    ("unpooling") by ``-pools[i]``; 0 keeps the length.
+    """
+
+    channels: tuple[int, ...]
+    kernel_sizes: tuple[int, ...]
+    pools: tuple[int, ...]
+    activation: str = "relu"
+    pool_kind: str = "max"
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("need at least one conv layer")
+        if not (len(self.channels) == len(self.kernel_sizes) == len(self.pools)):
+            raise ValueError("channels, kernel_sizes and pools must align")
+        if any(c < 1 for c in self.channels):
+            raise ValueError("channel counts must be positive")
+        if any(k < 1 or k % 2 == 0 for k in self.kernel_sizes):
+            raise ValueError("kernel sizes must be positive odd numbers")
+        if self.activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {self.activation!r}")
+        if self.pool_kind not in ("max", "avg"):
+            raise ValueError("pool_kind must be 'max' or 'avg'")
+
+    @property
+    def depth(self) -> int:
+        return len(self.channels)
+
+    def describe(self) -> str:
+        layers = "-".join(
+            f"c{c}k{k}p{p}" for c, k, p in zip(self.channels, self.kernel_sizes, self.pools)
+        )
+        return f"cnn[{layers}]({self.activation})"
+
+
+def _signal_length(input_dim: int, topology: CNNTopology) -> list[int]:
+    """Length after each conv block, starting from the raw feature count."""
+    lengths = [input_dim]
+    length = input_dim
+    for pool in topology.pools:
+        if pool > 1:
+            if length % pool:
+                raise ValueError(
+                    f"pool size {pool} does not divide signal length {length}"
+                )
+            length //= pool
+        elif pool < 0:
+            length *= -pool
+        lengths.append(length)
+    return lengths
+
+
+def build_cnn(
+    in_features: int,
+    out_features: int,
+    topology: CNNTopology,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Materialize the CNN for ``topology`` over flat feature vectors."""
+    rng = rng or np.random.default_rng(0)
+    lengths = _signal_length(in_features, topology)
+    layers: list[Module] = [SignalView(channels=1)]
+    in_channels = 1
+    for channels, kernel, pool in zip(
+        topology.channels, topology.kernel_sizes, topology.pools
+    ):
+        layers.append(Conv1d(in_channels, channels, kernel, rng))
+        layers.append(Activation(topology.activation))
+        if pool > 1:
+            layers.append(
+                MaxPool1d(pool) if topology.pool_kind == "max" else AvgPool1d(pool)
+            )
+        elif pool < 0:
+            layers.append(Upsample1d(-pool))
+        in_channels = channels
+    layers.append(Flatten())
+    flat_dim = lengths[-1] * in_channels
+    layers.append(Dense(flat_dim, int(out_features), rng, activation_hint="identity"))
+    return Sequential(layers)
+
+
+AnyTopology = Union[Topology, CNNTopology]
+
+
+def build_model(
+    in_features: int,
+    out_features: int,
+    topology: AnyTopology,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Dispatch on the topology family (MLP default, CNN optional)."""
+    if isinstance(topology, CNNTopology):
+        return build_cnn(in_features, out_features, topology, rng)
+    return build_mlp(in_features, out_features, topology, rng)

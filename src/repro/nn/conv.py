@@ -1,0 +1,194 @@
+"""1-D convolutional layers for CNN surrogates (§5.1's θ parameters).
+
+The paper's topology search space includes "#kernel sizes, #channel,
+#pooling size, #unpooling size, and #residual connection of each layer",
+i.e. it searches convolutional surrogates, not only MLPs (Table 1 lets the
+user pick CNN as the ``initModel`` type).  These layers provide that model
+family over 1-D feature signals:
+
+* :class:`Conv1d` — same-padded 1-D convolution, built from autograd
+  primitives (per-tap matmuls) so backward needs no bespoke code;
+* :class:`MaxPool1d` / :class:`AvgPool1d` — the pooling knob;
+* :class:`Upsample1d` — the "unpooling" knob (nearest-neighbour repeat);
+* :class:`SignalView` / :class:`Flatten` — adapters between the flat
+  feature vectors the rest of the pipeline uses and the (batch, channel,
+  length) layout convolutions want.
+
+Tensors flow through in (batch, channels, length) layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Module
+from .tensor import Tensor, concat
+
+__all__ = [
+    "Conv1d",
+    "MaxPool1d",
+    "AvgPool1d",
+    "Upsample1d",
+    "SignalView",
+    "Flatten",
+]
+
+
+class Conv1d(Module):
+    """Same-padded 1-D convolution: (B, C_in, L) -> (B, C_out, L)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if in_channels < 1 or out_channels < 1:
+            raise ValueError("channel counts must be positive")
+        if kernel_size < 1 or kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be a positive odd number (same padding)")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        fan_in = in_channels * kernel_size
+        weight = initializers.he_normal(fan_in, out_channels, rng).reshape(
+            in_channels, kernel_size, out_channels
+        )
+        # stored as (K, C_in, C_out) so each tap is one matmul
+        self.weight = Tensor(weight.transpose(1, 0, 2), requires_grad=True, name="weight")
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True, name="bias")
+        self._last_length = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv1d expected (B, {self.in_channels}, L), got {x.shape}"
+            )
+        batch, _, length = x.shape
+        self._last_length = length
+        pad = self.kernel_size // 2
+        zeros = Tensor(np.zeros((batch, self.in_channels, pad)))
+        padded = concat([zeros, x, zeros], axis=2)
+
+        out = None
+        for k in range(self.kernel_size):
+            window = padded[:, :, k : k + length]          # (B, C_in, L)
+            flat = window.transpose_axes(0, 2, 1).reshape(batch * length, self.in_channels)
+            tap = flat @ self.weight[k]                    # (B*L, C_out)
+            contribution = tap.reshape(batch, length, self.out_channels)
+            out = contribution if out is None else out + contribution
+        out = out + self.bias                              # broadcast over (B, L, C)
+        return out.transpose_axes(0, 2, 1)                 # (B, C_out, L)
+
+    def flops(self, batch: int = 1) -> int:
+        length = self._last_length or 1
+        per_point = 2 * self.in_channels * self.kernel_size * self.out_channels
+        return batch * length * (per_point + self.out_channels)
+
+    def output_dim(self, input_dim: int) -> int:
+        return input_dim  # same padding preserves length
+
+
+class MaxPool1d(Module):
+    """Non-overlapping max pooling over the length axis."""
+
+    def __init__(self, pool_size: int) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = int(pool_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.pool_size == 1:
+            return x
+        batch, channels, length = x.shape
+        if length % self.pool_size:
+            raise ValueError(
+                f"length {length} not divisible by pool size {self.pool_size}"
+            )
+        blocks = x.reshape(batch, channels, length // self.pool_size, self.pool_size)
+        return blocks.max(axis=3)
+
+    def flops(self, batch: int = 1) -> int:
+        return 0  # comparisons, not FP math
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim % self.pool_size:
+            raise ValueError("pool size must divide the length")
+        return input_dim // self.pool_size
+
+
+class AvgPool1d(Module):
+    """Non-overlapping average pooling over the length axis."""
+
+    def __init__(self, pool_size: int) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = int(pool_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.pool_size == 1:
+            return x
+        batch, channels, length = x.shape
+        if length % self.pool_size:
+            raise ValueError(
+                f"length {length} not divisible by pool size {self.pool_size}"
+            )
+        blocks = x.reshape(batch, channels, length // self.pool_size, self.pool_size)
+        return blocks.mean(axis=3)
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim % self.pool_size:
+            raise ValueError("pool size must divide the length")
+        return input_dim // self.pool_size
+
+
+class Upsample1d(Module):
+    """Nearest-neighbour unpooling: repeats each position ``factor`` times."""
+
+    def __init__(self, factor: int) -> None:
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.factor = int(factor)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.factor == 1:
+            return x
+        length = x.shape[2]
+        idx = np.repeat(np.arange(length), self.factor)
+        return x[:, :, idx]
+
+    def output_dim(self, input_dim: int) -> int:
+        return input_dim * self.factor
+
+
+class SignalView(Module):
+    """(B, F) flat features -> (B, channels, F // channels) signal."""
+
+    def __init__(self, channels: int = 1) -> None:
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.channels = int(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, features = x.shape
+        if features % self.channels:
+            raise ValueError("feature count must be divisible by channels")
+        return x.reshape(batch, self.channels, features // self.channels)
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim % self.channels:
+            raise ValueError("feature count must be divisible by channels")
+        return input_dim  # total element count is preserved
+
+
+class Flatten(Module):
+    """(B, C, L) -> (B, C*L)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        return x.reshape(batch, int(np.prod(x.shape[1:])))
+
+    def output_dim(self, input_dim: int) -> int:
+        return input_dim

@@ -1,0 +1,190 @@
+"""2-D convolution, deconvolution and pooling layers.
+
+§1 of the paper enumerates the layer types a surrogate topology can use:
+"fully connected, convolution, deconvolution, or recurrent".  The 1-D
+family lives in :mod:`repro.nn.conv`; this module adds the 2-D members for
+image-shaped regions (the X264 frames, fluidanimate's velocity fields):
+
+* :class:`Conv2d` — same-padded KxK convolution over (B, C, H, W);
+* :class:`Deconv2d` — deconvolution as nearest-neighbour upsampling
+  followed by a smoothing convolution (the standard artifact-free
+  formulation of a transposed convolution);
+* :class:`MaxPool2d` / :class:`AvgPool2d`;
+* :class:`ImageView` — adapter from flat feature vectors to (B, 1, H, W).
+
+All forwards are compositions of autograd primitives, so backward is
+derived automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Module
+from .tensor import Tensor, concat
+
+__all__ = ["Conv2d", "Deconv2d", "MaxPool2d", "AvgPool2d", "ImageView", "Upsample2d"]
+
+
+class Conv2d(Module):
+    """Same-padded 2-D convolution: (B, C_in, H, W) -> (B, C_out, H, W)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if in_channels < 1 or out_channels < 1:
+            raise ValueError("channel counts must be positive")
+        if kernel_size < 1 or kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be a positive odd number")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        fan_in = in_channels * kernel_size * kernel_size
+        weight = initializers.he_normal(fan_in, out_channels, rng).reshape(
+            kernel_size * kernel_size, in_channels, out_channels
+        )
+        self.weight = Tensor(weight, requires_grad=True, name="weight")
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True, name="bias")
+        self._last_hw = (0, 0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (B, {self.in_channels}, H, W), got {x.shape}"
+            )
+        batch, _, height, width = x.shape
+        self._last_hw = (height, width)
+        pad = self.kernel_size // 2
+        zeros_h = Tensor(np.zeros((batch, self.in_channels, pad, width)))
+        padded = concat([zeros_h, x, zeros_h], axis=2)
+        zeros_w = Tensor(np.zeros((batch, self.in_channels, height + 2 * pad, pad)))
+        padded = concat([zeros_w, padded, zeros_w], axis=3)
+
+        out = None
+        tap = 0
+        for dy in range(self.kernel_size):
+            for dx in range(self.kernel_size):
+                window = padded[:, :, dy : dy + height, dx : dx + width]
+                flat = window.transpose_axes(0, 2, 3, 1).reshape(
+                    batch * height * width, self.in_channels
+                )
+                contribution = (flat @ self.weight[tap]).reshape(
+                    batch, height, width, self.out_channels
+                )
+                out = contribution if out is None else out + contribution
+                tap += 1
+        out = out + self.bias
+        return out.transpose_axes(0, 3, 1, 2)
+
+    def flops(self, batch: int = 1) -> int:
+        h, w = self._last_hw or (1, 1)
+        points = max(h * w, 1)
+        per_point = 2 * self.in_channels * self.kernel_size**2 * self.out_channels
+        return batch * points * (per_point + self.out_channels)
+
+
+class Upsample2d(Module):
+    """Nearest-neighbour 2-D upsampling by an integer factor."""
+
+    def __init__(self, factor: int) -> None:
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.factor = int(factor)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.factor == 1:
+            return x
+        height, width = x.shape[2], x.shape[3]
+        rows = np.repeat(np.arange(height), self.factor)
+        cols = np.repeat(np.arange(width), self.factor)
+        return x[:, :, rows][:, :, :, cols]
+
+
+class Deconv2d(Module):
+    """Deconvolution: upsample then smooth with a same-padded convolution.
+
+    This resize-convolution form computes the same family of maps as a
+    transposed convolution without its checkerboard artifacts, and it is
+    built entirely from layers we already differentiate through.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        factor: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.upsample = Upsample2d(factor)
+        self.conv = Conv2d(in_channels, out_channels, kernel_size, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(self.upsample(x))
+
+    def parameters(self):
+        yield from self.conv.parameters()
+
+    def flops(self, batch: int = 1) -> int:
+        return self.conv.flops(batch)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping 2-D max pooling."""
+
+    def __init__(self, pool_size: int) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = int(pool_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.pool_size == 1:
+            return x
+        batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ValueError(f"pool size {p} must divide ({height}, {width})")
+        blocks = x.reshape(batch, channels, height // p, p, width // p, p)
+        return blocks.max(axis=5).max(axis=3)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping 2-D average pooling."""
+
+    def __init__(self, pool_size: int) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = int(pool_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.pool_size == 1:
+            return x
+        batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ValueError(f"pool size {p} must divide ({height}, {width})")
+        blocks = x.reshape(batch, channels, height // p, p, width // p, p)
+        return blocks.mean(axis=5).mean(axis=3)
+
+
+class ImageView(Module):
+    """(B, F) flat features -> (B, 1, H, W) with H*W == F."""
+
+    def __init__(self, height: int, width: int) -> None:
+        if height < 1 or width < 1:
+            raise ValueError("image dimensions must be positive")
+        self.height = int(height)
+        self.width = int(width)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, features = x.shape
+        if features != self.height * self.width:
+            raise ValueError(
+                f"expected {self.height * self.width} features, got {features}"
+            )
+        return x.reshape(batch, 1, self.height, self.width)

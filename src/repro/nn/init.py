@@ -1,0 +1,23 @@
+"""Parameter initializers (Glorot/He), seeded through one Generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros_init"]
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init: good default for tanh/sigmoid nets."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal init: good default for ReLU nets."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.standard_normal((fan_in, fan_out)) * std
+
+
+def zeros_init(*shape: int) -> np.ndarray:
+    return np.zeros(shape)

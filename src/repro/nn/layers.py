@@ -1,0 +1,251 @@
+"""Neural-network layers for surrogate models and autoencoders.
+
+Layers follow a ``Module`` protocol: ``forward`` consumes and produces
+:class:`~repro.nn.tensor.Tensor`, ``parameters()`` yields trainable tensors,
+``flops(batch)`` returns the inference cost used by the NAS objective
+``f_c`` and the device models.
+
+``SparseDense`` is the "TensorFlow embedding API" analogue from §4.2: it is
+an input layer whose forward multiplies a CSR matrix with its dense weight
+directly in compressed form, so sparse HPC inputs never get densified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from . import init as initializers
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Dense",
+    "SparseDense",
+    "Activation",
+    "Residual",
+    "Sequential",
+    "ACTIVATIONS",
+]
+
+ACTIVATIONS = ("relu", "tanh", "sigmoid", "leaky_relu", "identity")
+
+
+class Module:
+    """Base class for all layers and containers."""
+
+    def forward(self, x):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, x):
+        return self.forward(x)
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all trainable tensors (depth first)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def flops(self, batch: int = 1) -> int:
+        """Floating-point operations for one forward pass of ``batch`` rows."""
+        return 0
+
+    def output_dim(self, input_dim: int) -> int:
+        """Output feature dimension given an input feature dimension."""
+        return input_dim
+
+
+class Dense(Module):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        *,
+        activation_hint: str = "relu",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if activation_hint == "relu":
+            weight = initializers.he_normal(in_features, out_features, rng)
+        else:
+            weight = initializers.glorot_uniform(in_features, out_features, rng)
+        self.weight = Tensor(weight, requires_grad=True, name="weight")
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True, name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+    def flops(self, batch: int = 1) -> int:
+        # multiply-add per weight plus the bias add
+        return batch * (2 * self.in_features * self.out_features + self.out_features)
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim != self.in_features:
+            raise ValueError(
+                f"Dense expected {self.in_features} input features, got {input_dim}"
+            )
+        return self.out_features
+
+
+class SparseDense(Module):
+    """Input layer that consumes a CSR batch without densification (§4.2).
+
+    The forward pass is ``Y = X_csr @ W + b`` computed on the compressed
+    representation; the backward pass computes ``dW = X^T @ dY`` sparsely as
+    well.  The input receives no gradient (it is data, not a parameter),
+    which is what makes a sparse input format workable at all — the paper
+    notes mainstream frameworks lack exactly this backprop path.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("SparseDense dimensions must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        weight = initializers.glorot_uniform(in_features, out_features, rng)
+        self.weight = Tensor(weight, requires_grad=True, name="weight")
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True, name="bias")
+        self._last_nnz = 0
+
+    def forward(self, x: Union[CSRMatrix, Tensor, np.ndarray]) -> Tensor:
+        if isinstance(x, CSRMatrix):
+            if x.shape[1] != self.in_features:
+                raise ValueError(
+                    f"SparseDense expected {self.in_features} columns, got {x.shape[1]}"
+                )
+            self._last_nnz = x.nnz
+            data = x.matmul_dense(self.weight.data) + self.bias.data
+            weight, bias = self.weight, self.bias
+            x_t = x.transpose()
+
+            def backward(out: Tensor) -> None:
+                if weight.requires_grad:
+                    weight._accumulate(x_t.matmul_dense(out.grad))
+                if bias.requires_grad:
+                    bias._accumulate(out.grad.sum(axis=0))
+
+            return Tensor._from_op(data, (weight, bias), backward)
+        # dense fallback so the layer composes with downstream tensors
+        x_t = x if isinstance(x, Tensor) else Tensor(x)
+        self._last_nnz = int(np.count_nonzero(x_t.data))
+        return x_t @ self.weight + self.bias
+
+    def flops(self, batch: int = 1) -> int:
+        # cost scales with nnz, not with the dense size: 2 flops per stored
+        # element per output column.  Fall back to dense cost estimate when
+        # the layer has not yet seen sparse input.
+        nnz = self._last_nnz or batch * self.in_features
+        return 2 * nnz * self.out_features + batch * self.out_features
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim != self.in_features:
+            raise ValueError(
+                f"SparseDense expected {self.in_features} input features, got {input_dim}"
+            )
+        return self.out_features
+
+
+class Activation(Module):
+    """Element-wise nonlinearity selected by name."""
+
+    def __init__(self, kind: str) -> None:
+        if kind not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {kind!r}; choose from {ACTIVATIONS}")
+        self.kind = kind
+        self._dim = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._dim = x.shape[-1] if x.ndim else 1
+        if self.kind == "relu":
+            return x.relu()
+        if self.kind == "tanh":
+            return x.tanh()
+        if self.kind == "sigmoid":
+            return x.sigmoid()
+        if self.kind == "leaky_relu":
+            return x.leaky_relu()
+        return x
+
+    def flops(self, batch: int = 1) -> int:
+        if self.kind == "identity":
+            return 0
+        return batch * self._dim if self._dim else 0
+
+
+class Residual(Module):
+    """Residual connection around an inner module (same in/out width).
+
+    The paper's search space θ includes "#residual connection of each layer";
+    NAS candidates wrap Dense blocks in this module when the residual knob is
+    on.
+    """
+
+    def __init__(self, inner: Module) -> None:
+        self.inner = inner
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.inner(x) + x
+
+    def flops(self, batch: int = 1) -> int:
+        return self.inner.flops(batch) + batch  # the add
+
+    def output_dim(self, input_dim: int) -> int:
+        out = self.inner.output_dim(input_dim)
+        if out != input_dim:
+            raise ValueError("Residual requires matching in/out dimensions")
+        return out
+
+
+class Sequential(Module):
+    """Ordered container of modules."""
+
+    def __init__(self, layers: Sequence[Module]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def parameters(self) -> Iterator[Tensor]:
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    def flops(self, batch: int = 1) -> int:
+        return sum(layer.flops(batch) for layer in self.layers)
+
+    def output_dim(self, input_dim: int) -> int:
+        for layer in self.layers:
+            input_dim = layer.output_dim(input_dim)
+        return input_dim
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)

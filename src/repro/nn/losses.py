@@ -1,0 +1,37 @@
+"""Loss functions for surrogate and autoencoder training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "mae_loss", "huber_loss", "relative_l2"]
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    return (pred - target).abs().mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Implemented with a smooth blend so the autograd graph stays simple:
+    ``delta^2 * (sqrt(1 + (d/delta)^2) - 1)`` (pseudo-Huber).
+    """
+    diff = (pred - target) * (1.0 / delta)
+    return ((diff * diff + 1.0) ** 0.5 - 1.0).mean() * (delta * delta)
+
+
+def relative_l2(pred: np.ndarray, target: np.ndarray, eps: float = 1e-12) -> float:
+    """||pred - target|| / ||target||, a plain-NumPy evaluation metric."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    return float(np.linalg.norm(pred - target) / (np.linalg.norm(target) + eps))

@@ -1,0 +1,99 @@
+"""First-order optimizers (SGD with momentum, Adam).
+
+State buffers are allocated once per parameter and updated in place, per the
+"in-place operations / be easy on the memory" idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.data += v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction — default optimizer for all training here."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            if self.weight_decay:
+                # decoupled (AdamW-style) decay
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

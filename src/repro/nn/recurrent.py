@@ -1,0 +1,92 @@
+"""Recurrent layer — the fourth layer type of the paper's topology space.
+
+§1: "the type of each layer (e.g., fully connected, convolution,
+deconvolution, or recurrent)".  :class:`RNN` is an Elman recurrence over a
+(batch, time, features) tensor; the unrolled loop builds the autograd
+graph, so backpropagation-through-time comes for free from the tape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Module
+from .tensor import Tensor
+
+__all__ = ["RNN", "SequenceView", "LastStep"]
+
+
+class RNN(Module):
+    """Elman RNN: h_t = tanh(x_t W_x + h_{t-1} W_h + b)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        *,
+        return_sequence: bool = True,
+    ) -> None:
+        if in_features < 1 or hidden_size < 1:
+            raise ValueError("dimensions must be positive")
+        self.in_features = int(in_features)
+        self.hidden_size = int(hidden_size)
+        self.return_sequence = bool(return_sequence)
+        self.w_x = Tensor(
+            initializers.glorot_uniform(in_features, hidden_size, rng),
+            requires_grad=True, name="w_x",
+        )
+        # orthogonal-ish recurrence keeps gradients stable over time
+        q, _ = np.linalg.qr(rng.standard_normal((hidden_size, hidden_size)))
+        self.w_h = Tensor(q * 0.9, requires_grad=True, name="w_h")
+        self.bias = Tensor(np.zeros(hidden_size), requires_grad=True, name="bias")
+        self._last_steps = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ValueError(
+                f"RNN expected (B, T, {self.in_features}), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        self._last_steps = steps
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(steps):
+            h = (x[:, t, :] @ self.w_x + h @ self.w_h + self.bias).tanh()
+            outputs.append(h)
+        if not self.return_sequence:
+            return outputs[-1]
+        # stack along a new time axis: concat of (B, 1, H) slices
+        from .tensor import concat
+
+        expanded = [o.reshape(batch, 1, self.hidden_size) for o in outputs]
+        return concat(expanded, axis=1)
+
+    def flops(self, batch: int = 1) -> int:
+        steps = self._last_steps or 1
+        per_step = 2 * self.hidden_size * (self.in_features + self.hidden_size)
+        return batch * steps * (per_step + 2 * self.hidden_size)
+
+
+class SequenceView(Module):
+    """(B, F) flat features -> (B, T, F // T) time-major sequence."""
+
+    def __init__(self, steps: int) -> None:
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        self.steps = int(steps)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, features = x.shape
+        if features % self.steps:
+            raise ValueError("feature count must be divisible by steps")
+        return x.reshape(batch, self.steps, features // self.steps)
+
+
+class LastStep(Module):
+    """(B, T, F) -> (B, F): keep the final time step."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps, features = x.shape
+        return x[:, steps - 1, :]

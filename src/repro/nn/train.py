@@ -1,0 +1,132 @@
+"""Mini-batch training loop with train/validation split and early stopping.
+
+Mirrors the model-level knobs of Table 1: ``numEpoch``, ``trainRatio``,
+``batchSize`` and ``lr`` are all explicit arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .layers import Module
+from .losses import mse_loss
+from .optim import Adam
+from .tensor import Tensor, no_grad
+
+__all__ = ["TrainConfig", "TrainResult", "train_model", "predict"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters for surrogate/autoencoder training (Table 1)."""
+
+    num_epochs: int = 50
+    batch_size: int = 32
+    lr: float = 1e-3
+    train_ratio: float = 0.8
+    patience: int = 10
+    min_delta: float = 1e-6
+    weight_decay: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.train_ratio <= 1.0:
+            raise ValueError("train_ratio must be in (0, 1]")
+        if self.num_epochs < 1 or self.batch_size < 1:
+            raise ValueError("num_epochs and batch_size must be >= 1")
+
+
+@dataclass
+class TrainResult:
+    """Loss curves and the best validation loss reached."""
+
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    best_val_loss: float = float("inf")
+    epochs_run: int = 0
+
+    @property
+    def converged(self) -> bool:
+        return np.isfinite(self.best_val_loss)
+
+
+def _split(
+    n: int, train_ratio: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    perm = rng.permutation(n)
+    cut = max(1, int(round(n * train_ratio)))
+    if cut >= n:  # keep at least one validation row when possible
+        cut = n - 1 if n > 1 else n
+    return perm[:cut], perm[cut:]
+
+
+def train_model(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+    *,
+    loss_fn: Callable[[Tensor, Tensor], Tensor] = mse_loss,
+    forward: Optional[Callable[[Module, np.ndarray], Tensor]] = None,
+) -> TrainResult:
+    """Train ``model`` to map ``x -> y``; returns loss history.
+
+    ``forward`` lets callers inject a custom forward (e.g. the autoencoder's
+    checkpointed pass); by default the model is called on a Tensor batch.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have the same number of rows")
+    if x.shape[0] == 0:
+        raise ValueError("empty training set")
+
+    rng = np.random.default_rng(config.seed)
+    train_idx, val_idx = _split(x.shape[0], config.train_ratio, rng)
+    optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    run = forward or (lambda m, batch: m(Tensor(batch)))
+
+    result = TrainResult()
+    stale = 0
+    for epoch in range(config.num_epochs):
+        order = rng.permutation(train_idx)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, order.size, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            optimizer.zero_grad()
+            pred = run(model, x[batch])
+            loss = loss_fn(pred, Tensor(y[batch]))
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        result.train_losses.append(epoch_loss / max(batches, 1))
+
+        if val_idx.size:
+            with no_grad():
+                val_pred = run(model, x[val_idx])
+                val_loss = loss_fn(val_pred, Tensor(y[val_idx])).item()
+        else:
+            val_loss = result.train_losses[-1]
+        result.val_losses.append(val_loss)
+        result.epochs_run = epoch + 1
+
+        if val_loss < result.best_val_loss - config.min_delta:
+            result.best_val_loss = val_loss
+            stale = 0
+        else:
+            stale += 1
+            if stale >= config.patience:
+                break
+    return result
+
+
+def predict(model: Module, x: np.ndarray) -> np.ndarray:
+    """Inference without building the autograd graph."""
+    with no_grad():
+        out = model(Tensor(np.asarray(x, dtype=np.float64)))
+    return out.data

@@ -1,0 +1,12 @@
+"""Parallel substrate: SPMD communicator + work distribution helpers."""
+
+from .comm import Communicator, SpmdError, run_spmd
+from .pool import parallel_map, parallel_samples
+
+__all__ = [
+    "Communicator",
+    "SpmdError",
+    "run_spmd",
+    "parallel_map",
+    "parallel_samples",
+]

@@ -1,0 +1,169 @@
+"""SPMD communicator: an mpi4py-shaped parallel substrate.
+
+The paper's applications run under OpenMP/MPI and its tooling parallelizes
+wherever work is independent (DDDG construction §3.1; the N application
+runs that generate training samples §6.1).  This module provides the
+communication layer those pieces build on — a thread-backed communicator
+with the mpi4py collective vocabulary:
+
+    def work(comm):
+        chunk = comm.scatter(all_chunks, root=0)
+        local = process(chunk)
+        return comm.gather(local, root=0)
+
+    results = run_spmd(work, size=4)
+
+Threads (not processes) back the ranks: the workloads are NumPy-heavy, so
+the GIL is released inside the kernels, and thread ranks can share arrays
+zero-copy the way MPI ranks share a node's memory.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["Communicator", "run_spmd", "SpmdError"]
+
+
+class SpmdError(RuntimeError):
+    """Raised on collective misuse (wrong counts, mismatched roots)."""
+
+
+class _SharedState:
+    """State shared by all ranks of one SPMD execution."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+        self.mailboxes = {
+            (dst, tag): queue.Queue()
+            for dst in range(size)
+            for tag in range(8)
+        }
+
+
+@dataclass
+class Communicator:
+    """Per-rank handle (mpi4py ``Comm`` vocabulary, lowercase methods)."""
+
+    rank: int
+    size: int
+    _state: _SharedState
+
+    # -- rank info (mpi4py spellings) -----------------------------------------
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py parity
+        return self.rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py parity
+        return self.size
+
+    # -- synchronization -------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._state.barrier.wait()
+
+    # -- point to point ----------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise SpmdError(f"dest {dest} out of range for size {self.size}")
+        self._state.mailboxes[(dest, tag)].put((self.rank, obj))
+
+    def recv(self, source: Optional[int] = None, tag: int = 0) -> Any:
+        box = self._state.mailboxes[(self.rank, tag)]
+        while True:
+            sender, obj = box.get(timeout=30.0)
+            if source is None or sender == source:
+                return obj
+            box.put((sender, obj))  # not for us in source-filtered mode
+
+    # -- collectives ----------------------------------------------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == root:
+            for i in range(self.size):
+                self._state.slots[i] = obj
+        self.barrier()
+        value = self._state.slots[self.rank]
+        self.barrier()
+        return value
+
+    def scatter(self, seq: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self.rank == root:
+            if seq is None or len(seq) != self.size:
+                raise SpmdError(
+                    f"scatter needs exactly {self.size} items at the root"
+                )
+            for i, item in enumerate(seq):
+                self._state.slots[i] = item
+        self.barrier()
+        value = self._state.slots[self.rank]
+        self.barrier()
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        self._state.slots[self.rank] = obj
+        self.barrier()
+        result = list(self._state.slots) if self.rank == root else None
+        self.barrier()
+        return result
+
+    def allgather(self, obj: Any) -> list:
+        self._state.slots[self.rank] = obj
+        self.barrier()
+        result = list(self._state.slots)
+        self.barrier()
+        return result
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        everything = self.allgather(value)
+        if op is None:
+            total = everything[0]
+            for item in everything[1:]:
+                total = total + item
+            return total
+        total = everything[0]
+        for item in everything[1:]:
+            total = op(total, item)
+        return total
+
+    def reduce(self, value: Any, root: int = 0,
+               op: Callable[[Any, Any], Any] = None) -> Any:
+        result = self.allreduce(value, op)
+        return result if self.rank == root else None
+
+
+def run_spmd(fn: Callable[[Communicator], Any], size: int) -> list:
+    """Run ``fn(comm)`` on ``size`` thread ranks; returns per-rank results.
+
+    Any rank raising aborts the whole execution with that exception
+    (MPI_Abort semantics, minus the core dump).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    state = _SharedState(size)
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+
+    def worker(rank: int) -> None:
+        comm = Communicator(rank=rank, size=size, _state=state)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            errors.append((rank, exc))
+            state.barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        rank, exc = errors[0]
+        raise SpmdError(f"rank {rank} failed: {exc!r}") from exc
+    return results

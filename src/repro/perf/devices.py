@@ -1,0 +1,137 @@
+"""Analytic device models (the hardware substitute — DESIGN.md §2).
+
+The paper times applications on a 40-core Xeon E5-2698 v4 node and NVIDIA
+V100 GPUs.  Neither exists here, so execution time is estimated with a
+roofline model: ``time = max(flops / peak_flops, bytes / mem_bandwidth)``
+plus a fixed per-invocation overhead (kernel launch / dispatch), and data
+movement between host and device is charged against a PCIe-like link.
+
+Constants come from public datasheets:
+
+* Xeon E5-2698 v4, 2x20 cores @2.2 GHz, AVX2 FMA: ~1.4 TF/s DP peak; we use
+  an *achievable* fraction for irregular solver code (sparse kernels are
+  memory bound, so the bandwidth term dominates anyway).  STREAM BW ~130 GB/s.
+* Tesla V100: 7.8 TF/s DP / 15.7 TF/s SP, 900 GB/s HBM2.  NN inference runs
+  close to peak thanks to vendor-tuned dense kernels — the very effect Table 3
+  attributes the surrogate win to — while ported solver code achieves a much
+  smaller fraction (irregular access, RAW dependences, §2.1).
+* PCIe 3.0 x16: 16 GB/s with ~10 us latency per transfer.
+
+These *efficiency* fractions are the calibration knobs of the reproduction;
+they are fixed once here and shared by every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceModel",
+    "Link",
+    "XEON_E5_2698V4",
+    "TESLA_V100_NN",
+    "TESLA_V100_SOLVER",
+    "PCIE3_X16",
+    "estimate_kernel_time",
+    "transfer_time",
+]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Roofline model of one execution target."""
+
+    name: str
+    peak_flops: float          # achievable FLOP/s for this workload class
+    mem_bandwidth: float       # sustained bytes/s
+    launch_overhead: float     # seconds per kernel/phase invocation
+    tdp_watts: float = 250.0   # board power for the energy cost metric (§5.1)
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("device rates must be positive")
+        if self.launch_overhead < 0:
+            raise ValueError("launch overhead must be non-negative")
+
+    def kernel_time(self, flops: float, bytes_moved: float) -> float:
+        """Roofline execution-time estimate for one kernel."""
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes must be non-negative")
+        compute = flops / self.peak_flops
+        memory = bytes_moved / self.mem_bandwidth
+        return max(compute, memory) + self.launch_overhead
+
+    def achieved_bandwidth(self, flops: float, bytes_moved: float) -> float:
+        """Effective bytes/s for the kernel under this model."""
+        t = self.kernel_time(flops, bytes_moved)
+        return bytes_moved / t if t > 0 else 0.0
+
+    def kernel_energy(self, flops: float, bytes_moved: float) -> float:
+        """Joules for one kernel: board power x roofline time.
+
+        §5.1 allows f_c to be "the running time, energy or other execution
+        metric"; this is the energy variant the NAS can optimize instead.
+        """
+        return self.kernel_time(flops, bytes_moved) * self.tdp_watts
+
+
+@dataclass(frozen=True)
+class Link:
+    """Host<->device interconnect model."""
+
+    name: str
+    bandwidth: float   # bytes/s
+    latency: float     # seconds per transfer
+
+    def time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+
+# 40 cores x 2.2 GHz x 16 DP flops/cycle = 1.41 TF/s theoretical.  Iterative
+# sparse solvers sustain a few percent of that; 5% keeps the CPU model
+# honest for the solver loops the paper replaces.
+XEON_E5_2698V4 = DeviceModel(
+    name="Xeon E5-2698v4 (40 cores)",
+    peak_flops=1.41e12 * 0.05,
+    mem_bandwidth=130e9 * 0.6,
+    launch_overhead=2e-6,
+    tdp_watts=2 * 135.0,      # two sockets
+)
+
+# Dense NN inference: cuDNN-class kernels sustain a large fraction of peak.
+TESLA_V100_NN = DeviceModel(
+    name="Tesla V100 (dense NN kernels)",
+    peak_flops=7.8e12 * 0.60,
+    mem_bandwidth=900e9 * 0.75,
+    launch_overhead=5e-6,
+    tdp_watts=300.0,
+)
+
+# Ported solver code (e.g. AMGX): irregular sparse access, dependency stalls.
+TESLA_V100_SOLVER = DeviceModel(
+    name="Tesla V100 (sparse solver kernels)",
+    peak_flops=7.8e12 * 0.04,
+    mem_bandwidth=900e9 * 0.35,
+    launch_overhead=5e-6,
+    tdp_watts=300.0,
+)
+
+PCIE3_X16 = Link(name="PCIe 3.0 x16", bandwidth=16e9, latency=10e-6)
+
+
+def estimate_kernel_time(
+    device: DeviceModel, flops: float, bytes_moved: float, invocations: int = 1
+) -> float:
+    """Total estimated time of ``invocations`` identical kernels."""
+    if invocations < 0:
+        raise ValueError("invocations must be non-negative")
+    return invocations * device.kernel_time(flops, bytes_moved)
+
+
+def transfer_time(link: Link, nbytes: float, transfers: int = 1) -> float:
+    """Total time to move ``nbytes`` per transfer, ``transfers`` times."""
+    if transfers < 0:
+        raise ValueError("transfers must be non-negative")
+    return transfers * link.time(nbytes)

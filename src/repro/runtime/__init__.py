@@ -1,0 +1,20 @@
+"""Online serving substrate: orchestrator, client, serving cost model (§6.3)."""
+
+from .orchestrator import InferenceRequest, Orchestrator
+from .client import Client
+from .serving import ONLINE_PHASES, OnlineCostModel, ServingSession
+from .guard import GuardStats, GuardedSurrogate, bounds_validator, default_validator, residual_validator
+
+__all__ = [
+    "InferenceRequest",
+    "Orchestrator",
+    "Client",
+    "ONLINE_PHASES",
+    "OnlineCostModel",
+    "ServingSession",
+    "GuardStats",
+    "GuardedSurrogate",
+    "bounds_validator",
+    "default_validator",
+    "residual_validator",
+]

@@ -1,0 +1,128 @@
+"""Auto-HPCnet client library (Listings 1 and 2 of the paper).
+
+The client is the thin layer compiled into the HPC application: it ships
+input tensors to the orchestrator, requests inferences, and unpacks
+results.  ``set_model_from_file`` loads a surrogate saved by
+:class:`~repro.nas.package.SurrogatePackage`; ``autoencoder`` runs the
+online feature reduction directly on a sparse tensor (Listing 2 line 14).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..autoencoder.model import Autoencoder
+from ..nas.package import SurrogatePackage
+from ..sparse import CSRMatrix
+from .orchestrator import InferenceRequest, Orchestrator
+
+__all__ = ["Client"]
+
+
+class Client:
+    """Application-side handle to an :class:`Orchestrator`."""
+
+    def __init__(self, orchestrator: Orchestrator, cluster: bool = False) -> None:
+        # ``cluster`` mirrors ``autoHPCnet::Client client(false)`` in Listing 1
+        self._orc = orchestrator
+        self.cluster = bool(cluster)
+        self._autoencoder: Optional[Autoencoder] = None
+        self._packages: dict[str, SurrogatePackage] = {}
+
+    # -- tensor traffic ---------------------------------------------------------
+
+    def put_tensor(self, key: str, value: np.ndarray) -> None:
+        self._orc.put_tensor(key, np.asarray(value, dtype=np.float64))
+
+    def get_tensor(self, key: str) -> np.ndarray:
+        return self._orc.get_tensor(key)
+
+    def unpack_tensor(self, key: str, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Fetch a tensor, optionally into a preallocated buffer."""
+        value = self._orc.get_tensor(key)
+        if out is None:
+            return value.copy()
+        if out.shape != value.shape:
+            raise ValueError(
+                f"buffer shape {out.shape} does not match stored {value.shape}"
+            )
+        np.copyto(out, value)
+        return out
+
+    def delete_tensor(self, key: str) -> None:
+        self._orc.delete_tensor(key)
+
+    # -- models ----------------------------------------------------------------------
+
+    def set_model(self, name: str, package: SurrogatePackage) -> None:
+        """Register an in-memory surrogate package under ``name``."""
+        self._packages[name] = package
+        self._orc.register_model(name, package.predict)
+
+    def set_model_from_file(
+        self,
+        name: str,
+        path: str,
+        backend: str = "TORCH",
+        device: str = "GPU",
+    ) -> SurrogatePackage:
+        """Load a saved surrogate package and register it (Listing 2 line 17).
+
+        ``backend`` and ``device`` are accepted for API parity; the package
+        always runs through :mod:`repro.nn`.
+        """
+        del backend, device
+        package = SurrogatePackage.load(path)
+        self.set_model(name, package)
+        return package
+
+    def run_model(
+        self,
+        name: str,
+        inputs: Union[str, Sequence[str], np.ndarray],
+        outputs: Union[str, Sequence[str]],
+    ) -> np.ndarray:
+        """Invoke a registered model.
+
+        ``inputs``/``outputs`` may be store keys (Listing 1 style) or a raw
+        array for ``inputs`` (Listing 2 style) — in the latter case the
+        client stages it under a scratch key first.
+        """
+        in_keys: tuple[str, ...]
+        if isinstance(inputs, np.ndarray):
+            in_keys = ("__scratch_in__",)
+            self.put_tensor(in_keys[0], inputs)
+        elif isinstance(inputs, str):
+            in_keys = (inputs,)
+        else:
+            in_keys = tuple(inputs)
+        out_keys = (outputs,) if isinstance(outputs, str) else tuple(outputs)
+
+        if self._orc.is_running:
+            request = self._orc.submit(
+                InferenceRequest(model_name=name, input_keys=in_keys, output_keys=out_keys)
+            )
+            request.done.wait()
+            if request.error is not None:
+                raise request.error
+        else:
+            self._orc.run_model(name, in_keys, out_keys)
+        return self.get_tensor(out_keys[0])
+
+    # -- online feature reduction ---------------------------------------------------------
+
+    def set_autoencoder(self, autoencoder: Autoencoder) -> None:
+        self._autoencoder = autoencoder
+
+    def autoencoder(self, tensor: Union[np.ndarray, CSRMatrix]) -> np.ndarray:
+        """Reduce a (possibly sparse) input tensor to latent features.
+
+        This is ``client.autoencoder(sparse_tensor)`` from Listing 2: sparse
+        inputs go through the SparseDense first layer with no densification.
+        """
+        if self._autoencoder is None:
+            raise RuntimeError("no autoencoder set; call set_autoencoder() first")
+        return self._autoencoder.encode(tensor)

@@ -1,0 +1,148 @@
+"""Quality-guarded surrogate execution — the §7.1 restart mechanism.
+
+The paper: "when running a specific input problem using the surrogate model
+leads to the final output failing to meet the quality requirement, the
+application has to restart and use the original code."  In production the
+application cannot compare against the exact answer (that would defeat the
+surrogate), so the guard relies on *cheap validity checks* the application
+already has — a residual norm for a linear solve, boundedness for a price,
+a similarity floor for a codec (§2.1: "many HPC applications have a
+threshold to determine when the final application outcome is acceptable").
+
+:class:`GuardedSurrogate` wraps a deployed surrogate with such a validator:
+every invocation runs the surrogate, checks validity, and transparently
+restarts on the original region when the check fails — while keeping the
+bookkeeping (fallback rate, time ratio) the operator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from ..core.pipeline import DeployedSurrogate
+
+__all__ = ["GuardStats", "GuardedSurrogate", "residual_validator", "bounds_validator", "default_validator"]
+
+Validator = Callable[[Mapping[str, Any], Mapping[str, Any]], bool]
+
+
+@dataclass
+class GuardStats:
+    """Bookkeeping of one guarded deployment."""
+
+    invocations: int = 0
+    fallbacks: int = 0
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.invocations if self.invocations else 0.0
+
+    @property
+    def surrogate_rate(self) -> float:
+        return 1.0 - self.fallback_rate
+
+
+class GuardedSurrogate:
+    """Surrogate with transparent restart-on-invalid semantics."""
+
+    def __init__(
+        self,
+        surrogate: DeployedSurrogate,
+        validator: Validator,
+    ) -> None:
+        self.surrogate = surrogate
+        self.validator = validator
+        self.stats = GuardStats()
+
+    def run(self, problem: Mapping[str, Any]) -> dict[str, Any]:
+        """Region outputs for ``problem`` — surrogate if valid, exact otherwise."""
+        self.stats.invocations += 1
+        outputs = self.surrogate.run(problem)
+        if self.validator(problem, outputs):
+            return outputs
+        # restart with the original code (§7.1)
+        self.stats.fallbacks += 1
+        return self.surrogate.app.run_exact(problem).outputs
+
+    def qoi(self, problem: Mapping[str, Any]) -> float:
+        return self.surrogate.app.qoi_from_outputs(problem, self.run(problem))
+
+
+def residual_validator(
+    matrix_key: str = "A",
+    rhs_key: str = "b",
+    solution_key: str = "x",
+    *,
+    rtol: float = 0.05,
+) -> Validator:
+    """Validator for linear-solve regions: ||A x - b|| <= rtol * ||b||.
+
+    One SpMV — orders of magnitude cheaper than the solve it certifies.
+    """
+
+    def validate(problem: Mapping[str, Any], outputs: Mapping[str, Any]) -> bool:
+        matrix = problem[matrix_key]
+        b = np.asarray(problem[rhs_key], dtype=np.float64)
+        x = np.asarray(outputs[solution_key], dtype=np.float64)
+        if hasattr(matrix, "matvec"):
+            residual = b - matrix.matvec(x)
+        else:
+            residual = b - np.asarray(matrix) @ x
+        return float(np.linalg.norm(residual)) <= rtol * float(np.linalg.norm(b))
+
+    return validate
+
+
+def default_validator(app_name: str) -> Validator:
+    """The stock validity check for each Table 2 application.
+
+    Solver apps get a residual check (one SpMV); the rest get plausibility
+    bounds on their primary output — the kind of acceptance threshold §2.1
+    notes HPC applications already carry.
+    """
+    name = app_name.lower()
+    if name in ("cg", "amg"):
+        return residual_validator("A", "b", "x", rtol=0.25)
+    if name == "blackscholes":
+        return bounds_validator("prices", low=0.0)
+    if name == "x264":
+        return bounds_validator("recon", low=-1.0, high=2.0)
+    if name == "canneal":
+        return bounds_validator("cost", low=0.0)
+    if name == "mg":
+        return bounds_validator("res_norm", low=0.0)
+    if name == "miniqmc":
+        return bounds_validator("logdet", low=-1e6, high=1e6)
+    if name in ("fft", "fluidanimate", "streamcluster", "laghos"):
+        key = {
+            "fft": "re_out",
+            "fluidanimate": "u_out",
+            "streamcluster": "reduced",
+            "laghos": "v_new",
+        }[name]
+        return bounds_validator(key, low=-1e6, high=1e6)
+    raise ValueError(f"no default validator for application {app_name!r}")
+
+
+def bounds_validator(
+    output_key: str,
+    *,
+    low: float = -np.inf,
+    high: float = np.inf,
+    require_finite: bool = True,
+) -> Validator:
+    """Validator for plausibility bounds on one output (prices >= 0, SSIM in
+    [0, 1], energies within physical range, ...)."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+
+    def validate(problem: Mapping[str, Any], outputs: Mapping[str, Any]) -> bool:
+        value = np.asarray(outputs[output_key], dtype=np.float64)
+        if require_finite and not np.all(np.isfinite(value)):
+            return False
+        return bool(np.all(value >= low) and np.all(value <= high))
+
+    return validate

@@ -1,0 +1,156 @@
+"""In-memory tensor/model store: the SmartSim Orchestrator substitute (§6.3).
+
+The paper couples HPC applications to NN runtimes through a Redis-based
+in-memory store (SmartSim Orchestrator + RedisAI): applications ``put``
+input tensors under keys, request ``run_model`` on a registered model, and
+``unpack`` the output tensors.  This module reproduces those semantics with
+a thread-safe in-process store plus an optional background worker thread
+that services inference requests from a queue (the "server" the paper runs
+on the GPU node).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+__all__ = ["Orchestrator", "InferenceRequest"]
+
+
+@dataclass
+class InferenceRequest:
+    """One queued model invocation (server mode)."""
+
+    model_name: str
+    input_keys: tuple[str, ...]
+    output_keys: tuple[str, ...]
+    done: threading.Event = field(default_factory=threading.Event)
+    error: Optional[Exception] = None
+
+
+class Orchestrator:
+    """Key-value tensor store with a model registry.
+
+    ``port`` is cosmetic (API parity with ``Orchestrator(port=REDIS_PORT)``
+    in Listing 2); everything lives in process memory.
+    """
+
+    def __init__(self, port: int = 6379) -> None:
+        self.port = int(port)
+        self._tensors: dict[str, np.ndarray] = {}
+        self._models: dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+        self._lock = threading.RLock()
+        self._queue: "queue.Queue[Optional[InferenceRequest]]" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+
+    # -- tensor store ---------------------------------------------------------
+
+    def put_tensor(self, key: str, value: np.ndarray) -> None:
+        with self._lock:
+            self._tensors[key] = np.array(value, dtype=np.float64, copy=True)
+
+    def get_tensor(self, key: str) -> np.ndarray:
+        with self._lock:
+            try:
+                return self._tensors[key]
+            except KeyError:
+                raise KeyError(f"no tensor stored under key {key!r}") from None
+
+    def delete_tensor(self, key: str) -> None:
+        with self._lock:
+            self._tensors.pop(key, None)
+
+    def tensor_exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._tensors
+
+    # -- model registry -----------------------------------------------------------
+
+    def register_model(
+        self, name: str, predict: Callable[[np.ndarray], np.ndarray]
+    ) -> None:
+        """Register a callable model (RedisAI's ``AI.MODELSET`` analogue)."""
+        if not callable(predict):
+            raise TypeError("model must be callable")
+        with self._lock:
+            self._models[name] = predict
+
+    def model_exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def run_model(
+        self, name: str, input_keys: tuple[str, ...], output_keys: tuple[str, ...]
+    ) -> None:
+        """Run a registered model on stored tensors, storing the outputs."""
+        with self._lock:
+            try:
+                model = self._models[name]
+            except KeyError:
+                raise KeyError(f"no model registered under {name!r}") from None
+            inputs = [self.get_tensor(k) for k in input_keys]
+        x = inputs[0] if len(inputs) == 1 else np.concatenate(
+            [np.atleast_1d(v).ravel() for v in inputs]
+        )
+        y = np.asarray(model(x))
+        if len(output_keys) != 1:
+            raise ValueError("multi-output splitting is the client's job; pass one key")
+        self.put_tensor(output_keys[0], y)
+
+    # -- server mode -----------------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def start(self, block: bool = False) -> None:
+        """Start the background inference worker (``exp.start(orc, block=False)``)."""
+        if self._running:
+            return
+        self._running = True
+        self._worker = threading.Thread(target=self._serve, daemon=True)
+        self._worker.start()
+        if block:  # pragma: no cover - interactive convenience
+            self._worker.join()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._queue.put(None)
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+            self._worker = None
+
+    def submit(self, request: InferenceRequest) -> InferenceRequest:
+        """Queue an inference for the worker thread; wait on ``request.done``."""
+        if not self._running:
+            raise RuntimeError("orchestrator not started; call start() first")
+        self._queue.put(request)
+        return request
+
+    def _serve(self) -> None:
+        while self._running:
+            request = self._queue.get()
+            if request is None:
+                break
+            try:
+                self.run_model(
+                    request.model_name, request.input_keys, request.output_keys
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced to the waiter
+                request.error = exc
+            finally:
+                request.done.set()
+
+    def __enter__(self) -> "Orchestrator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

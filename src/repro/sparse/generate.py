@@ -1,0 +1,112 @@
+"""Synthetic sparse-problem generators.
+
+The paper evaluates on NPB CG-class sparse systems.  NPB CG builds its test
+matrix by summing random sparse outer products and shifting the diagonal so
+that the matrix is symmetric positive definite with a known eigenvalue
+spread.  ``npb_cg_matrix`` follows that recipe at reduced scale;
+``random_sparse``/``banded_spd`` cover the other solver apps (AMG, MG) and
+the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import COOMatrix, CSRMatrix, from_dense
+
+__all__ = ["random_sparse", "banded_spd", "npb_cg_matrix", "poisson_1d", "poisson_2d"]
+
+
+def random_sparse(
+    rows: int,
+    cols: int,
+    density: float,
+    rng: np.random.Generator,
+    *,
+    fmt: str = "csr",
+):
+    """Uniform-random sparse matrix with roughly ``density`` fill."""
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    nnz = int(round(rows * cols * density))
+    flat = rng.choice(rows * cols, size=min(nnz, rows * cols), replace=False)
+    r, c = np.divmod(flat.astype(np.int64), cols)
+    data = rng.standard_normal(r.size)
+    coo = COOMatrix(r, c, data, (rows, cols))
+    if fmt == "coo":
+        return coo
+    if fmt == "csr":
+        return coo.to_csr()
+    if fmt == "csc":
+        return coo.to_csc()
+    raise ValueError(f"unknown sparse format {fmt!r}")
+
+
+def banded_spd(n: int, bandwidth: int, rng: np.random.Generator) -> CSRMatrix:
+    """Symmetric positive-definite banded matrix (MG/AMG-style stencils)."""
+    dense = np.zeros((n, n))
+    for offset in range(1, bandwidth + 1):
+        vals = rng.uniform(-1.0, 0.0, size=n - offset)
+        dense[np.arange(n - offset), np.arange(offset, n)] = vals
+        dense[np.arange(offset, n), np.arange(n - offset)] = vals
+    # diagonally dominant => SPD
+    dense[np.diag_indices(n)] = np.abs(dense).sum(axis=1) + 1.0
+    return from_dense(dense, "csr")
+
+
+def npb_cg_matrix(
+    n: int,
+    nonzer: int,
+    rng: np.random.Generator,
+    *,
+    shift: float = 10.0,
+) -> CSRMatrix:
+    """NPB-CG style sparse SPD matrix: sum of sparse outer products + shift.
+
+    ``nonzer`` controls the nonzeros per generated sparse vector, mirroring
+    the NPB parameter of the same name.
+    """
+    dense = np.zeros((n, n))
+    for _ in range(n // 2 + 1):
+        idx = rng.choice(n, size=min(nonzer, n), replace=False)
+        vals = rng.uniform(-0.5, 0.5, size=idx.size)
+        dense[np.ix_(idx, idx)] += np.outer(vals, vals)
+    dense[np.diag_indices(n)] += shift
+    return from_dense(dense, "csr")
+
+
+def poisson_1d(n: int) -> CSRMatrix:
+    """1-D Poisson (tridiagonal [-1, 2, -1]) operator, the MG test problem."""
+    dense = 2.0 * np.eye(n)
+    off = np.arange(n - 1)
+    dense[off, off + 1] = -1.0
+    dense[off + 1, off] = -1.0
+    return from_dense(dense, "csr")
+
+
+def poisson_2d(nx: int, ny: int) -> CSRMatrix:
+    """2-D Poisson 5-point stencil on an ``nx`` x ``ny`` grid (AMG test)."""
+    n = nx * ny
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+
+    def add(i: int, j: int, v: float) -> None:
+        rows.append(i)
+        cols.append(j)
+        vals.append(v)
+
+    for y in range(ny):
+        for x in range(nx):
+            i = y * nx + x
+            add(i, i, 4.0)
+            if x > 0:
+                add(i, i - 1, -1.0)
+            if x < nx - 1:
+                add(i, i + 1, -1.0)
+            if y > 0:
+                add(i, i - nx, -1.0)
+            if y < ny - 1:
+                add(i, i + nx, -1.0)
+    coo = COOMatrix(np.array(rows), np.array(cols), np.array(vals), (n, n))
+    return coo.to_csr()

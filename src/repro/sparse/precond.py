@@ -1,0 +1,143 @@
+"""Sparse preconditioners for the iterative-solver applications.
+
+The paper's Type-I/III workloads (CG, AMG, PCG) are preconditioned Krylov
+solves; this module provides the standard preconditioner family over our
+CSR format so the apps (and users replacing their own solvers) can build
+realistic region variants:
+
+* :class:`JacobiPreconditioner` — M = diag(A);
+* :class:`SSORPreconditioner` — symmetric successive over-relaxation sweep;
+* :class:`ICPreconditioner` — zero-fill incomplete Cholesky, IC(0).
+
+Each exposes ``apply(r) -> z`` (an approximation of ``A^{-1} r``), the
+interface the PCG iteration consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import CSRMatrix
+
+__all__ = [
+    "JacobiPreconditioner",
+    "SSORPreconditioner",
+    "ICPreconditioner",
+    "pcg",
+]
+
+
+class JacobiPreconditioner:
+    """Diagonal scaling: z = r / diag(A)."""
+
+    def __init__(self, matrix: CSRMatrix) -> None:
+        diag = matrix.diagonal()
+        if np.any(diag == 0):
+            raise ValueError("Jacobi preconditioner needs a nonzero diagonal")
+        self._inv_diag = 1.0 / diag
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self._inv_diag * r
+
+
+class SSORPreconditioner:
+    """Symmetric SOR sweep: M = (D/w + L) (w/(2-w)) D^{-1} (D/w + U)."""
+
+    def __init__(self, matrix: CSRMatrix, omega: float = 1.0) -> None:
+        if not 0.0 < omega < 2.0:
+            raise ValueError("omega must be in (0, 2)")
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("SSOR needs a square matrix")
+        self.matrix = matrix
+        self.omega = omega
+        self._diag = matrix.diagonal()
+        if np.any(self._diag == 0):
+            raise ValueError("SSOR needs a nonzero diagonal")
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        n = self.matrix.shape[0]
+        omega = self.omega
+        # forward sweep: (D/w + L) y = r
+        y = np.zeros(n)
+        for i in range(n):
+            cols, vals = self.matrix.row_slice(i)
+            lower = cols < i
+            acc = float(vals[lower] @ y[cols[lower]])
+            y[i] = (r[i] - acc) * omega / self._diag[i]
+        # scale: y <- D y * (2 - w) / w ... folded into the backward sweep
+        y = y * self._diag * (2.0 - omega) / omega
+        # backward sweep: (D/w + U) z = y
+        z = np.zeros(n)
+        for i in range(n - 1, -1, -1):
+            cols, vals = self.matrix.row_slice(i)
+            upper = cols > i
+            acc = float(vals[upper] @ z[cols[upper]])
+            z[i] = (y[i] - acc) * omega / self._diag[i]
+        return z
+
+
+class ICPreconditioner:
+    """Incomplete Cholesky with zero fill-in, IC(0).
+
+    Factors A ~= L L^T keeping L's sparsity equal to A's lower triangle;
+    ``apply`` performs the two triangular solves.
+    """
+
+    def __init__(self, matrix: CSRMatrix) -> None:
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("IC(0) needs a square matrix")
+        n = matrix.shape[0]
+        # dense working copy of the lower triangle (fine at app scale)
+        a = matrix.to_dense()
+        if not np.allclose(a, a.T, atol=1e-12):
+            raise ValueError("IC(0) needs a symmetric matrix")
+        pattern = (a != 0.0)
+        lower = np.tril(a)
+        for k in range(n):
+            pivot = lower[k, k]
+            if pivot <= 0:
+                raise ValueError("IC(0) breakdown: non-positive pivot")
+            lower[k, k] = np.sqrt(pivot)
+            rows = np.nonzero(pattern[k + 1 :, k])[0] + k + 1
+            lower[rows, k] /= lower[k, k]
+            for j in rows:
+                cols = np.nonzero(pattern[j, k + 1 : j + 1])[0] + k + 1
+                lower[j, cols] -= lower[j, k] * lower[cols, k]
+        self._lower = lower * np.tril(pattern)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        from scipy.linalg import solve_triangular
+
+        y = solve_triangular(self._lower, r, lower=True)
+        return solve_triangular(self._lower.T, y, lower=False)
+
+
+def pcg(
+    matrix: CSRMatrix,
+    b: np.ndarray,
+    preconditioner,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iters: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Preconditioned CG with a pluggable preconditioner; returns (x, iters)."""
+    n = matrix.shape[0]
+    x = np.zeros(n) if x0 is None else x0.copy()
+    max_iters = max_iters or 4 * n
+    r = b - matrix.matvec(x)
+    z = preconditioner.apply(r)
+    p = z.copy()
+    rz = float(r @ z)
+    for iteration in range(1, max_iters + 1):
+        if np.linalg.norm(r) < tol:
+            return x, iteration - 1
+        ap = matrix.matvec(p)
+        alpha = rz / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        z = preconditioner.apply(r)
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return x, max_iters

@@ -1,0 +1,70 @@
+"""Per-app cost-model and paper-scale projection tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPLICATIONS, AMGApplication, CGApplication
+from repro.perf import XEON_E5_2698V4
+
+
+@pytest.fixture(scope="module", params=ALL_APPLICATIONS, ids=lambda c: c.name)
+def app(request):
+    return request.param()
+
+
+class TestPaperScaleProjection:
+    def test_projected_region_time_in_paper_range(self, app):
+        """At paper scale the region takes O(0.1-10 s) on the CPU model,
+        the wall-clock range §7 reports for the originals."""
+        problem = app.example_problem(np.random.default_rng(0))
+        run = app.run_exact(problem)
+        region = run.region_cost.scaled(app.cost_scale)
+        seconds = XEON_E5_2698V4.kernel_time(region.flops, region.bytes_moved)
+        assert 0.05 <= seconds <= 30.0, (app.name, seconds)
+
+    def test_scaled_helpers_match_manual_scaling(self, app):
+        problem = app.example_problem(np.random.default_rng(1))
+        run = app.run_exact(problem)
+        scaled = app.scaled_region_cost(problem, run.outputs)
+        assert scaled.flops == pytest.approx(run.region_cost.flops * app.cost_scale)
+        other = app.scaled_other_cost(problem)
+        assert other.flops == pytest.approx(
+            app.other_cost(problem).flops * app.cost_scale
+        )
+
+    def test_speedup_ceiling_exceeds_one(self, app):
+        """solver/(other) ratio — the app's achievable ceiling — is > 1.2x."""
+        problem = app.example_problem(np.random.default_rng(2))
+        run = app.run_exact(problem)
+        solver = XEON_E5_2698V4.kernel_time(
+            run.region_cost.flops * app.cost_scale,
+            run.region_cost.bytes_moved * app.cost_scale,
+        )
+        other_cost = app.other_cost(problem)
+        other = XEON_E5_2698V4.kernel_time(
+            other_cost.flops * app.cost_scale,
+            other_cost.bytes_moved * app.cost_scale,
+        )
+        ceiling = (solver + other) / other
+        assert ceiling > 1.2, (app.name, ceiling)
+
+
+class TestIterationDependentCosts:
+    def test_cg_cost_grows_with_iterations(self):
+        app = CGApplication()
+        problem = app.example_problem(np.random.default_rng(0))
+        few = app.region_cost(problem, {"iters": 5})
+        many = app.region_cost(problem, {"iters": 20})
+        assert many.flops > few.flops
+        assert many.bytes_moved > few.bytes_moved
+
+    def test_amg_cost_uses_reported_iterations(self):
+        app = AMGApplication()
+        problem = app.example_problem(np.random.default_rng(0))
+        run = app.run_exact(problem)
+        explicit = app.region_cost(problem, {"iters": run.outputs["iters"]})
+        assert run.region_cost.flops == pytest.approx(explicit.flops)
+
+    def test_cg_typical_iterations_measured_at_init(self):
+        app = CGApplication()
+        assert 3 <= app.typical_iters <= app.max_iters

@@ -1,0 +1,65 @@
+"""§3.2 distribution-invariance tests.
+
+One surrogate serves one input distribution: the training samples the
+extractor generates and the evaluation problems the workload generator
+draws must come from the *same* distribution, and the traced execution
+path must be stable across that distribution — otherwise the surrogate's
+I/O signature itself would change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPLICATIONS
+from repro.extract import RegionTracer
+
+
+@pytest.fixture(scope="module", params=ALL_APPLICATIONS, ids=lambda c: c.name)
+def app(request):
+    return request.param()
+
+
+class TestDistributionInvariance:
+    def test_execution_path_stable_across_problems(self, app):
+        """All problems from the generator take the same traced path
+        (same statement multiset), up to data-dependent iteration counts."""
+        tracer = RegionTracer(app.region_fn)
+        stmt_sets = set()
+        for problem in app.generate_problems(4, np.random.default_rng(0)):
+            _, trace = tracer.trace(**problem)
+            stmt_sets.add(frozenset(s for s, _ in trace.flatten()))
+        # identical statement *sets* (counts may differ for solvers)
+        assert len(stmt_sets) == 1
+
+    def test_io_classification_stable_across_problems(self, app):
+        from repro.extract import build_dddg, classify_io, get_region_spec
+
+        tracer = RegionTracer(app.region_fn)
+        live = frozenset(get_region_spec(app.region_fn).live_after)
+        classifications = set()
+        for problem in app.generate_problems(3, np.random.default_rng(1)):
+            _, trace = tracer.trace(**problem)
+            io = classify_io(build_dddg(trace), problem, live)
+            classifications.add((io.inputs, io.outputs))
+        assert len(classifications) == 1
+
+    def test_training_and_evaluation_scales_match(self, app):
+        """Acquired sample inputs and evaluation problems overlap in range."""
+        acq = app.acquire(n_samples=25, rng=np.random.default_rng(2))
+        eval_problems = app.generate_problems(25, np.random.default_rng(3))
+        eval_x = np.array(
+            [acq.input_schema.flatten(p) for p in eval_problems]
+        )
+        train_span = acq.x.max() - acq.x.min()
+        # evaluation features stay within a modest factor of the training box
+        assert eval_x.min() >= acq.x.min() - 0.75 * train_span
+        assert eval_x.max() <= acq.x.max() + 0.75 * train_span
+
+    def test_qoi_spread_is_moderate(self, app):
+        """The QoI varies across problems but not wildly (one distribution)."""
+        qois = [
+            app.run_exact(p).qoi
+            for p in app.generate_problems(12, np.random.default_rng(4))
+        ]
+        qois = np.abs(np.array(qois))
+        assert qois.max() / max(qois.min(), 1e-12) < 100.0

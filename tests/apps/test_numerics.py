@@ -1,0 +1,301 @@
+"""Numerical correctness of each application's replaced kernel."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AMGApplication,
+    BlackscholesApplication,
+    CannealApplication,
+    CGApplication,
+    FFTApplication,
+    FluidanimateApplication,
+    LaghosApplication,
+    MGApplication,
+    MiniQMCApplication,
+    StreamclusterApplication,
+    X264Application,
+    annealing,
+    blk_schls_eq_euro_no_div,
+    cg_solver,
+    determinant,
+    dimension_reduction,
+    encode_frame,
+    fft_solver,
+    mg_solver,
+    ns_equation,
+    pcg_solver,
+    solve_velocity,
+    ssim,
+)
+from repro.sparse import from_dense
+
+
+class TestCG:
+    def test_solves_system(self, rng):
+        app = CGApplication()
+        p = app.example_problem(rng)
+        x, iters = cg_solver(**p)
+        assert np.allclose(app.matrix.matvec(x), p["b"], atol=1e-6)
+        assert 0 < iters <= p["max_iters"]
+
+    def test_zero_rhs_gives_zero(self):
+        app = CGApplication()
+        x, iters = cg_solver(app.matrix, np.zeros(app.n), np.zeros(app.n), 10, 1e-10)
+        assert np.allclose(x, 0.0)
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_matches_numpy_fft(self, n, rng):
+        re = rng.standard_normal(n)
+        im = rng.standard_normal(n)
+        re_out, im_out = fft_solver(re, im)
+        expected = np.fft.fft(re + 1j * im)
+        assert np.allclose(re_out + 1j * im_out, expected, atol=1e-9)
+
+    def test_linearity(self, rng):
+        re1, im1 = rng.standard_normal(16), rng.standard_normal(16)
+        re2, im2 = rng.standard_normal(16), rng.standard_normal(16)
+        sum_out = fft_solver(re1 + re2, im1 + im2)
+        a = fft_solver(re1, im1)
+        b = fft_solver(re2, im2)
+        assert np.allclose(sum_out[0], a[0] + b[0])
+
+    def test_parseval(self, rng):
+        re = rng.standard_normal(32)
+        re_out, im_out = fft_solver(re, np.zeros(32))
+        assert np.sum(re**2) * 32 == pytest.approx(np.sum(re_out**2 + im_out**2))
+
+
+class TestMG:
+    def test_residual_decreases_with_cycles(self, rng):
+        app = MGApplication()
+        p = app.example_problem(rng)
+        _, r1 = mg_solver(p["b"], p["u0"], 1, p["sweeps"], p["omega"])
+        _, r3 = mg_solver(p["b"], p["u0"], 3, p["sweeps"], p["omega"])
+        assert r3 < r1
+
+    def test_converges_toward_solution(self, rng):
+        app = MGApplication()
+        p = app.example_problem(rng)
+        u, res = mg_solver(p["b"], p["u0"], 20, 3, p["omega"])
+        assert res < 0.05 * np.linalg.norm(p["b"]) / np.sqrt(app.n)
+
+
+class TestBlackscholes:
+    def test_put_call_parity(self, rng):
+        n = 16
+        app = BlackscholesApplication(n_options=n)
+        p = app.example_problem(rng)
+        calls = blk_schls_eq_euro_no_div(
+            p["spot"], p["strike"], p["rate"], p["volatility"], p["expiry"],
+            np.zeros(n),
+        )
+        puts = blk_schls_eq_euro_no_div(
+            p["spot"], p["strike"], p["rate"], p["volatility"], p["expiry"],
+            np.ones(n),
+        )
+        parity = calls - puts
+        expected = p["spot"] - p["strike"] * np.exp(-p["rate"] * p["expiry"])
+        assert np.allclose(parity, expected, atol=2e-3)  # CNDF polynomial error
+
+    def test_call_price_bounds(self, rng):
+        app = BlackscholesApplication()
+        p = app.example_problem(rng)
+        calls = blk_schls_eq_euro_no_div(
+            p["spot"], p["strike"], p["rate"], p["volatility"], p["expiry"],
+            np.zeros(app.n),
+        )
+        intrinsic = np.maximum(
+            p["spot"] - p["strike"] * np.exp(-p["rate"] * p["expiry"]), 0.0
+        )
+        assert np.all(calls >= intrinsic - 2e-3)
+        assert np.all(calls <= p["spot"] + 1e-9)
+
+    def test_deep_itm_call_approaches_forward(self):
+        price = blk_schls_eq_euro_no_div(
+            np.array([1000.0]), np.array([1.0]), np.array([0.0]),
+            np.array([0.2]), np.array([1.0]), np.array([0.0]),
+        )
+        assert price[0] == pytest.approx(999.0, abs=0.5)
+
+
+class TestCanneal:
+    def test_cost_tracking_matches_recomputation(self, rng):
+        app = CannealApplication()
+        p = app.example_problem(rng)
+        cost, positions = annealing(**p)
+        dx = np.abs(positions[:, 0][:, None] - positions[:, 0][None, :])
+        dy = np.abs(positions[:, 1][:, None] - positions[:, 1][None, :])
+        truth = float(np.sum(p["weights"] * (dx + dy)) / 2.0)
+        assert cost == pytest.approx(truth, rel=1e-9)
+
+    def test_annealing_never_worse_than_initial(self, rng):
+        app = CannealApplication()
+        p = app.example_problem(rng)
+        cost, _ = annealing(**p)
+        dx = np.abs(p["positions0"][:, 0][:, None] - p["positions0"][:, 0][None, :])
+        dy = np.abs(p["positions0"][:, 1][:, None] - p["positions0"][:, 1][None, :])
+        initial = float(np.sum(p["weights"] * (dx + dy)) / 2.0)
+        assert cost <= initial + 1e-9
+
+    def test_positions_are_permutation_of_initial(self, rng):
+        app = CannealApplication()
+        p = app.example_problem(rng)
+        _, positions = annealing(**p)
+        original = {tuple(row) for row in p["positions0"]}
+        final = {tuple(row) for row in positions}
+        assert original == final
+
+
+class TestFluidanimate:
+    def test_projection_reduces_divergence(self, rng):
+        app = FluidanimateApplication()
+        p = app.example_problem(rng)
+        u_out, v_out = ns_equation(**p)
+
+        def div(u, v):
+            return 0.5 * (
+                np.roll(u, -1, axis=1) - np.roll(u, 1, axis=1)
+                + np.roll(v, -1, axis=0) - np.roll(v, 1, axis=0)
+            )
+
+        before = np.abs(div(p["u"], p["v"])).mean()
+        after = np.abs(div(u_out, v_out)).mean()
+        assert after < before
+
+    def test_zero_velocity_is_fixed_point(self):
+        app = FluidanimateApplication()
+        z = np.zeros((app.n, app.n))
+        u_out, v_out = ns_equation(z, z, app.dt, app.jacobi_iters)
+        assert np.allclose(u_out, 0.0)
+        assert np.allclose(v_out, 0.0)
+
+
+class TestStreamcluster:
+    def test_reduced_shape(self, rng):
+        app = StreamclusterApplication()
+        p = app.example_problem(rng)
+        reduced = dimension_reduction(**p)
+        assert reduced.shape == (app.m, app.k)
+
+    def test_captures_dominant_variance(self, rng):
+        app = StreamclusterApplication()
+        p = app.example_problem(rng)
+        reduced = dimension_reduction(**p)
+        # the sketch must retain most of the data's energy
+        total = np.sum(p["points"] ** 2)
+        kept = np.sum(reduced**2)
+        assert kept > 0.5 * total
+
+
+class TestX264:
+    def test_reconstruction_close_to_frame(self, rng):
+        app = X264Application()
+        p = app.example_problem(rng)
+        recon = encode_frame(**p)
+        err = np.abs(recon - p["frame"]).mean()
+        assert err < 0.1
+
+    def test_finer_qp_reconstructs_better(self, rng):
+        app = X264Application()
+        p = app.example_problem(rng)
+        coarse = encode_frame(p["frame"], p["previous"], 0.5)
+        fine = encode_frame(p["frame"], p["previous"], 0.01)
+        assert np.abs(fine - p["frame"]).mean() < np.abs(coarse - p["frame"]).mean()
+
+    def test_ssim_identity_is_one(self, rng):
+        frame = rng.random((8, 8))
+        assert ssim(frame, frame) == pytest.approx(1.0)
+
+    def test_ssim_decreases_with_noise(self, rng):
+        frame = rng.random((8, 8))
+        noisy = frame + 0.5 * rng.standard_normal((8, 8))
+        assert ssim(frame, noisy) < ssim(frame, frame + 0.01)
+
+
+class TestMiniQMC:
+    def test_logdet_matches_numpy(self, rng):
+        app = MiniQMCApplication()
+        p = app.example_problem(rng)
+        logdet, sign = determinant(**p)
+        expected_sign, expected_logdet = np.linalg.slogdet(p["M"])
+        assert logdet == pytest.approx(expected_logdet, rel=1e-9)
+        assert sign == pytest.approx(expected_sign)
+
+    def test_identity_matrix(self):
+        logdet, sign = determinant(np.eye(5))
+        assert logdet == pytest.approx(0.0, abs=1e-12)
+        assert sign == 1.0
+
+    def test_permutation_sign(self):
+        m = np.eye(4)[[1, 0, 2, 3]]  # one row swap: det = -1
+        logdet, sign = determinant(m)
+        assert sign == -1.0
+        assert logdet == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAMG:
+    def test_pcg_solves_poisson(self, rng):
+        app = AMGApplication()
+        p = app.example_problem(rng)
+        x, iters = pcg_solver(**p)
+        assert np.allclose(app.matrix.matvec(x), p["b"], atol=1e-6)
+
+    def test_preconditioning_reduces_iterations(self, rng):
+        app = AMGApplication()
+        p = app.example_problem(rng)
+        _, iters_pcg = pcg_solver(**p)
+        p_plain = dict(p)
+        p_plain["inv_diag"] = np.ones(app.n)  # identity preconditioner
+        _, iters_plain = pcg_solver(**p_plain)
+        assert iters_pcg <= iters_plain
+
+    def test_address_stream_nonempty(self, rng):
+        app = AMGApplication()
+        p = app.example_problem(rng)
+        run = app.run_exact(p)
+        stream = app.solver_address_stream(run.outputs)
+        assert stream.size > 100
+
+
+class TestLaghos:
+    def test_momentum_conservation_free_flow(self):
+        # uniform pressure, no compression: forces vanish, velocity unchanged
+        app = LaghosApplication()
+        n = app.n
+        v = np.full(n + 1, 0.3)
+        p = np.full(n, 1.0)
+        rho = np.full(n, 1.0)
+        v_new = solve_velocity(v, p, app.x_nodes, rho, app.dt, app.visc_coeff)
+        assert np.allclose(v_new, v)
+
+    def test_shock_accelerates_interface(self, rng):
+        app = LaghosApplication()
+        p = app.example_problem(rng)
+        v_new = solve_velocity(**p)
+        mid = app.n // 2
+        # high pressure on the left pushes the interface right
+        assert v_new[mid] > p["v"][mid]
+
+    def test_thomas_solve_correct(self, rng):
+        # reconstruct the tridiagonal system and verify the velocity solve
+        app = LaghosApplication(n_zones=8)
+        prob = app.example_problem(rng)
+        v_new = solve_velocity(**prob)
+        dv = v_new - prob["v"]
+        n = app.n
+        dx = app.x_nodes[1:] - app.x_nodes[:-1]
+        m_zone = prob["rho"] * dx
+        diag = np.zeros(n + 1)
+        diag[:-1] += m_zone / 3.0
+        diag[1:] += m_zone / 3.0
+        off = m_zone / 6.0
+        m = np.diag(diag) + np.diag(off, 1) + np.diag(off, -1)
+        dvc = prob["v"][1:] - prob["v"][:-1]
+        q = np.where(dvc < 0, prob["visc_coeff"] * prob["rho"] * dvc * dvc, 0.0)
+        ptot = prob["p"] + q
+        force = np.zeros(n + 1)
+        force[1:-1] = -(ptot[1:] - ptot[:-1])
+        assert np.allclose(m @ dv, prob["dt"] * force, atol=1e-10)

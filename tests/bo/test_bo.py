@@ -1,0 +1,206 @@
+"""Gaussian process, acquisition and optimizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bo import (
+    BayesianOptimizer,
+    GaussianProcess,
+    Observation,
+    constrained_expected_improvement,
+    expected_improvement,
+    grid_search,
+    lower_confidence_bound,
+    probability_feasible,
+    probability_of_improvement,
+    random_search,
+    rbf_kernel,
+)
+
+
+class TestKernel:
+    def test_diagonal_is_variance(self, rng):
+        x = rng.standard_normal((5, 2))
+        k = rbf_kernel(x, x, 1.0, 2.5)
+        assert np.allclose(np.diag(k), 2.5)
+
+    def test_symmetry(self, rng):
+        x = rng.standard_normal((5, 2))
+        k = rbf_kernel(x, x, 1.0, 1.0)
+        assert np.allclose(k, k.T)
+
+    def test_positive_semidefinite(self, rng):
+        x = rng.standard_normal((8, 3))
+        k = rbf_kernel(x, x, 1.0, 1.0)
+        assert np.all(np.linalg.eigvalsh(k) > -1e-9)
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0]])
+        assert rbf_kernel(a, np.array([[3.0]]), 1.0, 1.0) < rbf_kernel(
+            a, np.array([[0.5]]), 1.0, 1.0
+        )
+
+    def test_invalid_hyperparams_rejected(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), 0.0, 1.0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_smooth_function(self, rng):
+        x = rng.uniform(-3, 3, (30, 1))
+        y = np.sin(x).ravel()
+        gp = GaussianProcess().fit(x, y)
+        xt = np.linspace(-2.5, 2.5, 40)[:, None]
+        mean, std = gp.predict(xt)
+        assert np.abs(mean - np.sin(xt).ravel()).max() < 0.1
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        x = rng.uniform(-1, 1, (15, 1))
+        gp = GaussianProcess().fit(x, np.sin(x).ravel())
+        _, std_near = gp.predict(np.array([[0.0]]))
+        _, std_far = gp.predict(np.array([[10.0]]))
+        assert std_far > std_near
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+
+    def test_constant_target_handled(self, rng):
+        x = rng.standard_normal((10, 2))
+        gp = GaussianProcess().fit(x, np.full(10, 3.0))
+        mean, _ = gp.predict(x[:3])
+        assert np.allclose(mean, 3.0, atol=1e-6)
+
+    def test_log_marginal_likelihood_finite(self, rng):
+        x = rng.standard_normal((12, 2))
+        gp = GaussianProcess().fit(x, rng.standard_normal(12))
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+    def test_mismatched_rows_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 1)), np.zeros(4))
+
+
+class TestAcquisitions:
+    def test_ei_nonnegative(self, rng):
+        ei = expected_improvement(rng.standard_normal(20), rng.random(20) + 0.1, 0.0)
+        assert np.all(ei >= 0)
+
+    def test_ei_prefers_lower_mean(self):
+        ei = expected_improvement(np.array([0.0, 1.0]), np.array([0.1, 0.1]), 2.0)
+        assert ei[0] > ei[1]
+
+    def test_ei_prefers_higher_std_at_same_mean(self):
+        ei = expected_improvement(np.array([1.0, 1.0]), np.array([0.01, 1.0]), 1.0)
+        assert ei[1] > ei[0]
+
+    def test_pi_bounds(self, rng):
+        pi = probability_of_improvement(rng.standard_normal(50), rng.random(50) + 0.1, 0.0)
+        assert np.all((pi >= 0) & (pi <= 1))
+
+    def test_lcb_monotone_in_kappa(self):
+        mean, std = np.array([1.0]), np.array([0.5])
+        assert lower_confidence_bound(mean, std, 3.0) > lower_confidence_bound(mean, std, 1.0)
+
+    def test_feasibility_probability(self):
+        p = probability_feasible(np.array([0.0, 10.0]), np.array([1.0, 1.0]), 0.5)
+        assert p[0] > 0.5 and p[1] < 0.01
+
+    def test_constrained_ei_zero_when_infeasible(self):
+        cei = constrained_expected_improvement(
+            np.array([0.0]), np.array([0.5]), 1.0,
+            c_mean=np.array([100.0]), c_std=np.array([0.1]), threshold=0.0,
+        )
+        assert cei[0] < 1e-10
+
+
+class TestBayesianOptimizer:
+    def test_unconstrained_finds_minimum(self):
+        opt = BayesianOptimizer(init_samples=3, rng=np.random.default_rng(0))
+        best = opt.minimize(
+            lambda v: ((v[0] - 1.5) ** 2, None),
+            lambda r: np.array([r.uniform(-4, 4)]),
+            25,
+            pool_size=64,
+        )
+        assert abs(best.x[0] - 1.5) < 0.3
+
+    def test_constrained_respects_threshold(self):
+        opt = BayesianOptimizer(threshold=0.0, init_samples=3, rng=np.random.default_rng(1))
+        best = opt.minimize(
+            lambda v: ((v[0] - 2.0) ** 2, 1.0 - v[0]),
+            lambda r: np.array([r.uniform(-4, 4)]),
+            30,
+            pool_size=64,
+        )
+        assert best is not None and best.constraint <= 0.0
+
+    def test_outperforms_random_search_on_average(self):
+        def evaluate(v):
+            return float(np.sum((v - 0.7) ** 2)), None
+
+        def sample(r):
+            return r.uniform(-2, 2, size=3)
+
+        bo_scores, rs_scores = [], []
+        for seed in range(3):
+            opt = BayesianOptimizer(init_samples=4, rng=np.random.default_rng(seed))
+            bo_scores.append(opt.minimize(evaluate, sample, 25).objective)
+            best, _ = random_search(evaluate, sample, 25, rng=np.random.default_rng(seed))
+            rs_scores.append(best.objective)
+        assert np.mean(bo_scores) <= np.mean(rs_scores)
+
+    def test_best_none_when_all_infeasible(self):
+        opt = BayesianOptimizer(threshold=-1.0, init_samples=1)
+        opt.tell([0.0], 1.0, 5.0)
+        assert opt.best is None
+
+    def test_constrained_tell_requires_constraint(self):
+        opt = BayesianOptimizer(threshold=0.5)
+        with pytest.raises(ValueError):
+            opt.tell([0.0], 1.0)
+
+    def test_ask_empty_pool_rejected(self):
+        opt = BayesianOptimizer()
+        with pytest.raises(ValueError):
+            opt.ask(np.empty((0, 2)))
+
+    def test_observation_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            Observation((0.0,), float("nan"))
+
+
+class TestSearchBaselines:
+    def test_grid_search_exhaustive(self):
+        best, history = grid_search(
+            lambda v: (float(v[0] ** 2 + v[1] ** 2), None),
+            [[-1, 0, 1], [-1, 0, 1]],
+        )
+        assert len(history) == 9
+        assert best.objective == 0.0
+
+    def test_grid_search_max_evaluations(self):
+        _, history = grid_search(
+            lambda v: (float(v[0]), None), [list(range(100))], max_evaluations=5
+        )
+        assert len(history) == 5
+
+    def test_grid_search_threshold(self):
+        best, _ = grid_search(
+            lambda v: (float(v[0] ** 2), float(-v[0])),
+            [[-2, -1, 0, 1, 2]],
+            threshold=-0.5,
+        )
+        assert best.x[0] >= 1  # constraint -x <= -0.5 means x >= 0.5
+
+    def test_grid_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda v: (0.0, None), [[]])
+
+    def test_random_search_deterministic_with_seed(self):
+        fn = lambda v: (float(v[0] ** 2), None)
+        sample = lambda r: np.array([r.uniform(-1, 1)])
+        b1, _ = random_search(fn, sample, 10, rng=np.random.default_rng(3))
+        b2, _ = random_search(fn, sample, 10, rng=np.random.default_rng(3))
+        assert b1.x == b2.x

@@ -1,0 +1,91 @@
+"""GP and acquisition edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bo import (
+    BayesianOptimizer,
+    GaussianProcess,
+    expected_improvement,
+    probability_feasible,
+)
+
+
+class TestGPEdgeCases:
+    def test_single_observation(self):
+        gp = GaussianProcess().fit(np.array([[0.5]]), np.array([2.0]))
+        mean, std = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_duplicate_points_handled(self, rng):
+        x = np.vstack([np.ones((5, 2)), np.zeros((5, 2))])
+        y = np.concatenate([np.ones(5), np.zeros(5)])
+        gp = GaussianProcess().fit(x, y)
+        mean, _ = gp.predict(np.ones((1, 2)))
+        assert mean[0] == pytest.approx(1.0, abs=0.2)
+
+    def test_constant_feature_column(self, rng):
+        x = np.column_stack([np.full(10, 3.0), rng.standard_normal(10)])
+        gp = GaussianProcess().fit(x, x[:, 1])
+        mean, _ = gp.predict(x[:3])
+        assert np.all(np.isfinite(mean))
+
+    def test_wide_output_scale(self, rng):
+        x = rng.standard_normal((15, 1))
+        y = 1e8 * np.sin(x).ravel()
+        gp = GaussianProcess().fit(x, y)
+        mean, std = gp.predict(x[:5])
+        assert np.allclose(mean, y[:5], rtol=0.2)
+        assert np.all(std >= 0)
+
+    def test_refit_replaces_state(self, rng):
+        gp = GaussianProcess()
+        gp.fit(rng.standard_normal((8, 1)), rng.standard_normal(8))
+        gp.fit(np.array([[0.0]]), np.array([7.0]))
+        mean, _ = gp.predict(np.array([[0.0]]))
+        assert mean[0] == pytest.approx(7.0, abs=0.5)
+
+
+class TestAcquisitionEdgeCases:
+    def test_ei_zero_std_at_worse_mean(self):
+        ei = expected_improvement(np.array([5.0]), np.array([0.0]), best=1.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ei_zero_std_at_better_mean(self):
+        ei = expected_improvement(np.array([0.0]), np.array([0.0]), best=1.0)
+        assert ei[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_feasibility_at_threshold_is_half(self):
+        p = probability_feasible(np.array([0.5]), np.array([1.0]), threshold=0.5)
+        assert p[0] == pytest.approx(0.5)
+
+
+class TestOptimizerEdgeCases:
+    def test_warmup_phase_is_random_choice(self):
+        opt = BayesianOptimizer(init_samples=5, rng=np.random.default_rng(0))
+        pool = np.arange(10.0)[:, None]
+        picks = {opt.ask(pool) for _ in range(20)}
+        assert len(picks) > 1  # random, not a fixed argmax
+
+    def test_single_candidate_pool(self):
+        opt = BayesianOptimizer(init_samples=1)
+        assert opt.ask(np.array([[1.0]])) == 0
+
+    def test_best_updates_with_feasible_improvement(self):
+        opt = BayesianOptimizer(threshold=1.0)
+        opt.tell([0.0], 5.0, 0.5)
+        opt.tell([1.0], 3.0, 0.5)
+        opt.tell([2.0], 4.0, 2.0)   # infeasible, better ignored
+        assert opt.best.objective == 3.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(3, 20))
+def test_gp_posterior_interpolates_training_points(seed, n):
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(-2, 2, n))[:, None]
+    y = np.cos(x).ravel()
+    gp = GaussianProcess(noises=(1e-8, 1e-6)).fit(x, y)
+    mean, _ = gp.predict(x)
+    assert np.allclose(mean, y, atol=0.05)

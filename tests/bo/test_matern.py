@@ -1,0 +1,47 @@
+"""Matern-5/2 kernel and kernel-selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.bo import GaussianProcess, matern52_kernel, rbf_kernel
+
+
+class TestMaternKernel:
+    def test_diagonal_is_variance(self, rng):
+        x = rng.standard_normal((5, 2))
+        assert np.allclose(np.diag(matern52_kernel(x, x, 1.0, 2.0)), 2.0)
+
+    def test_positive_semidefinite(self, rng):
+        x = rng.standard_normal((10, 3))
+        k = matern52_kernel(x, x, 1.0, 1.0)
+        assert np.all(np.linalg.eigvalsh(k) > -1e-9)
+
+    def test_heavier_tails_than_rbf(self):
+        a = np.array([[0.0]])
+        b = np.array([[4.0]])
+        assert matern52_kernel(a, b, 1.0, 1.0) > rbf_kernel(a, b, 1.0, 1.0)
+
+    def test_invalid_hyperparams_rejected(self):
+        with pytest.raises(ValueError):
+            matern52_kernel(np.zeros((1, 1)), np.zeros((1, 1)), -1.0, 1.0)
+
+
+class TestKernelSelection:
+    def test_matern_gp_interpolates(self, rng):
+        x = rng.uniform(-3, 3, (30, 1))
+        y = np.sin(x).ravel()
+        gp = GaussianProcess(kernel="matern52").fit(x, y)
+        mean, _ = gp.predict(np.linspace(-2.5, 2.5, 30)[:, None])
+        assert np.abs(mean - np.sin(np.linspace(-2.5, 2.5, 30))).max() < 0.15
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(kernel="periodic")
+
+    def test_kernels_give_different_posteriors(self, rng):
+        x = rng.uniform(-2, 2, (12, 1))
+        y = np.abs(x).ravel()           # non-smooth target
+        q = np.array([[0.31]])
+        m_rbf, _ = GaussianProcess(kernel="rbf").fit(x, y).predict(q)
+        m_mat, _ = GaussianProcess(kernel="matern52").fit(x, y).predict(q)
+        assert m_rbf[0] != m_mat[0]

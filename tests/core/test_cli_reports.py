@@ -1,0 +1,80 @@
+"""CLI and report-formatting tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.reports import (
+    format_build_report,
+    format_evaluation_table,
+    format_phase_table,
+)
+from repro.core.evaluation import EvaluationRow
+from repro.perf.metrics import SpeedupBreakdown
+
+
+def make_row(name="CG", speedup=3.0, hit=0.95):
+    b = SpeedupBreakdown(10.0, 0.5, 0.5, 2.0)
+    return EvaluationRow(
+        app_name=name, app_type="I", speedup=speedup, hit_rate=hit,
+        breakdown=b, measured_speedup=1.2, n_problems=10, mu=0.1,
+    )
+
+
+class TestReports:
+    def test_evaluation_table_contains_rows_and_hmean(self):
+        text = format_evaluation_table([make_row("CG"), make_row("FFT", 6.0)])
+        assert "CG" in text and "FFT" in text
+        assert "harmonic mean" in text
+
+    def test_evaluation_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_evaluation_table([])
+
+    def test_phase_table(self):
+        text = format_phase_table(
+            {"simulated": {"fetch": 0.2, "run": 0.8},
+             "measured": {"fetch": 0.3, "run": 0.7}}
+        )
+        assert "simulated" in text and "measured" in text
+        assert "fetch" in text and "run" in text
+
+    def test_phase_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_phase_table({})
+
+
+class TestCLIParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["list-apps"]).command == "list-apps"
+        args = parser.parse_args(["trace", "CG", "--samples", "5"])
+        assert args.app == "CG" and args.samples == 5
+        args = parser.parse_args(
+            ["build", "FFT", "--samples", "100", "--outer", "1", "--inner", "2"]
+        )
+        assert args.outer == 1
+        args = parser.parse_args(["evaluate", "MG", "--problems", "7"])
+        assert args.problems == 7
+        args = parser.parse_args(["compare", "FFT", "--problems", "5"])
+        assert args.command == "compare" and args.problems == 5
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCLIExecution:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Blackscholes" in out and "Laghos" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "Laghos", "--samples", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "inputs:" in out and "outputs:" in out
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError):
+            main(["trace", "doom"])

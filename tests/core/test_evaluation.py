@@ -1,0 +1,70 @@
+"""Evaluation-harness unit tests (Fig. 5 protocol mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro import AutoHPCnet, AutoHPCnetConfig, evaluate_surrogate
+from repro.apps import LaghosApplication
+
+FAST = AutoHPCnetConfig(
+    n_samples=120, outer_iterations=1, inner_trials=2, num_epochs=40,
+    quality_problems=4, quality_loss=0.9, qoi_mu=0.5, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def laghos_build():
+    return AutoHPCnet(FAST).build(LaghosApplication())
+
+
+class TestEvaluateSurrogate:
+    def test_deterministic_given_rng(self, laghos_build):
+        a = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=10, rng=np.random.default_rng(5)
+        )
+        b = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=10, rng=np.random.default_rng(5)
+        )
+        assert a.speedup == b.speedup
+        assert a.hit_rate == b.hit_rate
+
+    def test_stricter_mu_never_raises_hit_rate(self, laghos_build):
+        loose = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=15, mu=0.5,
+            rng=np.random.default_rng(1),
+        )
+        strict = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=15, mu=0.01,
+            rng=np.random.default_rng(1),
+        )
+        assert strict.hit_rate <= loose.hit_rate
+
+    def test_transfer_blowup_lowers_speedup(self, laghos_build):
+        base = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=8, rng=np.random.default_rng(2)
+        )
+        inflated = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=8, rng=np.random.default_rng(2),
+            transfer_blowup=1000.0,
+        )
+        assert inflated.speedup < base.speedup
+        assert inflated.breakdown.t_data_load > base.breakdown.t_data_load
+
+    def test_breakdown_terms_consistent(self, laghos_build):
+        row = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=5, rng=np.random.default_rng(3)
+        )
+        b = row.breakdown
+        assert row.speedup == pytest.approx(b.value)
+        assert b.t_original == pytest.approx(b.t_numerical_solver + b.t_other)
+
+    def test_zero_problems_rejected(self, laghos_build):
+        with pytest.raises(ValueError):
+            evaluate_surrogate(laghos_build.surrogate, n_problems=0)
+
+    def test_row_format_readable(self, laghos_build):
+        row = evaluate_surrogate(
+            laghos_build.surrogate, n_problems=5, rng=np.random.default_rng(4)
+        )
+        text = row.format()
+        assert "Laghos" in text and "speedup" in text and "HitRate" in text

@@ -1,0 +1,73 @@
+"""Shared region functions for extractor tests.
+
+They live in a real module (not a test body) because the tracer needs
+``inspect.getsource`` to work.
+"""
+
+import numpy as np
+
+from repro.extract import code_region
+
+
+@code_region(name="saxpy", live_after=("y",))
+def saxpy(a, x, y0):
+    y = y0 + a * x
+    return y
+
+
+@code_region(name="loop_sum", live_after=("total",))
+def loop_sum(values, n):
+    total = 0.0
+    for i in range(n):
+        total = total + values[i]
+    return total
+
+
+@code_region(name="pcg_like", live_after=("x",))
+def pcg_like(A, b, x0, iters, tol):
+    x = x0.copy()
+    r = b - A @ x
+    p = r.copy()
+    rs = r @ r
+    for i in range(iters):
+        Ap = A @ p
+        alpha = rs / (p @ Ap)
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rs_new = r @ r
+        if rs_new < tol:
+            break
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x
+
+
+@code_region(name="branchy", live_after=("out",))
+def branchy(x, flag):
+    if flag > 0:
+        out = x * 2.0
+    else:
+        out = x - 1.0
+    return out
+
+
+@code_region(name="nested_loops", live_after=("acc",))
+def nested_loops(matrix, reps):
+    acc = 0.0
+    for r in range(reps):
+        for i in range(matrix.shape[0]):
+            acc = acc + matrix[i, 0]
+    return acc
+
+
+@code_region(name="two_outputs", live_after=("u", "s"))
+def two_outputs(a, b):
+    u = a + b
+    s = float((a * b).sum())
+    internal = u * 2.0
+    del internal
+    return u, s
+
+
+def undecorated(x):
+    return x + 1

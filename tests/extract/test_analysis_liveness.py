@@ -1,0 +1,113 @@
+"""Static-analysis and liveness tests."""
+
+import ast
+
+import pytest
+
+from repro.extract import analyze_statement, count_ops, live_in, names_read
+
+
+def stmt(source: str) -> ast.stmt:
+    return ast.parse(source).body[0]
+
+
+class TestAnalyzeStatement:
+    def test_simple_assign(self):
+        info = analyze_statement(stmt("y = a + b"), 0)
+        assert info.kind == "assign"
+        assert info.reads == frozenset({"a", "b"})
+        assert info.writes == frozenset({"y"})
+
+    def test_augassign_reads_and_writes_target(self):
+        info = analyze_statement(stmt("y += a"), 0)
+        assert "y" in info.reads and "y" in info.writes
+        assert "a" in info.reads
+
+    def test_subscript_read_groups_to_array(self):
+        info = analyze_statement(stmt("y = arr[i] + arr[j]"), 0)
+        assert "arr" in info.arrays_read
+        assert {"i", "j"} <= info.reads
+
+    def test_subscript_write_is_read_modify_write(self):
+        info = analyze_statement(stmt("arr[i] = v"), 0)
+        assert "arr" in info.arrays_written
+        assert "arr" in info.reads  # element write reads the array object
+
+    def test_tuple_unpacking(self):
+        info = analyze_statement(stmt("a, b = f(x)"), 0)
+        assert info.writes == frozenset({"a", "b"})
+        assert {"f", "x"} <= info.reads
+
+    def test_method_call_reads_receiver(self):
+        info = analyze_statement(stmt("y = A.matvec(p)"), 0)
+        assert {"A", "p"} <= info.reads
+
+    def test_for_header(self):
+        info = analyze_statement(stmt("for i in range(n):\n    pass"), 0)
+        assert info.kind == "for"
+        assert "n" in info.reads
+        assert "i" in info.writes
+
+    def test_while_header(self):
+        info = analyze_statement(stmt("while x < 3:\n    pass"), 0)
+        assert info.kind == "while"
+        assert "x" in info.reads
+
+    def test_if_header(self):
+        info = analyze_statement(stmt("if cond:\n    pass"), 0)
+        assert info.kind == "if"
+        assert "cond" in info.reads
+
+    def test_return_reads_value(self):
+        info = analyze_statement(stmt("return x + y"), 0)
+        assert info.kind == "return"
+        assert {"x", "y"} <= info.reads
+
+    def test_op_count(self):
+        info = analyze_statement(stmt("y = a * b + c - d"), 0)
+        assert info.op_count == 3
+
+    def test_names_read_helper(self):
+        assert names_read(ast.parse("a + b[c]", mode="eval").body) >= {"a", "b", "c"}
+
+    def test_count_ops_helper(self):
+        assert count_ops(ast.parse("a*b + c", mode="eval").body) == 2
+
+
+class TestLiveness:
+    def test_read_variable_is_live(self):
+        assert "x" in live_in("print(x)")
+
+    def test_overwritten_variable_not_live(self):
+        assert "y" not in live_in("y = 1\nprint(y)")
+
+    def test_read_then_written_is_live(self):
+        assert "z" in live_in("z = z + 1\nprint(z)")
+
+    def test_live_through_if_branches(self):
+        src = "if c:\n    print(a)\nelse:\n    print(b)"
+        live = live_in(src)
+        assert {"a", "b", "c"} <= live
+
+    def test_defined_in_one_branch_still_live_via_other(self):
+        # v is killed in the if-branch but read directly in the else-branch
+        src = "if c:\n    v = 1\nprint(v)"
+        assert "v" in live_in(src)
+
+    def test_loop_body_uses_are_live(self):
+        src = "for i in range(3):\n    total = total + data[i]\nprint(total)"
+        live = live_in(src)
+        assert "data" in live and "total" in live
+        assert "i" not in live  # defined by the loop itself
+
+    def test_array_element_write_keeps_array_live(self):
+        assert "arr" in live_in("arr[0] = 1.0\nprint(arr)")
+
+    def test_empty_continuation(self):
+        assert live_in("") == frozenset()
+
+    def test_function_defs_skipped(self):
+        src = "def helper(q):\n    return q\nprint(helper(w))"
+        live = live_in(src)
+        assert "w" in live
+        assert "q" not in live

@@ -1,0 +1,53 @@
+"""Region-directive (annotation) tests."""
+
+import pytest
+
+from repro.extract import RegionSpec, code_region, get_region_spec
+
+
+class TestCodeRegion:
+    def test_attaches_spec(self):
+        @code_region(name="demo", live_after=("out",), description="d")
+        def region(x):
+            out = x + 1
+            return out
+
+        spec = get_region_spec(region)
+        assert spec.name == "demo"
+        assert spec.live_after == ("out",)
+        assert spec.description == "d"
+        assert spec.fn is region
+
+    def test_function_still_callable(self):
+        @code_region(name="demo2", live_after=("y",))
+        def region(x):
+            y = x * 2
+            return y
+
+        assert region(3) == 6
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            @code_region(name="")
+            def region(x):
+                return x
+
+    def test_unannotated_function_rejected(self):
+        def plain(x):
+            return x
+
+        with pytest.raises(ValueError, match="not an annotated code region"):
+            get_region_spec(plain)
+
+    def test_continuation_source_stored(self):
+        @code_region(name="demo3", continuation_source="print(z)")
+        def region(x):
+            z = x
+            return z
+
+        assert get_region_spec(region).continuation_source == "print(z)"
+
+    def test_spec_is_frozen(self):
+        spec = RegionSpec(name="n", fn=lambda: None)
+        with pytest.raises(AttributeError):
+            spec.name = "other"

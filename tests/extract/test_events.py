@@ -1,0 +1,77 @@
+"""Trace event model tests: signatures, flattening, compression accounting."""
+
+import pytest
+
+from repro.extract import LoopTrace, StmtHit, StmtInfo, Trace
+
+
+def info(stmt_id, reads=(), writes=(), kind="assign"):
+    return StmtInfo(
+        stmt_id=stmt_id, lineno=stmt_id, kind=kind,
+        reads=frozenset(reads), writes=frozenset(writes),
+        arrays_read=frozenset(), arrays_written=frozenset(),
+        op_count=1, source=f"s{stmt_id}",
+    )
+
+
+def make_trace(events, ids):
+    return Trace(events=events, stmt_table={i: info(i) for i in ids})
+
+
+class TestSignatures:
+    def test_stmt_hit_signature(self):
+        assert StmtHit(3).signature() == ("s", 3)
+        assert StmtHit(3).signature() != StmtHit(4).signature()
+
+    def test_loop_signature_includes_counts(self):
+        a = LoopTrace(0, [([StmtHit(1)], 2)])
+        b = LoopTrace(0, [([StmtHit(1)], 3)])
+        assert a.signature() != b.signature()
+
+    def test_nested_loop_signature(self):
+        inner = LoopTrace(1, [([StmtHit(2)], 5)])
+        outer_a = LoopTrace(0, [([StmtHit(1), inner], 2)])
+        inner_b = LoopTrace(1, [([StmtHit(2)], 6)])
+        outer_b = LoopTrace(0, [([StmtHit(1), inner_b], 2)])
+        assert outer_a.signature() != outer_b.signature()
+
+
+class TestFlattening:
+    def test_simple_multiplicity(self):
+        loop = LoopTrace(0, [([StmtHit(1)], 4)])
+        trace = make_trace([StmtHit(0), loop], [0, 1])
+        flat = list(trace.flatten())
+        assert flat == [(0, 1), (1, 4)]
+
+    def test_nested_multiplicities_multiply(self):
+        inner = LoopTrace(1, [([StmtHit(2)], 3)])
+        outer = LoopTrace(0, [([StmtHit(1), inner], 5)])
+        trace = make_trace([outer], [1, 2])
+        flat = dict(trace.flatten())
+        assert flat[1] == 5
+        assert flat[2] == 15
+
+    def test_heterogeneous_iterations(self):
+        loop = LoopTrace(0, [([StmtHit(1)], 2), ([StmtHit(1), StmtHit(2)], 1)])
+        trace = make_trace([loop], [1, 2])
+        assert trace.dynamic_length() == 4  # 2*1 + 1*2
+        assert trace.stored_length() == 3
+
+
+class TestAccounting:
+    def test_compression_ratio(self):
+        loop = LoopTrace(0, [([StmtHit(1), StmtHit(2)], 10)])
+        trace = make_trace([loop], [1, 2])
+        assert trace.dynamic_length() == 20
+        assert trace.stored_length() == 2
+        assert trace.compression_ratio() == pytest.approx(10.0)
+
+    def test_empty_trace(self):
+        trace = make_trace([], [])
+        assert trace.dynamic_length() == 0
+        assert trace.compression_ratio() == 1.0
+
+    def test_loop_iteration_counters(self):
+        loop = LoopTrace(0, [([StmtHit(1)], 7), ([StmtHit(2)], 1)])
+        assert loop.total_iterations == 8
+        assert loop.stored_iterations == 2

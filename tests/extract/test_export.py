@@ -1,0 +1,75 @@
+"""DDDG export tests."""
+
+import numpy as np
+import pytest
+
+from repro.extract import (
+    RegionTracer,
+    build_dddg,
+    classify_io,
+    summarize_dddg,
+    to_dot,
+    write_dot,
+)
+
+from . import regions
+
+
+@pytest.fixture
+def pcg_graph(rng):
+    n = 6
+    m = rng.random((n, n))
+    A = m @ m.T + n * np.eye(n)
+    inputs = dict(A=A, b=rng.random(n), x0=np.zeros(n), iters=30, tol=1e-14)
+    _, trace = RegionTracer(regions.pcg_like).trace(**inputs)
+    dddg = build_dddg(trace)
+    io = classify_io(dddg, inputs, {"x"})
+    return dddg, io
+
+
+class TestDotExport:
+    def test_valid_dot_structure(self, pcg_graph):
+        dddg, io = pcg_graph
+        dot = to_dot(dddg, io)
+        assert dot.startswith("digraph dddg {")
+        assert dot.rstrip().endswith("}")
+        assert '"A@0"' in dot
+        assert "->" in dot
+
+    def test_io_styling(self, pcg_graph):
+        dddg, io = pcg_graph
+        dot = to_dot(dddg, io)
+        assert "shape=box" in dot          # inputs
+        assert "shape=doublecircle" in dot  # outputs
+
+    def test_edge_weights_labelled(self, pcg_graph):
+        dddg, io = pcg_graph
+        assert 'label="x' in to_dot(dddg, io)
+
+    def test_truncation(self, pcg_graph):
+        dddg, io = pcg_graph
+        dot = to_dot(dddg, io, max_nodes=5)
+        assert "truncated" in dot
+        node_lines = [l for l in dot.splitlines() if "shape=" in l]
+        assert len(node_lines) <= 5
+
+    def test_write_dot(self, pcg_graph, tmp_path):
+        dddg, io = pcg_graph
+        path = write_dot(dddg, tmp_path / "g.dot", io)
+        assert path.exists()
+        assert path.read_text().startswith("digraph")
+
+
+class TestSummary:
+    def test_summary_mentions_counts_and_io(self, pcg_graph):
+        dddg, io = pcg_graph
+        text = summarize_dddg(dddg, io)
+        assert "nodes" in text and "edges" in text
+        assert "classified inputs" in text
+        assert "x" in text
+
+    def test_summary_without_io(self, pcg_graph):
+        dddg, _ = pcg_graph
+        text = summarize_dddg(dddg)
+        assert "classified inputs" not in text
+        assert "roots" in text

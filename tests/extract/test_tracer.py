@@ -1,0 +1,113 @@
+"""Tracer tests: instrumentation, loop compression, trace accounting."""
+
+import numpy as np
+import pytest
+
+from repro.extract import RegionTracer, StmtHit, LoopTrace
+
+from . import regions
+
+
+class TestBasicTracing:
+    def test_result_matches_uninstrumented(self, rng):
+        x = rng.standard_normal(5)
+        tracer = RegionTracer(regions.saxpy)
+        result, trace = tracer.trace(a=2.0, x=x, y0=np.zeros(5))
+        assert np.allclose(result, regions.saxpy(2.0, x, np.zeros(5)))
+
+    def test_trace_records_statements(self, rng):
+        _, trace = RegionTracer(regions.saxpy).trace(
+            a=1.0, x=rng.standard_normal(3), y0=np.zeros(3)
+        )
+        assert trace.dynamic_length() >= 2  # assignment + return
+
+    def test_stmt_table_has_read_write_sets(self, rng):
+        tracer = RegionTracer(regions.saxpy)
+        _, trace = tracer.trace(a=1.0, x=rng.standard_normal(3), y0=np.zeros(3))
+        infos = list(trace.stmt_table.values())
+        assign = next(i for i in infos if i.kind == "assign")
+        assert {"a", "x", "y0"} <= set(assign.reads)
+        assert "y" in assign.writes
+
+    def test_non_function_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            RegionTracer(42)
+
+    def test_pcg_region_traces(self, rng):
+        n = 8
+        m = rng.random((n, n))
+        A = m @ m.T + n * np.eye(n)
+        b = rng.random(n)
+        result, trace = RegionTracer(regions.pcg_like).trace(
+            A=A, b=b, x0=np.zeros(n), iters=50, tol=1e-18
+        )
+        assert np.allclose(A @ result, b, atol=1e-6)
+        assert trace.dynamic_length() > 20
+
+
+class TestLoopCompression:
+    def test_uniform_loop_compresses_to_one_iteration(self, rng):
+        vals = rng.random(50)
+        _, trace = RegionTracer(regions.loop_sum).trace(values=vals, n=50)
+        # 50 dynamic iterations, ~1 stored
+        assert trace.dynamic_length() > 40
+        assert trace.stored_length() < 12
+        assert trace.compression_ratio() > 5
+
+    def test_compression_preserves_dynamic_count(self, rng):
+        vals = rng.random(20)
+        _, compressed = RegionTracer(regions.loop_sum).trace(values=vals, n=20)
+        _, full = RegionTracer(regions.loop_sum).trace(values=vals, n=20, compress=False)
+        assert compressed.dynamic_length() == full.dynamic_length()
+        assert compressed.stored_length() < full.stored_length()
+
+    def test_flatten_multiplicities_sum_correctly(self, rng):
+        vals = rng.random(10)
+        _, trace = RegionTracer(regions.loop_sum).trace(values=vals, n=10)
+        body_mults = [m for sid, m in trace.flatten()
+                      if "total + values" in trace.stmt_table[sid].source]
+        assert sum(body_mults) == 10
+
+    def test_nested_loops_compress(self, rng):
+        m = rng.random((6, 3))
+        _, trace = RegionTracer(regions.nested_loops).trace(matrix=m, reps=4)
+        assert trace.dynamic_length() >= 24
+        assert trace.compression_ratio() > 3
+
+    def test_loop_trace_structure(self, rng):
+        _, trace = RegionTracer(regions.loop_sum).trace(values=rng.random(5), n=5)
+        loops = [e for e in trace.events if isinstance(e, LoopTrace)]
+        assert len(loops) == 1
+        assert loops[0].total_iterations == 5
+        assert loops[0].stored_iterations == 1
+
+    def test_divergent_loop_stores_divergent_iterations(self, rng):
+        # pcg_like's loop has a data-dependent break: iterations diverge only
+        # at the final one, so stored iterations stay small but > 0
+        n = 6
+        m = rng.random((n, n))
+        A = m @ m.T + n * np.eye(n)
+        _, trace = RegionTracer(regions.pcg_like).trace(
+            A=A, b=rng.random(n), x0=np.zeros(n), iters=30, tol=1e-20
+        )
+        loops = [e for e in trace.events if isinstance(e, LoopTrace)]
+        assert loops and loops[0].stored_iterations <= loops[0].total_iterations
+
+
+class TestBranches:
+    def test_both_branch_paths_trace(self, rng):
+        x = rng.random(3)
+        tracer = RegionTracer(regions.branchy)
+        r_pos, t_pos = tracer.trace(x=x, flag=1.0)
+        r_neg, t_neg = tracer.trace(x=x, flag=-1.0)
+        assert np.allclose(r_pos, x * 2.0)
+        assert np.allclose(r_neg, x - 1.0)
+        # divergent control flow -> different statement sequences
+        assert [s for s, _ in t_pos.flatten()] != [s for s, _ in t_neg.flatten()]
+
+    def test_signature_stability(self, rng):
+        x = rng.random(3)
+        tracer = RegionTracer(regions.branchy)
+        _, t1 = tracer.trace(x=x, flag=1.0)
+        _, t2 = tracer.trace(x=x + 1.0, flag=1.0)
+        assert [s for s, _ in t1.flatten()] == [s for s, _ in t2.flatten()]

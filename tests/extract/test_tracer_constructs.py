@@ -1,0 +1,117 @@
+"""Tracer coverage of additional Python constructs."""
+
+import numpy as np
+import pytest
+
+from repro.extract import RegionTracer, build_dddg, classify_io, code_region
+
+
+@code_region(name="while_region", live_after=("total",))
+def while_region(limit, step):
+    total = 0.0
+    count = 0
+    while total < limit:
+        total = total + step
+        count = count + 1
+    return total, count
+
+
+@code_region(name="continue_break", live_after=("acc",))
+def continue_break(values, cap):
+    acc = 0.0
+    for i in range(values.shape[0]):
+        if values[i] < 0:
+            continue
+        acc = acc + values[i]
+        if acc > cap:
+            break
+    return acc
+
+
+@code_region(name="try_region", live_after=("result",))
+def try_region(a, b):
+    try:
+        result = a / b
+    except ZeroDivisionError:
+        result = 0.0
+    return result
+
+
+@code_region(name="with_region", live_after=("out",))
+def with_region(x):
+    import contextlib
+
+    with contextlib.nullcontext():
+        out = x * 2.0
+    return out
+
+
+@code_region(name="aug_region", live_after=("buf",))
+def aug_region(buf, delta, n):
+    for i in range(n):
+        buf[i] += delta
+    return buf
+
+
+class TestWhileLoops:
+    def test_result_correct(self):
+        total, count = while_region(1.0, 0.3)
+        r_total, trace = RegionTracer(while_region).trace(limit=1.0, step=0.3)
+        assert r_total[0] == total
+
+    def test_while_compresses(self):
+        _, trace = RegionTracer(while_region).trace(limit=100.0, step=0.5)
+        assert trace.compression_ratio() > 10
+
+    def test_classification(self):
+        _, trace = RegionTracer(while_region).trace(limit=1.0, step=0.3)
+        io = classify_io(build_dddg(trace), dict(limit=1.0, step=0.3), {"total"})
+        assert set(io.inputs) == {"limit", "step"}
+        assert io.outputs == ("total",)
+
+
+class TestControlFlowExits:
+    def test_continue_and_break_traced(self, rng):
+        values = rng.standard_normal(20)
+        result, trace = RegionTracer(continue_break).trace(values=values, cap=1.5)
+        assert result == continue_break(values, 1.5)
+        assert trace.dynamic_length() > 0
+
+    def test_break_terminates_loop_probes_cleanly(self, rng):
+        # break exits via loop_exit; the recorder must stay balanced
+        values = np.abs(rng.standard_normal(50)) + 1.0  # breaks immediately
+        _, trace = RegionTracer(continue_break).trace(values=values, cap=0.5)
+        assert trace.stored_length() > 0
+
+
+class TestTryAndWith:
+    def test_try_happy_path(self):
+        result, _ = RegionTracer(try_region).trace(a=6.0, b=3.0)
+        assert result == 2.0
+
+    def test_try_exception_path(self):
+        result, trace = RegionTracer(try_region).trace(a=6.0, b=0)
+        assert result == 0.0
+        assert trace.dynamic_length() > 0
+
+    def test_with_block(self, rng):
+        x = rng.standard_normal(4)
+        result, trace = RegionTracer(with_region).trace(x=x)
+        assert np.allclose(result, x * 2.0)
+
+
+class TestAugmentedArrayWrites:
+    def test_in_place_element_updates(self, rng):
+        buf = np.zeros(6)
+        result, trace = RegionTracer(aug_region).trace(buf=buf.copy(), delta=2.0, n=6)
+        assert np.allclose(result, 2.0)
+
+    def test_array_classified_as_input_and_output(self, rng):
+        buf = np.zeros(6)
+        _, trace = RegionTracer(aug_region).trace(buf=buf.copy(), delta=2.0, n=6)
+        io = classify_io(
+            build_dddg(trace), dict(buf=buf, delta=2.0, n=6), {"buf"}
+        )
+        # read-modify-write array: both an input and an output
+        assert "buf" in io.inputs
+        assert "buf" in io.outputs

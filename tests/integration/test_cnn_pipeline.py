@@ -1,0 +1,54 @@
+"""Integration: the CNN surrogate family through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import AutoHPCnet, AutoHPCnetConfig
+from repro.apps import FFTApplication
+from repro.nas import SurrogatePackage
+from repro.nn import CNNTopology
+
+CNN_FAST = AutoHPCnetConfig(
+    n_samples=100,
+    outer_iterations=1,
+    inner_trials=2,
+    num_epochs=25,
+    quality_problems=4,
+    quality_loss=0.9,
+    qoi_mu=0.5,
+    model_type="cnn",
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def cnn_build():
+    return AutoHPCnet(CNN_FAST).build(FFTApplication())
+
+
+class TestCNNPipeline:
+    def test_selected_topology_is_convolutional(self, cnn_build):
+        assert isinstance(cnn_build.surrogate.package.topology, CNNTopology)
+
+    def test_cnn_forced_to_full_input(self, cnn_build):
+        # conv pooling is tied to the signal length, so no feature reduction
+        assert cnn_build.surrogate.package.autoencoder is None
+        assert cnn_build.search.best_k == cnn_build.acquisition.input_dim
+
+    def test_surrogate_runs_the_region(self, cnn_build):
+        app = cnn_build.surrogate.app
+        problem = app.example_problem(np.random.default_rng(3))
+        outputs = cnn_build.surrogate.run(problem)
+        assert set(outputs) == {"re_out", "im_out"}
+
+    def test_cnn_package_save_load(self, cnn_build, tmp_path):
+        pkg = cnn_build.surrogate.package
+        pkg.save(tmp_path / "cnn_pkg")
+        loaded = SurrogatePackage.load(tmp_path / "cnn_pkg")
+        assert isinstance(loaded.topology, CNNTopology)
+        x = np.random.default_rng(1).standard_normal((2, pkg.input_dim))
+        assert np.allclose(pkg.predict(x), loaded.predict(x))
+
+    def test_invalid_model_type_rejected(self):
+        with pytest.raises(ValueError):
+            AutoHPCnetConfig(model_type="transformer")

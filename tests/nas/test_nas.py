@@ -1,0 +1,241 @@
+"""2D NAS tests: spaces, candidate evaluation, inner loop, Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import Autoencoder
+from repro.nas import (
+    CandidateResult,
+    Hierarchical2DSearch,
+    InputDimSpace,
+    SearchConfig,
+    SurrogatePackage,
+    TopologySearch,
+    TopologySpace,
+    evaluate_topology,
+    validation_quality,
+)
+from repro.nn import Topology
+
+
+SMALL_SPACE = TopologySpace(
+    max_layers=2, width_choices=(4, 8), activations=("relu", "tanh"), allow_residual=False
+)
+
+
+def toy_data(rng, n=80, din=10, dout=2):
+    x = rng.standard_normal((n, din))
+    w = rng.standard_normal((din, dout))
+    return x, x @ w
+
+
+class TestTopologySpace:
+    def test_sample_in_space(self, rng):
+        for _ in range(20):
+            t = SMALL_SPACE.sample(rng)
+            assert 1 <= t.depth <= 2
+            assert all(h in (4, 8) for h in t.hidden)
+            assert t.activation in ("relu", "tanh")
+
+    def test_encode_decode_round_trip(self, rng):
+        for _ in range(20):
+            t = SMALL_SPACE.sample(rng)
+            assert SMALL_SPACE.decode(SMALL_SPACE.encode(t)) == t
+
+    def test_encoded_dim_fixed(self, rng):
+        dims = {SMALL_SPACE.encode(SMALL_SPACE.sample(rng)).size for _ in range(10)}
+        assert dims == {SMALL_SPACE.encoded_dim}
+
+    def test_grid_size_matches_enumeration(self):
+        assert len(list(SMALL_SPACE.grid())) == SMALL_SPACE.size()
+
+    def test_grid_covers_space(self):
+        grid = set(t.describe() for t in SMALL_SPACE.grid())
+        assert "mlp[4](relu)" in grid and "mlp[8x8](tanh)" in grid
+
+    def test_invalid_space_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySpace(max_layers=0)
+
+
+class TestInputDimSpace:
+    def test_geometric_levels(self):
+        space = InputDimSpace.geometric(128, levels=4, min_dim=4)
+        assert min(space.choices) == 4
+        assert max(space.choices) <= 128
+        assert list(space.choices) == sorted(space.choices)
+
+    def test_encode_decode(self):
+        space = InputDimSpace(choices=(4, 16, 64))
+        for k in space.choices:
+            assert space.decode(space.encode(k)) == k
+
+    def test_invalid_choices_rejected(self):
+        with pytest.raises(ValueError):
+            InputDimSpace(choices=(0, 4))
+
+    def test_single_level(self):
+        space = InputDimSpace.geometric(50, levels=1)
+        assert len(space.choices) == 1
+
+
+class TestEvaluateTopology:
+    def test_returns_trained_candidate(self, rng):
+        x, y = toy_data(rng)
+        candidate = evaluate_topology(
+            Topology(hidden=(8,), activation="tanh"), x, y, rng=rng
+        )
+        assert isinstance(candidate, CandidateResult)
+        assert candidate.f_c > 0
+        assert candidate.f_e >= 0
+        assert candidate.epochs > 0
+
+    def test_fc_grows_with_model_size(self, rng):
+        x, y = toy_data(rng)
+        small = evaluate_topology(Topology(hidden=(4,), activation="relu"), x, y, rng=rng)
+        big = evaluate_topology(
+            Topology(hidden=(128, 128), activation="relu"), x, y, rng=rng
+        )
+        assert big.f_c > small.f_c
+
+    def test_custom_quality_fn_used(self, rng):
+        x, y = toy_data(rng)
+        candidate = evaluate_topology(
+            Topology(hidden=(4,), activation="relu"),
+            x,
+            y,
+            quality_fn=lambda pkg: 0.42,
+            rng=rng,
+        )
+        assert candidate.f_e == 0.42
+
+    def test_validation_quality_zero_for_perfect(self, rng):
+        x, y = toy_data(rng, n=20)
+
+        class Perfect:
+            def predict(self, xq):
+                w = np.linalg.lstsq(x, y, rcond=None)[0]
+                return xq @ w
+
+        assert validation_quality(Perfect(), x, y) < 1e-6
+
+
+class TestInnerSearch:
+    def test_finds_feasible_model(self, rng):
+        x, y = toy_data(rng, n=120)
+        search = TopologySearch(SMALL_SPACE, epsilon=0.5, seed=0)
+        result = search.search(x, y, n_trials=4)
+        assert result.n_trials == 4
+        assert result.best is not None
+
+    def test_best_is_cheapest_feasible(self, rng):
+        x, y = toy_data(rng, n=120)
+        search = TopologySearch(SMALL_SPACE, epsilon=0.9, seed=0)
+        result = search.search(x, y, n_trials=5)
+        feasible = result.feasible(0.9)
+        assert result.best.f_c == min(c.f_c for c in feasible)
+
+    def test_user_model_seeds_search(self, rng):
+        x, y = toy_data(rng, n=60)
+        seed_topology = Topology(hidden=(8, 8), activation="tanh")
+        search = TopologySearch(SMALL_SPACE, epsilon=1.0, seed=0)
+        result = search.search(x, y, n_trials=2, initial_topology=seed_topology)
+        assert result.history[0].topology == seed_topology
+
+
+class TestHierarchical:
+    def _search(self, **overrides):
+        params = dict(
+            outer_iterations=2, inner_trials=2, quality_loss=0.9,
+            encoding_loss=0.99, num_epochs=15, ae_epochs=10, seed=0,
+        )
+        params.update(overrides)
+        cfg = SearchConfig(**params)
+        return Hierarchical2DSearch(
+            SMALL_SPACE, InputDimSpace(choices=(3, 6)), cfg
+        )
+
+    def test_runs_and_produces_package(self, rng):
+        x, y = toy_data(rng, n=60)
+        result = self._search().run(x, y)
+        assert result.best is not None
+        assert result.best_k in (3, 6)
+        assert result.models_trained == 4
+        pred = result.best.package.predict(x[:3])
+        assert pred.shape == (3, 2)
+
+    def test_outer_history_recorded(self, rng):
+        x, y = toy_data(rng, n=60)
+        result = self._search().run(x, y)
+        assert len(result.outer_history) == 2
+        assert all(o.ae_sigma >= 0 for o in result.outer_history)
+
+    def test_timers_populated(self, rng):
+        x, y = toy_data(rng, n=60)
+        result = self._search().run(x, y)
+        assert result.timers.phases["autoencoder_training"] > 0
+        assert result.timers.phases["bayesian_optimization"] > 0
+
+    def test_full_input_skips_autoencoder(self, rng):
+        x, y = toy_data(rng, n=60)
+        result = self._search(search_type="fullInput").run(x, y)
+        assert result.best is not None
+        assert result.best_k == x.shape[1]
+        assert result.best.package.autoencoder is None
+
+    def test_user_model_requires_init_model(self):
+        with pytest.raises(ValueError):
+            SearchConfig(search_type="userModel")
+
+    def test_checkpoint_restore_continues(self, rng, tmp_path):
+        x, y = toy_data(rng, n=60)
+        first = self._search(outer_iterations=1)
+        r1 = first.run(x, y, checkpoint_dir=tmp_path)
+        assert len(r1.outer_history) == 1
+        second = self._search(outer_iterations=2)
+        r2 = second.run(x, y, checkpoint_dir=tmp_path)
+        assert len(r2.outer_history) == 2
+        assert (tmp_path / "best_package" / "package.json").exists()
+
+    def test_summary_mentions_k(self, rng):
+        x, y = toy_data(rng, n=60)
+        result = self._search().run(x, y)
+        assert "K=" in result.summary()
+
+
+class TestSurrogatePackage:
+    def test_save_load_round_trip(self, rng, tmp_path):
+        x, y = toy_data(rng, n=60)
+        ae = Autoencoder(10, 4, rng=rng)
+        candidate = evaluate_topology(
+            Topology(hidden=(8,), activation="tanh"),
+            ae.encode(x),
+            y,
+            autoencoder=ae,
+            x_raw=x,
+            rng=rng,
+        )
+        pkg = candidate.package
+        pkg.save(tmp_path / "pkg")
+        loaded = SurrogatePackage.load(tmp_path / "pkg")
+        assert np.allclose(pkg.predict(x[:5]), loaded.predict(x[:5]))
+        assert loaded.latent_dim == 4
+
+    def test_inference_flops_include_encoder(self, rng):
+        x, y = toy_data(rng, n=40)
+        ae = Autoencoder(10, 4, rng=rng)
+        with_ae = evaluate_topology(
+            Topology(hidden=(8,), activation="relu"), ae.encode(x), y,
+            autoencoder=ae, x_raw=x, rng=rng,
+        ).package
+        without = evaluate_topology(
+            Topology(hidden=(8,), activation="relu"), x[:, :4], y, rng=rng
+        ).package
+        assert with_ae.inference_flops(1) > without.model.flops(1)
+
+    def test_single_row_predict(self, rng):
+        x, y = toy_data(rng, n=40)
+        pkg = evaluate_topology(
+            Topology(hidden=(4,), activation="relu"), x, y, rng=rng
+        ).package
+        assert pkg.predict(x[0]).shape == (2,)

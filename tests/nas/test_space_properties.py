@@ -1,0 +1,58 @@
+"""Property tests on the search-space encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nas import CNNSpace, InputDimSpace, TopologySpace
+from repro.nn import CNNTopology, Topology, build_model
+
+
+MLP_SPACE = TopologySpace(max_layers=3, width_choices=(8, 16, 32, 64))
+CNN_SPACE = CNNSpace(signal_length=48, max_layers=2)
+K_SPACE = InputDimSpace(choices=(4, 12, 48))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=6, max_size=6))
+def test_mlp_decode_always_valid(vec):
+    """Any 6-vector decodes to a buildable topology (GP proposals are
+    arbitrary points of the embedding space)."""
+    topology = MLP_SPACE.decode(np.array(vec))
+    assert isinstance(topology, Topology)
+    model = build_model(5, 2, topology, np.random.default_rng(0))
+    from repro.nn import Tensor
+
+    assert model(Tensor(np.zeros((1, 5)))).shape == (1, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=8, max_size=8))
+def test_cnn_decode_always_legal(vec):
+    topology = CNN_SPACE.decode(np.array(vec))
+    assert isinstance(topology, CNNTopology)
+    # pool factors stay legal for the signal length
+    length = CNN_SPACE.signal_length
+    for pool in topology.pools:
+        assert length % pool == 0
+        length //= pool
+    model = build_model(48, 3, topology, np.random.default_rng(0))
+    from repro.nn import Tensor
+
+    assert model(Tensor(np.zeros((1, 48)))).shape == (1, 3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(-5, 20, allow_nan=False))
+def test_input_dim_decode_always_in_choices(value):
+    assert K_SPACE.decode(np.array([value])) in K_SPACE.choices
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_encode_decode_idempotent(seed):
+    rng = np.random.default_rng(seed)
+    t = MLP_SPACE.sample(rng)
+    once = MLP_SPACE.decode(MLP_SPACE.encode(t))
+    twice = MLP_SPACE.decode(MLP_SPACE.encode(once))
+    assert once == twice == t

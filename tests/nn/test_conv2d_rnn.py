@@ -1,0 +1,182 @@
+"""2-D convolution/deconvolution and recurrent layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AvgPool2d,
+    Conv2d,
+    Deconv2d,
+    ImageView,
+    LastStep,
+    MaxPool2d,
+    RNN,
+    SequenceView,
+    Sequential,
+    Tensor,
+    Upsample2d,
+    mse_loss,
+)
+
+
+class TestConv2d:
+    def test_shape_preserved(self, rng):
+        conv = Conv2d(2, 5, 3, rng)
+        out = conv(Tensor(rng.standard_normal((2, 2, 6, 7))))
+        assert out.shape == (2, 5, 6, 7)
+
+    def test_matches_direct_convolution(self, rng):
+        conv = Conv2d(1, 1, 3, rng)
+        x = rng.standard_normal((1, 1, 5, 5))
+        out = conv(Tensor(x)).data[0, 0]
+        kernel = conv.weight.data[:, 0, 0].reshape(3, 3)
+        padded = np.pad(x[0, 0], 1)
+        expected = np.zeros((5, 5))
+        for i in range(5):
+            for j in range(5):
+                expected[i, j] = np.sum(padded[i : i + 3, j : j + 3] * kernel)
+        expected += conv.bias.data[0]
+        assert np.allclose(out, expected)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        conv = Conv2d(1, 2, 3, rng)
+        x = rng.standard_normal((1, 1, 4, 4))
+        (conv(Tensor(x)) ** 2.0).sum().backward()
+        analytic = conv.weight.grad.copy()
+        eps = 1e-6
+        idx = (4, 0, 1)
+        conv.weight.data[idx] += eps
+        up = (conv(Tensor(x)) ** 2.0).sum().item()
+        conv.weight.data[idx] -= 2 * eps
+        dn = (conv(Tensor(x)) ** 2.0).sum().item()
+        conv.weight.data[idx] += eps
+        assert analytic[idx] == pytest.approx((up - dn) / (2 * eps), abs=1e-5)
+
+    def test_even_kernel_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 2, rng)
+
+    def test_learns_blur_kernel(self, rng):
+        # target: fixed 3x3 average blur
+        x = rng.standard_normal((40, 1, 8, 8))
+        kernel = np.ones((3, 3)) / 9.0
+        y = np.zeros_like(x)
+        for s in range(40):
+            padded = np.pad(x[s, 0], 1)
+            for i in range(8):
+                for j in range(8):
+                    y[s, 0, i, j] = np.sum(padded[i : i + 3, j : j + 3] * kernel)
+        conv = Conv2d(1, 1, 3, rng)
+        opt = Adam(list(conv.parameters()), lr=5e-2)
+        for _ in range(120):
+            opt.zero_grad()
+            loss = mse_loss(conv(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3
+        learned = conv.weight.data[:, 0, 0].reshape(3, 3)
+        assert np.allclose(learned, kernel, atol=0.05)
+
+
+class TestPooling2d:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = MaxPool2d(2)(x)
+        assert np.allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = AvgPool2d(2)(x)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_indivisible_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2d(3)(Tensor(rng.standard_normal((1, 1, 4, 4))))
+
+    def test_upsample_then_pool_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)))
+        round_trip = AvgPool2d(2)(Upsample2d(2)(x))
+        assert np.allclose(round_trip.data, x.data)
+
+
+class TestDeconv2d:
+    def test_upscales(self, rng):
+        deconv = Deconv2d(2, 3, 3, factor=2, rng=rng)
+        out = deconv(Tensor(rng.standard_normal((1, 2, 4, 4))))
+        assert out.shape == (1, 3, 8, 8)
+
+    def test_parameters_trainable(self, rng):
+        deconv = Deconv2d(1, 1, 3, factor=2, rng=rng)
+        (deconv(Tensor(rng.standard_normal((1, 1, 2, 2)))) ** 2.0).sum().backward()
+        assert all(p.grad is not None for p in deconv.parameters())
+
+
+class TestImageView:
+    def test_reshape(self, rng):
+        x = rng.standard_normal((3, 12))
+        out = ImageView(3, 4)(Tensor(x))
+        assert out.shape == (3, 1, 3, 4)
+
+    def test_wrong_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ImageView(3, 4)(Tensor(rng.standard_normal((2, 13))))
+
+
+class TestRNN:
+    def test_sequence_output_shape(self, rng):
+        rnn = RNN(4, 8, rng)
+        out = rnn(Tensor(rng.standard_normal((3, 5, 4))))
+        assert out.shape == (3, 5, 8)
+
+    def test_last_step_mode(self, rng):
+        rnn = RNN(4, 8, rng, return_sequence=False)
+        out = rnn(Tensor(rng.standard_normal((3, 5, 4))))
+        assert out.shape == (3, 8)
+
+    def test_bptt_gradients_flow_to_recurrence(self, rng):
+        rnn = RNN(2, 4, rng)
+        x = Tensor(rng.standard_normal((2, 6, 2)))
+        rnn(x).sum().backward()
+        assert rnn.w_h.grad is not None
+        assert np.any(rnn.w_h.grad != 0)
+
+    def test_learns_running_mean(self, rng):
+        # target: cumulative mean of a scalar sequence (needs memory)
+        x = rng.standard_normal((60, 6, 1))
+        y = np.cumsum(x[:, :, 0], axis=1) / np.arange(1, 7)
+        from repro.nn import Dense
+
+        rnn = RNN(1, 12, rng)
+        dense = Dense(12, 1, rng)
+        params = list(rnn.parameters()) + list(dense.parameters())
+        opt = Adam(params, lr=1e-2)
+        for _ in range(150):
+            opt.zero_grad()
+            seq = rnn(Tensor(x))
+            flat = seq.reshape(60 * 6, 12)
+            pred = dense(flat).reshape(60, 6)
+            loss = mse_loss(pred, Tensor(y))
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RNN(4, 8, rng)(Tensor(rng.standard_normal((2, 4))))
+
+
+class TestSequenceAdapters:
+    def test_sequence_view(self, rng):
+        x = rng.standard_normal((2, 12))
+        out = SequenceView(3)(Tensor(x))
+        assert out.shape == (2, 3, 4)
+
+    def test_last_step(self, rng):
+        x = rng.standard_normal((2, 5, 3))
+        out = LastStep()(Tensor(x))
+        assert np.allclose(out.data, x[:, -1, :])
+
+    def test_sequence_view_indivisible_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SequenceView(5)(Tensor(rng.standard_normal((2, 12))))

@@ -1,0 +1,88 @@
+"""Numerical-robustness tests for the NN stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Adam, SGD, Tensor, Topology, build_mlp, mse_loss, predict
+
+
+class TestSaturationSafety:
+    def test_exp_clamps_extreme_inputs(self):
+        x = Tensor(np.array([1e4, -1e4]), requires_grad=True)
+        out = x.exp()
+        assert np.all(np.isfinite(out.data))
+        out.sum().backward()
+        assert np.all(np.isfinite(x.grad))
+
+    def test_sigmoid_extremes_finite(self):
+        x = Tensor(np.array([1e3, -1e3]), requires_grad=True)
+        out = x.sigmoid()
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(1.0)
+        assert out.data[1] == pytest.approx(0.0)
+        out.sum().backward()
+        assert np.all(np.isfinite(x.grad))
+
+    def test_tanh_saturated_gradient_vanishes(self):
+        x = Tensor(np.array([50.0]), requires_grad=True)
+        x.tanh().sum().backward()
+        assert abs(x.grad[0]) < 1e-10
+
+    def test_forward_with_huge_weights_finite(self, rng):
+        model = build_mlp(4, 2, Topology(hidden=(8,), activation="tanh"), rng)
+        for p in model.parameters():
+            p.data = p.data * 1e6
+        out = predict(model, rng.standard_normal((3, 4)))
+        assert np.all(np.isfinite(out))
+
+
+class TestOptimizerStability:
+    def test_adam_survives_large_gradients(self):
+        w = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([w], lr=1e-2)
+        for _ in range(10):
+            opt.zero_grad()
+            (w * 1e12).sum().backward()
+            opt.step()
+        assert np.all(np.isfinite(w.data))
+
+    def test_sgd_momentum_buffers_isolated_between_params(self, rng):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(5), requires_grad=True)
+        opt = SGD([a, b], lr=0.1, momentum=0.9)
+        opt.zero_grad()
+        (a.sum() * 2.0).backward()
+        opt.step()          # only a has a gradient
+        assert np.allclose(b.data, 1.0)
+
+    def test_training_loss_finite_even_with_high_lr(self, rng):
+        x = rng.standard_normal((32, 3))
+        y = rng.standard_normal((32, 1))
+        model = build_mlp(3, 1, Topology(hidden=(8,), activation="tanh"), rng)
+        opt = Adam(model.parameters(), lr=0.5)
+        for _ in range(20):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+        assert np.isfinite(loss.item())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.floats(-6, 6))
+def test_activations_finite_over_wide_range(seed, log_scale):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((4, 4)) * 10**log_scale)
+    for op in ("relu", "tanh", "sigmoid", "leaky_relu"):
+        assert np.all(np.isfinite(getattr(x, op)().data))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_max_gradient_is_a_partition_of_unity(seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.integers(0, 3, size=(2, 6)).astype(float), requires_grad=True)
+    x.max(axis=1).sum().backward()
+    # each row's gradient sums to exactly 1 (ties share evenly)
+    assert np.allclose(x.grad.sum(axis=1), 1.0)

@@ -1,0 +1,229 @@
+"""Autograd correctness: analytic gradients vs finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concat, no_grad
+
+
+def finite_diff(fn, x, eps=1e-6):
+    """Numerical gradient of scalar-valued fn at array x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        dn = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - dn) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, x_val, atol=1e-5):
+    """Compare autograd and numeric gradients for y = sum(op(x))."""
+    x = Tensor(x_val.copy(), requires_grad=True)
+    y = op(x).sum()
+    y.backward()
+
+    def scalar_fn(arr):
+        return op(Tensor(arr)).sum().item()
+
+    numeric = finite_diff(scalar_fn, x_val.copy())
+    assert np.allclose(x.grad, numeric, atol=atol), (x.grad, numeric)
+
+
+class TestUnaryGradients:
+    def test_neg(self, rng):
+        check_gradient(lambda t: -t, rng.standard_normal((3, 4)))
+
+    def test_relu(self, rng):
+        check_gradient(lambda t: t.relu(), rng.standard_normal((3, 4)) + 0.01)
+
+    def test_leaky_relu(self, rng):
+        check_gradient(lambda t: t.leaky_relu(), rng.standard_normal((3, 4)) + 0.01)
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh(), rng.standard_normal((3, 4)))
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda t: t.sigmoid(), rng.standard_normal((3, 4)))
+
+    def test_exp(self, rng):
+        check_gradient(lambda t: t.exp(), rng.standard_normal((3, 4)))
+
+    def test_log(self, rng):
+        check_gradient(lambda t: t.log(), rng.random((3, 4)) + 0.5)
+
+    def test_abs(self, rng):
+        check_gradient(lambda t: t.abs(), rng.standard_normal((3, 4)) + 0.01)
+
+    def test_pow(self, rng):
+        check_gradient(lambda t: t**3.0, rng.random((3, 4)) + 0.5)
+
+    def test_clip_min(self, rng):
+        check_gradient(lambda t: t.clip_min(0.1), rng.standard_normal((3, 4)) + 0.01)
+
+    def test_reshape(self, rng):
+        check_gradient(lambda t: (t.reshape(12) ** 2.0), rng.standard_normal((3, 4)))
+
+    def test_transpose(self, rng):
+        check_gradient(lambda t: (t.T ** 2.0), rng.standard_normal((3, 4)))
+
+    def test_getitem(self, rng):
+        check_gradient(lambda t: t[1:3] ** 2.0, rng.standard_normal((4, 3)))
+
+
+class TestBinaryGradients:
+    def test_add_broadcast(self, rng):
+        a_val = rng.standard_normal((3, 4))
+        b_val = rng.standard_normal(4)
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 4)))
+        assert np.allclose(b.grad, 3 * np.ones(4))
+
+    def test_mul(self, rng):
+        a_val = rng.standard_normal((3, 4))
+        b_val = rng.standard_normal((3, 4))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b_val)
+        assert np.allclose(b.grad, a_val)
+
+    def test_div(self, rng):
+        a_val = rng.standard_normal((3, 4))
+        b_val = rng.random((3, 4)) + 1.0
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, 1.0 / b_val)
+        assert np.allclose(b.grad, -a_val / b_val**2)
+
+    def test_sub(self, rng):
+        a = Tensor(rng.standard_normal(5), requires_grad=True)
+        b = Tensor(rng.standard_normal(5), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, -1.0)
+
+    def test_rsub_rdiv(self, rng):
+        a = Tensor(rng.random(4) + 1.0, requires_grad=True)
+        (2.0 - a).sum().backward()
+        assert np.allclose(a.grad, -1.0)
+        a.zero_grad()
+        (1.0 / a).sum().backward()
+        assert np.allclose(a.grad, -1.0 / a.data**2)
+
+    def test_matmul_2d(self, rng):
+        a_val = rng.standard_normal((3, 4))
+        w_val = rng.standard_normal((4, 2))
+        a = Tensor(a_val, requires_grad=True)
+        w = Tensor(w_val, requires_grad=True)
+        (a @ w).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 2)) @ w_val.T)
+        assert np.allclose(w.grad, a_val.T @ np.ones((3, 2)))
+
+    def test_matmul_vec(self, rng):
+        a_val = rng.standard_normal(4)
+        b_val = rng.standard_normal(4)
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).backward()
+        assert np.allclose(a.grad, b_val)
+        assert np.allclose(b.grad, a_val)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_gradient(lambda t: t.sum() ** 2.0, rng.standard_normal((3, 4)))
+
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: t.sum(axis=0) ** 2.0, rng.standard_normal((3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        check_gradient(
+            lambda t: t.sum(axis=1, keepdims=True) ** 2.0, rng.standard_normal((3, 4))
+        )
+
+    def test_mean(self, rng):
+        x = Tensor(rng.standard_normal(8), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 1.0 / 8)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_through_shared_node(self, rng):
+        x = Tensor(rng.standard_normal(4), requires_grad=True)
+        y = x * 2.0
+        (y + y).sum().backward()
+        assert np.allclose(x.grad, 4.0)
+
+    def test_diamond_graph(self, rng):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        (a * b).sum().backward()
+        # d/dx 15x^2 = 30x
+        assert np.allclose(x.grad, 60.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_on_non_scalar_requires_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones(3))
+        assert np.allclose(x.grad, 2.0)
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_deep_chain_iterative_toposort(self):
+        # 5000-op chain must not hit the recursion limit
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.001
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_concat(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        out = concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.sampled_from(["tanh", "sigmoid", "relu"]))
+def test_composite_expression_gradient_property(seed, act):
+    rng = np.random.default_rng(seed)
+    x_val = rng.standard_normal((4, 3)) + 0.05
+
+    def op(t):
+        h = getattr(t, act)()
+        return (h * h + t * 0.5)
+
+    x = Tensor(x_val.copy(), requires_grad=True)
+    op(x).sum().backward()
+    numeric = finite_diff(lambda arr: op(Tensor(arr)).sum().item(), x_val.copy())
+    assert np.allclose(x.grad, numeric, atol=1e-4)

@@ -1,0 +1,43 @@
+"""Two-level cache hierarchy tests."""
+
+import numpy as np
+import pytest
+
+from repro.perf import CacheConfig, CacheHierarchy, XEON_L1, XEON_L2
+
+
+class TestCacheHierarchy:
+    def test_levels_filter_accesses(self):
+        h = CacheHierarchy(XEON_L1, XEON_L2)
+        # small working set: first pass misses, second pass hits L1
+        h.access_stream(range(0, 4096, 8))
+        counts = h.access_stream(range(0, 4096, 8))
+        assert counts["l1"] == 512
+        assert counts["memory"] == 0
+
+    def test_mid_size_set_hits_l2(self):
+        h = CacheHierarchy(
+            CacheConfig(size_bytes=1024, line_bytes=64, ways=2),
+            CacheConfig(size_bytes=64 * 1024, line_bytes=64, ways=8),
+        )
+        stream = list(range(0, 32 * 1024, 64))    # 32 KB: beyond L1, inside L2
+        h.access_stream(stream)
+        counts = h.access_stream(stream)
+        assert counts["l2"] > 0
+        assert counts["memory"] == 0
+
+    def test_global_miss_rate_composition(self):
+        h = CacheHierarchy(XEON_L1, XEON_L2)
+        h.access_stream(range(0, 8 * 1024 * 1024, 64))   # stream beyond both
+        assert h.global_miss_rate == pytest.approx(1.0, abs=0.05)
+
+    def test_l2_smaller_than_l1_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(XEON_L2, XEON_L1)
+
+    def test_reset(self):
+        h = CacheHierarchy(XEON_L1, XEON_L2)
+        h.access(0)
+        h.reset()
+        assert h.l1.stats.accesses == 0
+        assert h.access(0) == "memory"

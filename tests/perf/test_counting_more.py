@@ -1,0 +1,54 @@
+"""Additional FLOP-accounting tests (nn_inference_cost and counters)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Sequential, Dense, Activation, Topology, build_mlp
+from repro.perf import FlopCounter, nn_inference_cost
+
+
+class TestNNInferenceCost:
+    def test_flops_match_model_accounting(self, rng):
+        model = build_mlp(6, 2, Topology(hidden=(8,), activation="relu"), rng)
+        # prime activation dims
+        from repro.nn import Tensor
+
+        model(Tensor(rng.standard_normal((1, 6))))
+        flops, traffic = nn_inference_cost(model, batch=1)
+        assert flops == model.flops(1)
+        assert traffic >= model.num_parameters() * 8
+
+    def test_batch_scales_flops(self, rng):
+        model = build_mlp(6, 2, Topology(hidden=(8,), activation="relu"), rng)
+        from repro.nn import Tensor
+
+        model(Tensor(rng.standard_normal((1, 6))))
+        f1, _ = nn_inference_cost(model, batch=1)
+        f4, _ = nn_inference_cost(model, batch=4)
+        # Dense flops scale linearly with batch; activations were primed at 1
+        assert f4 > 2 * f1
+
+    def test_traffic_floor_is_parameters(self, rng):
+        model = Sequential([Dense(100, 100, rng)])
+        _, traffic = nn_inference_cost(model, batch=1)
+        assert traffic >= 100 * 100 * 8
+
+
+class TestFlopCounterScaling:
+    def test_scaled_counter(self):
+        counter = FlopCounter(10.0, 20.0, 2)
+        scaled = counter.scaled(3.0)
+        assert scaled.flops == 30.0
+        assert scaled.bytes_moved == 60.0
+        assert scaled.kernel_launches == 6
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlopCounter(1.0, 1.0).scaled(-1.0)
+
+    def test_merge_is_commutative(self):
+        a, b = FlopCounter(1, 2, 3), FlopCounter(4, 5, 6)
+        ab, ba = a.merge(b), b.merge(a)
+        assert (ab.flops, ab.bytes_moved, ab.kernel_launches) == (
+            ba.flops, ba.bytes_moved, ba.kernel_launches
+        )

@@ -1,0 +1,294 @@
+"""Device-model, cache-simulator, metric and timer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf import (
+    CacheConfig,
+    DeviceModel,
+    FlopCounter,
+    Link,
+    PCIE3_X16,
+    PhaseTimer,
+    SetAssociativeCache,
+    SpeedupBreakdown,
+    TESLA_V100_NN,
+    XEON_E5_2698V4,
+    XEON_L2,
+    axpy_cost,
+    dense_mm_cost,
+    dot_cost,
+    effective_speedup,
+    fft_cost,
+    harmonic_mean,
+    hit_rate,
+    reconstruction_similarity,
+    speedup,
+    spmv_cost,
+    stencil_cost,
+)
+
+
+# ------------------------------------------------------------------- devices
+
+
+class TestDeviceModel:
+    def test_compute_bound_kernel(self):
+        dev = DeviceModel("d", peak_flops=1e9, mem_bandwidth=1e12, launch_overhead=0.0)
+        assert dev.kernel_time(1e9, 8) == pytest.approx(1.0)
+
+    def test_memory_bound_kernel(self):
+        dev = DeviceModel("d", peak_flops=1e15, mem_bandwidth=1e9, launch_overhead=0.0)
+        assert dev.kernel_time(8, 1e9) == pytest.approx(1.0)
+
+    def test_launch_overhead_added(self):
+        dev = DeviceModel("d", peak_flops=1e9, mem_bandwidth=1e9, launch_overhead=1e-3)
+        assert dev.kernel_time(0, 0) == pytest.approx(1e-3)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            XEON_E5_2698V4.kernel_time(-1, 0)
+
+    def test_gpu_nn_beats_cpu_on_dense_work(self):
+        flops, traffic = dense_mm_cost(512, 512, 512)
+        assert TESLA_V100_NN.kernel_time(flops, traffic) < XEON_E5_2698V4.kernel_time(
+            flops, traffic
+        )
+
+    def test_link_time(self):
+        assert PCIE3_X16.time(16e9) == pytest.approx(1.0 + 10e-6)
+        with pytest.raises(ValueError):
+            PCIE3_X16.time(-1)
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceModel("bad", peak_flops=0.0, mem_bandwidth=1.0, launch_overhead=0.0)
+
+
+# ------------------------------------------------------------------- cache simulator
+
+
+class TestCacheSimulator:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, line_bytes=64, ways=2))
+        assert cache.access(0) is False
+        assert cache.access(8) is True      # same line
+        assert cache.access(0) is True
+
+    def test_streaming_within_capacity_hits(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=4096, line_bytes=64, ways=4))
+        cache.access_block(0, 2048, stride=8)
+        stats = cache.access_block(0, 2048, stride=8)
+        assert stats.miss_rate < 0.05
+
+    def test_thrashing_beyond_capacity_misses(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, line_bytes=64, ways=2))
+        cache.access_block(0, 65536, stride=64)
+        stats = cache.access_block(0, 65536, stride=64)
+        assert stats.miss_rate > 0.9
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: A, B fill; touching A again makes B the LRU victim
+        cache = SetAssociativeCache(CacheConfig(size_bytes=128, line_bytes=64, ways=2))
+        a, b, c = 0, 64, 128
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)
+        cache.access(c)          # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_irregular_gather_misses_more_than_streaming(self, rng):
+        config = CacheConfig(size_bytes=2048, line_bytes=64, ways=4)
+        streaming = SetAssociativeCache(config)
+        s_stats = streaming.access_block(0, 32768, stride=8)
+        gather = SetAssociativeCache(config)
+        addresses = rng.integers(0, 1 << 20, size=4096) * 8
+        g_stats = gather.access_stream(addresses.tolist())
+        assert g_stats.miss_rate > s_stats.miss_rate
+
+    def test_reset(self):
+        cache = SetAssociativeCache(XEON_L2)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100, line_bytes=60, ways=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, line_bytes=64, ways=2)
+
+    def test_stats_merge(self):
+        from repro.perf import CacheStats
+
+        merged = CacheStats(2, 3).merge(CacheStats(1, 1))
+        assert merged.hits == 3 and merged.misses == 4
+        assert merged.miss_rate == pytest.approx(4 / 7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+def test_cache_hit_plus_miss_equals_accesses(addresses):
+    cache = SetAssociativeCache(CacheConfig(size_bytes=1024, line_bytes=64, ways=2))
+    stats = cache.access_stream(addresses)
+    assert stats.hits + stats.misses == len(addresses)
+    assert 0.0 <= stats.miss_rate <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=100))
+def test_cache_repeat_stream_never_misses_more(addresses):
+    config = CacheConfig(size_bytes=32768, line_bytes=64, ways=8)
+    cache = SetAssociativeCache(config)
+    first = cache.access_stream(addresses)
+    # working set fits entirely: replay must be all hits
+    if len(set(a // 64 for a in addresses)) <= config.num_sets * config.ways // 2:
+        second = cache.access_stream(addresses)
+        assert second.misses == 0
+
+
+# ------------------------------------------------------------------- metrics
+
+
+class TestMetrics:
+    def test_speedup_eqn2(self):
+        assert speedup(10.0, 1.0, 1.0, 2.0) == pytest.approx(3.0)
+
+    def test_speedup_breakdown_value(self):
+        b = SpeedupBreakdown(10.0, 1.0, 1.0, 2.0)
+        assert b.value == pytest.approx(3.0)
+        assert b.t_original == 12.0
+        assert b.t_surrogate == 4.0
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedupBreakdown(-1.0, 0.0, 0.0, 1.0)
+
+    def test_hit_rate_eqn3(self):
+        exact = [1.0, 1.0, 1.0, 1.0]
+        surrogate = [1.05, 1.2, 0.95, 1.0]
+        assert hit_rate(exact, surrogate, mu=0.10) == pytest.approx(0.75)
+
+    def test_hit_rate_perfect(self):
+        assert hit_rate([2.0, 3.0], [2.0, 3.0]) == 1.0
+
+    def test_hit_rate_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate([1.0], [1.0, 2.0])
+
+    def test_sigma_y_eqn1_literal(self):
+        x = np.array([1.0, 2.0, 4.0])
+        y = np.array([1.05, 2.0, 8.0])
+        # strict Eqn 1 (atol=0): only the 4->8 element is out of 10% range
+        assert reconstruction_similarity(x, y, mu=0.10, atol=0.0) == pytest.approx(1 / 3)
+
+    def test_sigma_y_zero_elements_with_floor(self):
+        x = np.array([0.0, 0.0, 1.0])
+        y = np.array([1e-6, 1e-6, 1.0])
+        assert reconstruction_similarity(x, y, mu=0.10) == 0.0
+        assert reconstruction_similarity(x, y, mu=0.10, atol=0.0) == pytest.approx(2 / 3)
+
+    def test_effective_speedup_restart_penalty(self):
+        b = SpeedupBreakdown(10.0, 0.5, 0.5, 2.0)
+        full = effective_speedup(b, 1.0)
+        half = effective_speedup(b, 0.5)
+        assert full == pytest.approx(b.value)
+        assert half < full
+        # at hit 0 every problem pays both paths: slowdown below 1x
+        assert effective_speedup(b, 0.0) < 1.0
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) < np.mean([1.0, 3.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 100, allow_nan=False), min_size=2, max_size=20),
+)
+def test_harmonic_mean_bounded_by_min_max(values):
+    hm = harmonic_mean(values)
+    assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.floats(0.0, 0.5))
+def test_hit_rate_in_unit_interval(seed, mu):
+    rng = np.random.default_rng(seed)
+    exact = rng.uniform(0.5, 2.0, size=10)
+    surrogate = exact * rng.uniform(0.7, 1.3, size=10)
+    assert 0.0 <= hit_rate(exact, surrogate, mu=mu) <= 1.0
+
+
+# ------------------------------------------------------------------- counting + timers
+
+
+class TestCounting:
+    def test_spmv_cost(self):
+        flops, _ = spmv_cost(100, 10)
+        assert flops == 200.0
+
+    def test_dot_axpy(self):
+        assert dot_cost(10)[0] == 20.0
+        assert axpy_cost(10)[0] == 20.0
+
+    def test_dense_mm(self):
+        assert dense_mm_cost(2, 3, 4)[0] == 48.0
+
+    def test_fft_nlogn(self):
+        f32, _ = fft_cost(32)
+        f64, _ = fft_cost(64)
+        assert f64 / f32 == pytest.approx((64 * 6) / (32 * 5))
+
+    def test_stencil(self):
+        assert stencil_cost(100, 5)[0] == 1000.0
+
+    def test_flop_counter_accumulates(self):
+        c = FlopCounter()
+        c.add(10, 20)
+        c.add(5, 5)
+        assert c.flops == 15 and c.bytes_moved == 25 and c.kernel_launches == 2
+        merged = c.merge(FlopCounter(1, 1, 1))
+        assert merged.flops == 16
+        assert c.scaled(2.0).flops == 30
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlopCounter().add(-1)
+
+
+class TestPhaseTimer:
+    def test_add_and_fractions(self):
+        t = PhaseTimer()
+        t.add("a", 3.0)
+        t.add("b", 1.0)
+        assert t.total == 4.0
+        assert t.fraction("a") == pytest.approx(0.75)
+        assert sum(t.breakdown().values()) == pytest.approx(1.0)
+
+    def test_measure_context(self):
+        t = PhaseTimer()
+        with t.measure("work"):
+            sum(range(1000))
+        assert t.phases["work"] > 0
+
+    def test_merged(self):
+        a, b = PhaseTimer({"x": 1.0}), PhaseTimer({"x": 2.0, "y": 1.0})
+        merged = a.merged(b)
+        assert merged.phases == {"x": 3.0, "y": 1.0}
+
+    def test_report_contains_phases(self):
+        t = PhaseTimer({"fetch": 0.2, "run": 0.8})
+        report = t.report()
+        assert "fetch" in report and "run" in report and "total" in report
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().add("x", -1.0)

@@ -1,0 +1,71 @@
+"""Roofline-model property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf import (
+    DeviceModel,
+    PCIE3_X16,
+    TESLA_V100_NN,
+    TESLA_V100_SOLVER,
+    XEON_E5_2698V4,
+    estimate_kernel_time,
+    transfer_time,
+)
+
+
+class TestRooflineShape:
+    def test_crossover_at_machine_balance(self):
+        dev = DeviceModel("d", peak_flops=1e12, mem_bandwidth=1e11, launch_overhead=0.0)
+        balance = dev.peak_flops / dev.mem_bandwidth  # flops per byte
+        nbytes = 1e6
+        compute_bound = dev.kernel_time(nbytes * balance * 10, nbytes)
+        memory_bound = dev.kernel_time(nbytes * balance / 10, nbytes)
+        assert compute_bound > memory_bound
+        assert memory_bound == pytest.approx(nbytes / dev.mem_bandwidth)
+
+    def test_time_monotone_in_both_inputs(self):
+        dev = XEON_E5_2698V4
+        assert dev.kernel_time(2e9, 1e6) >= dev.kernel_time(1e9, 1e6)
+        assert dev.kernel_time(1e9, 2e9) >= dev.kernel_time(1e9, 1e6)
+
+    def test_solver_vs_nn_gpu_profiles(self):
+        # identical kernel, both V100 profiles: the NN profile is faster
+        flops, nbytes = 1e10, 1e8
+        assert TESLA_V100_NN.kernel_time(flops, nbytes) < TESLA_V100_SOLVER.kernel_time(
+            flops, nbytes
+        )
+
+    def test_invocation_scaling(self):
+        t1 = estimate_kernel_time(XEON_E5_2698V4, 1e8, 1e6, invocations=1)
+        t10 = estimate_kernel_time(XEON_E5_2698V4, 1e8, 1e6, invocations=10)
+        assert t10 == pytest.approx(10 * t1)
+
+    def test_transfer_latency_floor(self):
+        nearly_zero = transfer_time(PCIE3_X16, 1)
+        assert nearly_zero >= PCIE3_X16.latency
+
+    def test_negative_invocations_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_kernel_time(XEON_E5_2698V4, 1, 1, invocations=-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(1.0, 1e12),
+    st.floats(1.0, 1e12),
+)
+def test_kernel_time_at_least_each_bound(flops, nbytes):
+    dev = TESLA_V100_NN
+    t = dev.kernel_time(flops, nbytes)
+    assert t >= flops / dev.peak_flops
+    assert t >= nbytes / dev.mem_bandwidth
+    assert t >= dev.launch_overhead
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.0, 1e12))
+def test_achieved_bandwidth_never_exceeds_peak(nbytes):
+    dev = XEON_E5_2698V4
+    assert dev.achieved_bandwidth(0.0, nbytes) <= dev.mem_bandwidth + 1e-6

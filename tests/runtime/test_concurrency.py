@@ -1,0 +1,79 @@
+"""Concurrency tests: the orchestrator under parallel clients."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import Client, InferenceRequest, Orchestrator
+
+
+class TestParallelAccess:
+    def test_concurrent_tensor_writes_are_isolated(self, rng):
+        orc = Orchestrator()
+        errors = []
+
+        def writer(worker_id: int) -> None:
+            try:
+                for i in range(50):
+                    key = f"w{worker_id}_{i}"
+                    value = np.full(16, float(worker_id * 1000 + i))
+                    orc.put_tensor(key, value)
+                    got = orc.get_tensor(key)
+                    assert got[0] == worker_id * 1000 + i
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_concurrent_inference_requests(self):
+        with Orchestrator() as orc:
+            orc.register_model("scale", lambda x: x * 2.0)
+            requests = []
+            for i in range(20):
+                orc.put_tensor(f"in{i}", np.full(4, float(i)))
+                requests.append(
+                    orc.submit(InferenceRequest("scale", (f"in{i}",), (f"out{i}",)))
+                )
+            for req in requests:
+                assert req.done.wait(timeout=10.0)
+                assert req.error is None
+            for i in range(20):
+                assert np.allclose(orc.get_tensor(f"out{i}"), 2.0 * i)
+
+    def test_parallel_clients_share_models(self, rng):
+        orc = Orchestrator()
+        primary = Client(orc)
+        primary._orc.register_model("neg", lambda x: -x)
+        results = []
+
+        def worker(seed: int) -> None:
+            client = Client(orc)
+            x = np.full(3, float(seed))
+            out = client.run_model("neg", inputs=x, outputs=f"o{seed}")
+            results.append((seed, out))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 6
+        for seed, out in results:
+            assert np.allclose(out, -float(seed))
+
+    def test_stop_drains_cleanly(self):
+        orc = Orchestrator()
+        orc.start()
+        orc.register_model("id", lambda x: x)
+        orc.put_tensor("a", np.ones(2))
+        req = orc.submit(InferenceRequest("id", ("a",), ("b",)))
+        assert req.done.wait(timeout=5.0)
+        orc.stop()
+        assert not orc.is_running
+        orc.stop()  # idempotent

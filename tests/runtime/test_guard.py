@@ -1,0 +1,120 @@
+"""Guarded-surrogate (restart mechanism) tests."""
+
+import numpy as np
+import pytest
+
+from repro import AutoHPCnet, AutoHPCnetConfig
+from repro.apps import CGApplication
+from repro.runtime import GuardedSurrogate, bounds_validator, residual_validator
+
+
+FAST = AutoHPCnetConfig(
+    n_samples=120, outer_iterations=1, inner_trials=2, num_epochs=50,
+    quality_problems=4, quality_loss=0.9, qoi_mu=0.5, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def cg_guarded():
+    app = CGApplication()
+    build = AutoHPCnet(FAST).build(app)
+    return GuardedSurrogate(
+        build.surrogate, residual_validator("A", "b", "x", rtol=0.25)
+    )
+
+
+class TestResidualValidator:
+    def test_accepts_exact_solution(self, cg_guarded, rng):
+        app = cg_guarded.surrogate.app
+        problem = app.example_problem(rng)
+        exact = app.run_exact(problem).outputs
+        validate = residual_validator("A", "b", "x", rtol=0.05)
+        assert validate(problem, exact)
+
+    def test_rejects_garbage_solution(self, cg_guarded, rng):
+        app = cg_guarded.surrogate.app
+        problem = app.example_problem(rng)
+        validate = residual_validator("A", "b", "x", rtol=0.05)
+        assert not validate(problem, {"x": rng.standard_normal(app.n) * 100})
+
+    def test_dense_matrix_supported(self, rng):
+        a = np.eye(3) * 2.0
+        validate = residual_validator()
+        assert validate({"A": a, "b": np.ones(3)}, {"x": np.full(3, 0.5)})
+
+
+class TestBoundsValidator:
+    def test_within_bounds(self):
+        validate = bounds_validator("prices", low=0.0)
+        assert validate({}, {"prices": np.array([1.0, 2.0])})
+        assert not validate({}, {"prices": np.array([-1.0, 2.0])})
+
+    def test_rejects_nonfinite(self):
+        validate = bounds_validator("v")
+        assert not validate({}, {"v": np.array([np.nan])})
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            bounds_validator("v", low=1.0, high=0.0)
+
+
+class TestGuardedExecution:
+    def test_valid_outputs_pass_through(self, cg_guarded, rng):
+        app = cg_guarded.surrogate.app
+        problems = app.generate_problems(5, rng)
+        for p in problems:
+            outputs = cg_guarded.run(p)
+            # guarded output always satisfies the validity check
+            assert residual_validator("A", "b", "x", rtol=0.25)(p, outputs)
+        assert cg_guarded.stats.invocations == 5
+
+    def test_fallback_engages_on_broken_surrogate(self, cg_guarded, rng):
+        app = cg_guarded.surrogate.app
+        # sabotage the surrogate: zero out the model head
+        for param in cg_guarded.surrogate.package.model.parameters():
+            param.data[:] = 0.0
+        problem = app.example_problem(rng)
+        before = cg_guarded.stats.fallbacks
+        outputs = cg_guarded.run(problem)
+        assert cg_guarded.stats.fallbacks == before + 1
+        # the restart produced the exact result
+        exact = app.run_exact(problem).outputs
+        assert np.allclose(outputs["x"], exact["x"])
+
+    def test_qoi_valid_even_with_broken_surrogate(self, cg_guarded, rng):
+        app = cg_guarded.surrogate.app
+        problem = app.example_problem(rng)
+        qoi = cg_guarded.qoi(problem)
+        assert qoi == pytest.approx(app.run_exact(problem).qoi)
+
+    def test_stats_rates(self):
+        from repro.runtime import GuardStats
+
+        stats = GuardStats(invocations=10, fallbacks=3)
+        assert stats.fallback_rate == pytest.approx(0.3)
+        assert stats.surrogate_rate == pytest.approx(0.7)
+
+
+class TestDefaultValidators:
+    def test_every_app_has_a_default(self):
+        from repro.apps import ALL_APPLICATIONS
+        from repro.runtime import default_validator
+
+        for cls in ALL_APPLICATIONS:
+            assert callable(default_validator(cls.name))
+
+    def test_defaults_accept_exact_outputs(self):
+        from repro.apps import ALL_APPLICATIONS
+        from repro.runtime import default_validator
+
+        for cls in ALL_APPLICATIONS:
+            app = cls()
+            problem = app.example_problem(np.random.default_rng(0))
+            run = app.run_exact(problem)
+            assert default_validator(app.name)(problem, run.outputs), app.name
+
+    def test_unknown_app_rejected(self):
+        from repro.runtime import default_validator
+
+        with pytest.raises(ValueError):
+            default_validator("doom")

@@ -1,0 +1,206 @@
+"""Unit and property tests for the sparse-matrix formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix, from_dense
+
+
+def random_dense(rng, rows=7, cols=5, density=0.4):
+    mask = rng.random((rows, cols)) < density
+    return rng.standard_normal((rows, cols)) * mask
+
+
+# ---------------------------------------------------------------- COO basics
+
+
+class TestCOO:
+    def test_to_dense_round_trip(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "coo").to_dense(), d)
+
+    def test_duplicate_coordinates_accumulate(self):
+        coo = COOMatrix([0, 0], [1, 1], [2.0, 3.0], (2, 2))
+        assert coo.to_dense()[0, 1] == 5.0
+
+    def test_sum_duplicates_merges(self):
+        coo = COOMatrix([0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0], (2, 2))
+        merged = coo.sum_duplicates()
+        assert merged.nnz == 2
+        assert np.allclose(merged.to_dense(), coo.to_dense())
+
+    def test_nnz_and_density(self):
+        coo = COOMatrix([0], [0], [1.0], (2, 2))
+        assert coo.nnz == 1
+        assert coo.density == 0.25
+
+    def test_empty_matrix(self):
+        coo = COOMatrix([], [], [], (3, 3))
+        assert coo.nnz == 0
+        assert np.allclose(coo.to_dense(), np.zeros((3, 3)))
+
+    def test_transpose(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "coo").transpose().to_dense(), d.T)
+
+    def test_out_of_bounds_row_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([5], [0], [1.0], (2, 2))
+
+    def test_out_of_bounds_col_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0], [9], [1.0], (2, 2))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_dense_blowup_sparse_case(self):
+        # one nonzero in a 100x100 matrix: dense is vastly larger
+        coo = COOMatrix([0], [0], [1.0], (100, 100))
+        assert coo.dense_blowup() > 1000
+
+
+# ---------------------------------------------------------------- CSR basics
+
+
+class TestCSR:
+    def test_round_trip(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "csr").to_dense(), d)
+
+    def test_matvec_matches_dense(self, rng):
+        d = random_dense(rng)
+        csr = from_dense(d, "csr")
+        x = rng.standard_normal(d.shape[1])
+        assert np.allclose(csr.matvec(x), d @ x)
+
+    def test_matvec_wrong_length_rejected(self, rng):
+        csr = from_dense(random_dense(rng), "csr")
+        with pytest.raises(ValueError):
+            csr.matvec(np.zeros(csr.shape[1] + 1))
+
+    def test_matmul_dense_matches(self, rng):
+        d = random_dense(rng)
+        csr = from_dense(d, "csr")
+        w = rng.standard_normal((d.shape[1], 3))
+        assert np.allclose(csr.matmul_dense(w), d @ w)
+
+    def test_matmul_dense_dim_mismatch(self, rng):
+        csr = from_dense(random_dense(rng), "csr")
+        with pytest.raises(ValueError):
+            csr.matmul_dense(np.zeros((csr.shape[1] + 2, 3)))
+
+    def test_transpose(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "csr").transpose().to_dense(), d.T)
+
+    def test_diagonal(self, rng):
+        d = random_dense(rng, rows=5, cols=5)
+        assert np.allclose(from_dense(d, "csr").diagonal(), np.diag(d))
+
+    def test_row_slice(self, rng):
+        d = random_dense(rng)
+        csr = from_dense(d, "csr")
+        cols, vals = csr.row_slice(2)
+        row = np.zeros(d.shape[1])
+        row[cols] = vals
+        assert np.allclose(row, d[2])
+
+    def test_csr_to_coo_round_trip(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "csr").to_coo().to_dense(), d)
+
+    def test_csr_to_csc_round_trip(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "csr").to_csc().to_dense(), d)
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 2, 1], [0, 1], [1.0, 2.0], (2, 2))
+
+    def test_indptr_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_nnz_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1, 3], [0, 1], [1.0, 2.0], (2, 2))
+
+
+# ---------------------------------------------------------------- CSC basics
+
+
+class TestCSC:
+    def test_round_trip(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "csc").to_dense(), d)
+
+    def test_csc_to_csr(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "csc").to_csr().to_dense(), d)
+
+    def test_csc_to_coo(self, rng):
+        d = random_dense(rng)
+        assert np.allclose(from_dense(d, "csc").to_coo().to_dense(), d)
+
+    def test_invalid_row_index_rejected(self):
+        with pytest.raises(ValueError):
+            CSCMatrix([0, 1, 1], [7], [1.0], (2, 2))
+
+
+def test_from_dense_rejects_unknown_format(rng):
+    with pytest.raises(ValueError):
+        from_dense(random_dense(rng), "bsr")
+
+
+def test_from_dense_rejects_1d():
+    with pytest.raises(ValueError):
+        from_dense(np.zeros(4))
+
+
+# ---------------------------------------------------------------- properties
+
+
+@st.composite
+def dense_matrices(draw):
+    rows = draw(st.integers(1, 8))
+    cols = draw(st.integers(1, 8))
+    values = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False).map(lambda v: 0.0 if abs(v) < 1 else v),
+            min_size=rows * cols,
+            max_size=rows * cols,
+        )
+    )
+    return np.array(values).reshape(rows, cols)
+
+
+@settings(max_examples=50, deadline=None)
+@given(dense_matrices())
+def test_all_formats_round_trip(dense):
+    for fmt in ("coo", "csr", "csc"):
+        assert np.allclose(from_dense(dense, fmt).to_dense(), dense)
+
+
+@settings(max_examples=50, deadline=None)
+@given(dense_matrices(), st.integers(0, 2**31 - 1))
+def test_csr_matvec_property(dense, seed):
+    x = np.random.default_rng(seed).standard_normal(dense.shape[1])
+    csr = from_dense(dense, "csr")
+    assert np.allclose(csr.matvec(x), dense @ x, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_matrices())
+def test_transpose_involution(dense):
+    csr = from_dense(dense, "csr")
+    assert np.allclose(csr.transpose().transpose().to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_matrices())
+def test_nnz_preserved_across_conversions(dense):
+    coo = from_dense(dense, "coo")
+    assert coo.nnz == coo.to_csr().nnz == coo.to_csc().nnz

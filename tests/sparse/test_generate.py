@@ -1,0 +1,65 @@
+"""Tests for the synthetic sparse-problem generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import banded_spd, npb_cg_matrix, poisson_1d, poisson_2d, random_sparse
+
+
+class TestRandomSparse:
+    def test_density_respected(self, rng):
+        m = random_sparse(20, 20, 0.25, rng)
+        assert abs(m.density - 0.25) < 0.05
+
+    def test_formats(self, rng):
+        for fmt, cls_name in (("coo", "COOMatrix"), ("csr", "CSRMatrix"), ("csc", "CSCMatrix")):
+            m = random_sparse(5, 5, 0.5, rng, fmt=fmt)
+            assert type(m).__name__ == cls_name
+
+    def test_invalid_density_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_sparse(5, 5, 1.5, rng)
+
+    def test_unknown_format_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_sparse(5, 5, 0.5, rng, fmt="ell")
+
+
+class TestSPDGenerators:
+    def test_banded_is_spd(self, rng):
+        dense = banded_spd(12, 2, rng).to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.all(np.linalg.eigvalsh(dense) > 0)
+
+    def test_npb_cg_is_spd(self, rng):
+        dense = npb_cg_matrix(16, 5, rng).to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.all(np.linalg.eigvalsh(dense) > 0)
+
+    def test_npb_cg_seeded_determinism(self):
+        a = npb_cg_matrix(10, 3, np.random.default_rng(7)).to_dense()
+        b = npb_cg_matrix(10, 3, np.random.default_rng(7)).to_dense()
+        assert np.array_equal(a, b)
+
+
+class TestPoisson:
+    def test_poisson_1d_stencil(self):
+        dense = poisson_1d(5).to_dense()
+        assert np.allclose(np.diag(dense), 2.0)
+        assert np.allclose(np.diag(dense, 1), -1.0)
+        assert np.allclose(np.diag(dense, -1), -1.0)
+
+    def test_poisson_2d_row_sums(self):
+        # interior rows sum to 0, boundary rows are positive
+        dense = poisson_2d(4, 4).to_dense()
+        sums = dense.sum(axis=1)
+        assert np.all(sums >= 0)
+        assert np.allclose(np.diag(dense), 4.0)
+
+    def test_poisson_2d_symmetry_and_spd(self):
+        dense = poisson_2d(5, 4).to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.all(np.linalg.eigvalsh(dense) > 0)
+
+    def test_poisson_2d_shape(self):
+        assert poisson_2d(3, 7).shape == (21, 21)

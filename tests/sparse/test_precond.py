@@ -1,0 +1,112 @@
+"""Preconditioner tests: correctness and convergence acceleration."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import banded_spd, poisson_2d
+from repro.sparse.precond import (
+    ICPreconditioner,
+    JacobiPreconditioner,
+    SSORPreconditioner,
+    pcg,
+)
+
+
+@pytest.fixture
+def spd(rng):
+    return banded_spd(24, 3, rng)
+
+
+class TestJacobi:
+    def test_apply_is_diag_inverse(self, spd, rng):
+        pre = JacobiPreconditioner(spd)
+        r = rng.standard_normal(24)
+        assert np.allclose(pre.apply(r), r / spd.diagonal())
+
+    def test_zero_diagonal_rejected(self):
+        from repro.sparse import from_dense
+
+        m = from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]), "csr")
+        with pytest.raises(ValueError):
+            JacobiPreconditioner(m)
+
+
+class TestSSOR:
+    def test_identity_matrix_is_identity_map(self, rng):
+        from repro.sparse import from_dense
+
+        m = from_dense(np.eye(6), "csr")
+        pre = SSORPreconditioner(m)
+        r = rng.standard_normal(6)
+        assert np.allclose(pre.apply(r), r)
+
+    def test_apply_matches_dense_formula(self, spd, rng):
+        omega = 1.2
+        pre = SSORPreconditioner(spd, omega=omega)
+        a = spd.to_dense()
+        d = np.diag(np.diag(a))
+        lower = np.tril(a, -1)
+        upper = np.triu(a, 1)
+        m = (omega / (2 - omega)) * (
+            (d / omega + lower) @ np.linalg.inv(d) @ (d / omega + upper)
+        )
+        r = rng.standard_normal(spd.shape[0])
+        assert np.allclose(pre.apply(r), np.linalg.solve(m, r), atol=1e-8)
+
+    def test_invalid_omega_rejected(self, spd):
+        with pytest.raises(ValueError):
+            SSORPreconditioner(spd, omega=2.0)
+
+
+class TestIC0:
+    def test_exact_for_full_pattern(self, rng):
+        # a dense SPD matrix has no fill-in to drop: IC(0) = exact Cholesky
+        m = rng.standard_normal((8, 8))
+        a = m @ m.T + 8 * np.eye(8)
+        from repro.sparse import from_dense
+
+        csr = from_dense(a, "csr")
+        pre = ICPreconditioner(csr)
+        r = rng.standard_normal(8)
+        assert np.allclose(pre.apply(r), np.linalg.solve(a, r), atol=1e-8)
+
+    def test_factor_respects_sparsity(self):
+        matrix = poisson_2d(4, 4)
+        pre = ICPreconditioner(matrix)
+        dense = matrix.to_dense()
+        fill = (pre._lower != 0) & (np.tril(dense) == 0)
+        assert not fill.any()
+
+    def test_asymmetric_rejected(self, rng):
+        from repro.sparse import from_dense
+
+        m = from_dense(np.triu(np.ones((4, 4))) + np.eye(4) * 3, "csr")
+        with pytest.raises(ValueError):
+            ICPreconditioner(m)
+
+
+class TestPCG:
+    @pytest.mark.parametrize("precond_cls", [JacobiPreconditioner, SSORPreconditioner, ICPreconditioner])
+    def test_solves_poisson(self, precond_cls, rng):
+        matrix = poisson_2d(5, 5)
+        b = rng.standard_normal(25)
+        x, iters = pcg(matrix, b, precond_cls(matrix), tol=1e-10)
+        assert np.allclose(matrix.matvec(x), b, atol=1e-7)
+        assert iters <= 100
+
+    def test_better_preconditioners_converge_faster(self, rng):
+        matrix = poisson_2d(7, 7)
+        b = rng.standard_normal(49)
+        _, it_jacobi = pcg(matrix, b, JacobiPreconditioner(matrix), tol=1e-10)
+        _, it_ic = pcg(matrix, b, ICPreconditioner(matrix), tol=1e-10)
+        assert it_ic <= it_jacobi
+
+    def test_honours_initial_guess(self, rng):
+        matrix = poisson_2d(4, 4)
+        b = rng.standard_normal(16)
+        exact, _ = pcg(matrix, b, JacobiPreconditioner(matrix), tol=1e-12)
+        warm, iters = pcg(
+            matrix, b, JacobiPreconditioner(matrix), x0=exact, tol=1e-10
+        )
+        assert iters == 0
+        assert np.allclose(warm, exact)
