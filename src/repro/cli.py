@@ -4,6 +4,8 @@ The paper wraps the workflow in scripts the domain scientist runs after
 annotating a region.  This CLI exposes the same verbs::
 
     python -m repro list-apps
+    python -m repro lint src/repro/apps/cg.py --format json
+    python -m repro lint CG                   # app: lint + cross-validate
     python -m repro trace CG --dot /tmp/cg.dot
     python -m repro build Blackscholes --samples 400 --out /tmp/bs
     python -m repro evaluate Blackscholes --problems 50
@@ -37,6 +39,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-apps", help="list the Table 2 applications")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static surrogate-fitness preflight over a file, module, or app",
+    )
+    lint.add_argument(
+        "target",
+        help="python file path, dotted module name, or app name (see list-apps)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="diagnostic output format (json is stable for CI consumption)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning"), default="error",
+        help="lowest severity that makes the exit code nonzero",
+    )
+    lint.add_argument(
+        "--no-crossval", action="store_true",
+        help="for app targets: skip the dynamic trace cross-validation",
+    )
+    lint.add_argument("--seed", type=int, default=0)
 
     trace = sub.add_parser("trace", help="run the extractor on an app's region")
     trace.add_argument("app", help="application name (see list-apps)")
@@ -86,6 +110,38 @@ def _cmd_list_apps() -> int:
     for cls in ALL_APPLICATIONS:
         print(f"{cls.name:<16}{cls.app_type:<6}{cls.replaced_function:<22}{cls.qoi_name}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from .static import LintReport, Severity, cross_validate, lint_region_fn, lint_module
+
+    app_names = {cls.name.lower() for cls in ALL_APPLICATIONS}
+    if not os.path.isfile(args.target) and args.target.lower() in app_names:
+        # app target: runtime lint of the region plus static/dynamic
+        # cross-validation on the app's example problem
+        app = make_application(args.target)
+        static_report, diags = lint_region_fn(app.region_fn)
+        report = LintReport(
+            target=f"app {app.name} (region {static_report.region_name!r})",
+            regions=(static_report.region_name,),
+            diagnostics=list(diags),
+        )
+        if not args.no_crossval:
+            problem = app.example_problem(np.random.default_rng(args.seed))
+            cv = cross_validate(app.region_fn, problem)
+            report.extend(cv.diagnostics)
+            if args.fmt == "text":
+                print(cv.summary())
+    else:
+        report = lint_module(args.target)
+
+    if args.fmt == "json":
+        print(report.format_json())
+    else:
+        print(report.format_text())
+    return report.exit_code(Severity.parse(args.fail_on))
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -143,6 +199,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-apps":
         return _cmd_list_apps()
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "build":

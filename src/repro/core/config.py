@@ -43,6 +43,7 @@ class AutoHPCnetConfig:
     quality_problems: int = 12          # validation problems for f_e
     cost_metric: str = "time"           # f_c metric: "time" | "energy" (§5.1)
     model_type: str = "mlp"             # surrogate family: "mlp" | "cnn" (Table 1)
+    preflight: str = "error"            # static fitness preflight: off | warn | error
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -50,6 +51,8 @@ class AutoHPCnetConfig:
             raise ValueError("preprocessing must be 'standardize' or 'none'")
         if self.model_type not in ("mlp", "cnn"):
             raise ValueError("model_type must be 'mlp' or 'cnn'")
+        if self.preflight not in ("off", "warn", "error"):
+            raise ValueError("preflight must be 'off', 'warn' or 'error'")
         if not 0.0 <= self.quality_loss:
             raise ValueError("quality_loss must be non-negative")
         if self.n_samples < 10:

@@ -27,6 +27,7 @@ from ..nas.package import SurrogatePackage
 from ..nas.space import CNNSpace, InputDimSpace, TopologySpace
 from ..perf.metrics import relative_qoi_error
 from ..perf.timers import PhaseTimer
+from ..static.preflight import preflight_region
 from .config import AutoHPCnetConfig
 from .scaling import Scaler
 
@@ -147,6 +148,12 @@ class AutoHPCnet:
         """Run acquisition + 2D NAS for ``app``; returns the deployed surrogate."""
         cfg = self.config
         timers = PhaseTimer()
+
+        with timers.measure("static_preflight"):
+            # fail fast on an unfit region (impure, nondeterministic, or
+            # inconsistently annotated) before any trace/train cost is paid;
+            # raises PreflightError in "error" mode, warns in "warn" mode
+            preflight_region(app.region_fn, mode=cfg.preflight)
 
         with timers.measure("trace_generation"):
             acq = app.acquire(

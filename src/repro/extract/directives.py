@@ -16,7 +16,9 @@ Example::
 
 from __future__ import annotations
 
+import ast
 import functools
+import textwrap
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -38,6 +40,15 @@ class RegionSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("code region needs a non-empty name")
+        if self.continuation_source is not None:
+            try:
+                ast.parse(textwrap.dedent(self.continuation_source))
+            except SyntaxError as exc:
+                raise ValueError(
+                    f"code region {self.name!r}: continuation_source is not "
+                    f"valid Python ({exc.msg} at line {exc.lineno}); pass the "
+                    "source text of the code that runs after the region"
+                ) from None
 
 
 def code_region(

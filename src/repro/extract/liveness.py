@@ -30,16 +30,16 @@ def _live_in_body(body: list[ast.stmt], live_out: frozenset[str]) -> frozenset[s
         elif isinstance(stmt, (ast.For, ast.While)):
             # loop body may execute zero times: union of fall-through and
             # one-iteration liveness, iterated to a (2-pass) fixed point
+            header = analyze_statement(stmt, -1)
             body_live = set(live)
             for _ in range(2):
                 body_live |= _live_in_body(stmt.body, frozenset(body_live))
-            header = analyze_statement(stmt, -1)
-            live = (body_live | set(header.reads) | set(live)) - set()
             if isinstance(stmt, ast.For):
-                live -= set()  # loop target defined by the loop itself
-                target_info = analyze_statement(stmt, -1)
-                live -= set(target_info.writes)
-                live |= set(header.reads)
+                # the loop target is defined by the loop itself, so body
+                # uses of it are not live into the loop; uses *after* the
+                # loop (the zero-iteration path) survive via `live` below
+                body_live -= set(header.writes)
+            live = body_live | set(header.reads) | set(live)
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
             continue
         else:

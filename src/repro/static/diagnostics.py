@@ -1,0 +1,130 @@
+"""Diagnostic model of the static surrogate-fitness analyzer.
+
+Every check in :mod:`repro.static` — metadata validation, purity linting,
+static/dynamic cross-validation — reports its findings as
+:class:`Diagnostic` records: a stable rule id, a severity, a source
+location and a human-readable message.  :class:`LintReport` aggregates the
+diagnostics for one lint target and renders them as text (one
+``file:line:col`` line per finding, the format editors and CI annotate) or
+as JSON (for machine consumption).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(IntEnum):
+    """Diagnostic severity; ordering allows threshold comparisons."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {label!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    rule: str                      # stable id, e.g. "SF201"
+    severity: Severity
+    message: str
+    region: Optional[str] = None   # region name the finding concerns
+    file: Optional[str] = None
+    line: int = 0
+    col: int = 0
+
+    def format(self) -> str:
+        location = f"{self.file or '<unknown>'}:{self.line}:{self.col}"
+        scope = f" [{self.region}]" if self.region else ""
+        return f"{location}: {self.severity.label} {self.rule}{scope}: {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "region": self.region,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class LintReport:
+    """All diagnostics produced for one lint target."""
+
+    target: str
+    regions: tuple[str, ...] = ()
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def counts(self) -> dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for d in self.diagnostics:
+            counts[d.severity.label] += 1
+        return counts
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """0 when clean at the threshold, 1 otherwise (CI contract)."""
+        return 1 if self.at_least(fail_on) else 0
+
+    # -- rendering --------------------------------------------------------
+
+    def format_text(self) -> str:
+        lines = [f"lint {self.target}: {len(self.regions)} region(s) "
+                 f"{list(self.regions)}"]
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.file or "", d.line, d.rule),
+        )
+        lines.extend(d.format() for d in ordered)
+        c = self.counts()
+        lines.append(
+            f"{c['error']} error(s), {c['warning']} warning(s), {c['info']} info"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "target": self.target,
+            "regions": list(self.regions),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "summary": self.counts(),
+        }
+
+    def format_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)

@@ -1,0 +1,240 @@
+"""Region discovery and the lint driver.
+
+Two front ends share the same inference + rules core:
+
+* :func:`lint_path` / :func:`lint_source` — **pure AST**: the target file
+  is parsed, never imported, so linting untrusted or heavyweight modules
+  is free of side effects.  ``@code_region`` metadata is recovered from
+  the decorator's literal arguments.
+* :func:`lint_region_fn` — **runtime**: a live decorated function is
+  analyzed via its attached :class:`RegionSpec` (authoritative metadata)
+  and ``inspect``-recovered source, with line numbers mapped back to the
+  defining file.
+
+Both return plain :class:`Diagnostic` lists; :func:`lint_module` wraps
+them into a :class:`LintReport` for the CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import os
+from typing import Optional
+
+from .diagnostics import Diagnostic, LintReport, Severity
+from .inference import (
+    RegionMeta,
+    StaticRegionReport,
+    infer_function,
+    region_function_ast,
+)
+from .rules import RULES, run_rules
+
+__all__ = [
+    "discover_regions",
+    "lint_source",
+    "lint_path",
+    "lint_region_fn",
+    "lint_module",
+    "resolve_target",
+]
+
+_DECORATOR_NAMES = ("code_region",)
+
+
+def _decorator_call(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Optional[ast.Call]:
+    """The ``@code_region(...)`` decorator call, if present."""
+    for deco in func.decorator_list:
+        node = deco
+        if isinstance(node, ast.Call):
+            target = node.func
+        else:
+            target = node
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name in _DECORATOR_NAMES:
+            return node if isinstance(node, ast.Call) else ast.Call(
+                func=target, args=[], keywords=[]
+            )
+    return None
+
+
+def _literal(node: ast.AST):
+    """``ast.literal_eval`` that returns None instead of raising."""
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, TypeError, SyntaxError, MemoryError):
+        return None
+
+
+def _meta_from_decorator(call: ast.Call, func: ast.FunctionDef) -> RegionMeta:
+    name = None
+    live_after: Optional[tuple[str, ...]] = ()
+    continuation = None
+    if call.args:
+        value = _literal(call.args[0])
+        name = value if isinstance(value, str) else None
+    for kw in call.keywords:
+        if kw.arg == "name":
+            value = _literal(kw.value)
+            name = value if isinstance(value, str) else None
+        elif kw.arg == "live_after":
+            value = _literal(kw.value)
+            if value is None and not isinstance(kw.value, ast.Constant):
+                live_after = None  # non-literal: statically unknown
+            else:
+                try:
+                    live_after = tuple(str(v) for v in (value or ()))
+                except TypeError:
+                    live_after = None
+        elif kw.arg == "continuation_source":
+            value = _literal(kw.value)
+            continuation = value if isinstance(value, str) else None
+    return RegionMeta(
+        name=name,
+        live_after=live_after,
+        continuation_source=continuation,
+        lineno=func.lineno,
+    )
+
+
+def discover_regions(
+    tree: ast.Module,
+) -> list[tuple[ast.FunctionDef, RegionMeta]]:
+    """All ``@code_region``-decorated function definitions in a module AST."""
+    regions = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            call = _decorator_call(node)
+            if call is not None:
+                regions.append((node, _meta_from_decorator(call, node)))
+    return regions
+
+
+def _lint_one(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    meta: RegionMeta,
+    filename: Optional[str],
+) -> tuple[StaticRegionReport, list[Diagnostic]]:
+    report = infer_function(func, meta)
+    return report, run_rules(func, meta, report, filename)
+
+
+def lint_source(source: str, filename: str = "<string>") -> LintReport:
+    """Pure-AST lint of a module's source text."""
+    report = LintReport(target=filename)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.diagnostics.append(
+            Diagnostic(
+                rule="SF102",
+                severity=Severity.ERROR,
+                message=f"module does not parse: {exc.msg}",
+                file=filename,
+                line=exc.lineno or 0,
+            )
+        )
+        return report
+
+    regions = discover_regions(tree)
+    names: list[str] = []
+    seen: dict[str, int] = {}
+    for func, meta in regions:
+        static_report, diags = _lint_one(func, meta, filename)
+        names.append(static_report.region_name)
+        report.extend(diags)
+        key = meta.name or static_report.region_name
+        if key in seen:
+            report.diagnostics.append(
+                Diagnostic(
+                    rule="SF107",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"duplicate region name {key!r} (first defined at "
+                        f"line {seen[key]})"
+                    ),
+                    region=key,
+                    file=filename,
+                    line=func.lineno,
+                )
+            )
+        else:
+            seen[key] = func.lineno
+    report.regions = tuple(names)
+
+    if not regions:
+        report.diagnostics.append(
+            Diagnostic(
+                rule="SF001",
+                severity=Severity.INFO,
+                message="no @code_region-annotated functions found",
+                file=filename,
+            )
+        )
+    return report
+
+
+def lint_path(path: str) -> LintReport:
+    """Pure-AST lint of a Python file (the file is read, never imported)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, filename=path)
+
+
+def lint_region_fn(fn) -> tuple[StaticRegionReport, list[Diagnostic]]:
+    """Lint one live ``@code_region`` function using its attached spec."""
+    from ..extract.directives import get_region_spec
+
+    spec = get_region_spec(fn)
+    func, filename, _ = region_function_ast(fn)
+    meta = RegionMeta(
+        name=spec.name,
+        live_after=tuple(spec.live_after),
+        continuation_source=spec.continuation_source,
+        lineno=func.lineno,
+    )
+    return _lint_one(func, meta, filename)
+
+
+def resolve_target(target: str) -> Optional[str]:
+    """Map a lint target (file path or dotted module name) to a file path.
+
+    Returns None when the target cannot be resolved.  Dotted names are
+    located with :func:`importlib.util.find_spec` — the module file is
+    found but **not** imported.
+    """
+    if os.path.isfile(target):
+        return target
+    if "/" in target or target.endswith(".py"):
+        return None
+    try:
+        spec = importlib.util.find_spec(target)
+    except (ImportError, ValueError, ModuleNotFoundError):
+        return None
+    if spec is None or not spec.origin or spec.origin == "built-in":
+        return None
+    return spec.origin
+
+
+def lint_module(target: str) -> LintReport:
+    """Lint a file path or dotted module name; never imports the target."""
+    path = resolve_target(target)
+    if path is None:
+        report = LintReport(target=target)
+        report.diagnostics.append(
+            Diagnostic(
+                rule="SF002",
+                severity=Severity.ERROR,
+                message=(
+                    f"cannot resolve lint target {target!r} to a Python "
+                    "file (expected a path, dotted module, or app name)"
+                ),
+            )
+        )
+        return report
+    report = lint_path(path)
+    report.target = target if target == path else f"{target} ({path})"
+    return report

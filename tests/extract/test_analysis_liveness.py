@@ -111,3 +111,91 @@ class TestLiveness:
         live = live_in(src)
         assert "w" in live
         assert "q" not in live
+
+
+class TestLivenessLoopTargets:
+    """Regression: the for-loop target must be killed from body liveness."""
+
+    def test_loop_target_shadowing_region_output_not_live(self):
+        # the continuation's own loop redefines `x`; a region output named
+        # `x` must NOT be forced live by the body's uses of it
+        src = "for x in data:\n    acc = acc + x\nprint(acc)"
+        live = live_in(src)
+        assert "x" not in live
+        assert {"data", "acc"} <= live
+
+    def test_fallthrough_use_of_target_stays_live(self):
+        # zero-iteration path: if `data` is empty, the `x` read after the
+        # loop is the region's `x`, so it must remain live
+        src = "for x in data:\n    pass\nprint(x)"
+        live = live_in(src)
+        assert "x" in live
+        assert "data" in live
+
+    def test_tuple_target_killed(self):
+        src = "for k, v in pairs:\n    total = total + k * v\nprint(total)"
+        live = live_in(src)
+        assert "k" not in live and "v" not in live
+        assert {"pairs", "total"} <= live
+
+    def test_target_read_in_iter_stays_live(self):
+        # `range(i)` reads the *outer* i before the loop rebinds it
+        src = "for i in range(i):\n    s = s + i\nprint(s)"
+        live = live_in(src)
+        assert "i" in live
+
+
+class TestLivenessCornerCases:
+    def test_augassign_keeps_target_live(self):
+        # x += 1 is a read-modify-write: the pre-region x is consumed
+        assert "x" in live_in("x += 1\nprint(x)")
+
+    def test_augassign_on_array_element(self):
+        assert "arr" in live_in("arr[0] += 1.0\nprint(arr)")
+
+    def test_nested_if_inside_for(self):
+        src = (
+            "for i in range(n):\n"
+            "    if flags[i]:\n"
+            "        pos = pos + step\n"
+            "    else:\n"
+            "        neg = neg + step\n"
+            "print(pos + neg)"
+        )
+        live = live_in(src)
+        assert {"n", "flags", "step", "pos", "neg"} <= live
+        assert "i" not in live
+
+    def test_nested_for_targets_all_killed(self):
+        src = (
+            "for i in range(n):\n"
+            "    for j in range(m):\n"
+            "        acc = acc + grid[i] * grid[j]\n"
+            "print(acc)"
+        )
+        live = live_in(src)
+        assert {"n", "m", "grid", "acc"} <= live
+        assert "i" not in live and "j" not in live
+
+    def test_while_loop_test_and_body_reads(self):
+        src = "while err > tol:\n    err = err * decay\nprint(err)"
+        live = live_in(src)
+        assert {"err", "tol", "decay"} <= live
+
+    def test_while_body_write_does_not_kill(self):
+        # the body may run zero times, so a pre-loop `u` can reach print(u)
+        src = "while cond:\n    u = 0.0\nprint(u)"
+        live = live_in(src)
+        assert "u" in live and "cond" in live
+
+    def test_tuple_unpacking_assignment_kills_targets(self):
+        src = "a, b = f(z)\nprint(a + b)"
+        live = live_in(src)
+        assert "a" not in live and "b" not in live
+        assert "z" in live
+
+    def test_starred_unpacking(self):
+        src = "a, *rest = items\nprint(a, rest)"
+        live = live_in(src)
+        assert "a" not in live and "rest" not in live
+        assert "items" in live

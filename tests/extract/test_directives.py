@@ -51,3 +51,31 @@ class TestCodeRegion:
         spec = RegionSpec(name="n", fn=lambda: None)
         with pytest.raises(AttributeError):
             spec.name = "other"
+
+
+class TestContinuationValidation:
+    def test_invalid_continuation_rejected_at_decoration(self):
+        with pytest.raises(ValueError, match="continuation_source is not valid"):
+            @code_region(name="bad", continuation_source="def broken(:")
+            def region(x):
+                z = x
+                return z
+
+    def test_error_names_the_region(self):
+        with pytest.raises(ValueError, match="'bad2'"):
+            @code_region(name="bad2", continuation_source="x ===== 1")
+            def region(x):
+                return x
+
+    def test_indented_continuation_accepted(self):
+        # continuations captured from inside a function body arrive indented
+        @code_region(name="ok", continuation_source="    print(z)\n    z += 1")
+        def region(x):
+            z = x
+            return z
+
+        assert get_region_spec(region).continuation_source is not None
+
+    def test_direct_regionspec_construction_validated(self):
+        with pytest.raises(ValueError, match="continuation_source"):
+            RegionSpec(name="n", fn=lambda: None, continuation_source="if :")

@@ -1,0 +1,35 @@
+"""Deliberately surrogate-unfit regions — linted via AST only, NEVER imported.
+
+Importing this module would raise at decoration time (``bad_meta`` has a
+``continuation_source`` that does not parse, which ``RegionSpec`` now
+rejects).  That is the point: the static linter must find every problem
+from the source text alone, without importing the module.  Tests lint this
+file by path.
+"""
+
+import numpy as np
+
+from repro.extract import code_region
+
+COUNTER = {}
+
+
+@code_region(name="unfit", live_after=("out",))
+def unfit_region(data, scratch):
+    global COUNTER                                   # SF203: global declaration
+    noise = np.random.standard_normal(data.shape)    # SF201: nondeterministic
+    print("tracing", data.shape)                     # SF202: I/O
+    scratch[0] = float(data.sum())                   # SF204: mutates input arg
+    COUNTER["calls"] = COUNTER.get("calls", 0) + 1   # SF203: global mutation
+    out = eval("data + noise")                       # SF205: dynamic execution
+    return out
+
+
+@code_region(
+    name="bad_meta",
+    live_after=("missing",),                         # SF103: never written
+    continuation_source="def broken(:",              # SF102: does not parse
+)
+def bad_meta(x):
+    y = x * 2.0
+    return y                                         # SF105: y not live_after

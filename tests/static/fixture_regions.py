@@ -1,0 +1,44 @@
+"""Importable region fixtures for static-analysis tests.
+
+They live in a real module (not a test body) because runtime linting and
+the tracer both need ``inspect.getsource`` to work.  Unlike
+``fixture_bad_regions.py`` these decorate cleanly.
+"""
+
+import numpy as np
+
+from repro.extract import code_region
+
+
+@code_region(name="branch_hidden", live_after=("out",))
+def branch_hidden(x, y, flag):
+    """Reads ``y`` only on the branch an example trace may never take."""
+    if flag > 0:
+        out = x * 2.0
+    else:
+        out = y - 1.0
+    return out
+
+
+@code_region(name="maybe_extra", live_after=("out", "extra"))
+def maybe_extra(x, flag):
+    """Writes the declared output ``extra`` only on one branch."""
+    out = x * 2.0
+    if flag > 0:
+        extra = x + 1.0
+    return out
+
+
+@code_region(name="impure_live", live_after=("out",))
+def impure_live(x):
+    """Decoratable but surrogate-unfit: used by the preflight tests."""
+    print("computing")                      # SF202
+    noise = np.random.random(x.shape)       # SF201
+    out = x + noise
+    return out
+
+
+@code_region(name="clean_saxpy", live_after=("y",))
+def clean_saxpy(a, x, y0):
+    y = y0 + a * x
+    return y

@@ -1,0 +1,97 @@
+"""Static/dynamic cross-validation tests (acceptance: CG, AMG, Blackscholes)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_application
+from repro.static import Severity, cross_validate
+from repro.static.crossval import _diff
+from repro.static.inference import infer_region_fn
+
+from . import fixture_regions
+
+
+@pytest.mark.parametrize("app_name", ["CG", "AMG", "Blackscholes"])
+def test_seed_apps_agree(app_name):
+    app = make_application(app_name)
+    problem = app.example_problem(np.random.default_rng(0))
+    cv = cross_validate(app.region_fn, problem)
+    assert cv.agrees, cv.summary()
+    assert cv.static_inputs == cv.dynamic_inputs
+    assert cv.static_outputs == cv.dynamic_outputs
+    assert len(cv.static_inputs) >= 3
+    assert cv.static_outputs  # at least one output
+
+
+def test_cg_exact_sets():
+    app = make_application("CG")
+    problem = app.example_problem(np.random.default_rng(0))
+    cv = cross_validate(app.region_fn, problem)
+    assert cv.static_inputs == ("A", "b", "max_iters", "tol", "x0")
+    assert cv.static_outputs == ("x",)
+
+
+class TestDisagreements:
+    def test_static_only_input_on_untaken_branch(self):
+        # flag > 0 takes the x-branch, so the trace never reads y
+        cv = cross_validate(
+            fixture_regions.branch_hidden,
+            {"x": np.ones(4), "y": np.ones(4), "flag": 1.0},
+        )
+        assert not cv.agrees
+        rules = {d.rule for d in cv.diagnostics}
+        assert rules == {"SF301"}
+        (diag,) = cv.diagnostics
+        assert diag.severity == Severity.WARNING
+        assert "'y'" in diag.message
+        assert "y" in cv.static_inputs and "y" not in cv.dynamic_inputs
+
+    def test_branch_taken_both_sides_agree_on_that_path_output(self):
+        cv = cross_validate(
+            fixture_regions.branch_hidden,
+            {"x": np.ones(4), "y": np.ones(4), "flag": 1.0},
+        )
+        assert cv.static_outputs == cv.dynamic_outputs == ("out",)
+
+    def test_static_only_output_on_untaken_write(self):
+        # flag < 0 skips the branch that writes the declared output `extra`
+        cv = cross_validate(
+            fixture_regions.maybe_extra,
+            {"x": np.ones(4), "flag": -1.0},
+        )
+        rules = {d.rule for d in cv.diagnostics}
+        assert "SF303" in rules
+        assert "extra" in cv.static_outputs
+        assert "extra" not in cv.dynamic_outputs
+
+    def test_taken_write_no_output_disagreement(self):
+        cv = cross_validate(
+            fixture_regions.maybe_extra,
+            {"x": np.ones(4), "flag": 1.0},
+        )
+        assert {d.rule for d in cv.diagnostics} <= {"SF301"}
+        assert "extra" in cv.dynamic_outputs
+
+    def test_dynamic_only_sides_are_errors(self):
+        # the dynamic-only directions cannot arise from well-formed regions
+        # (the tracer shares the static per-statement read/write sets), but
+        # the reporting path must stay correct for defensive use
+        report = infer_region_fn(fixture_regions.clean_saxpy)
+        for kind, rule in [
+            ("dynamic_only_input", "SF302"),
+            ("dynamic_only_output", "SF304"),
+        ]:
+            diags = _diff(kind, {"phantom"}, "clean_saxpy", report, "<test>")
+            assert len(diags) == 1
+            assert diags[0].rule == rule
+            assert diags[0].severity == Severity.ERROR
+            assert "phantom" in diags[0].message
+
+    def test_clean_region_agrees(self):
+        cv = cross_validate(
+            fixture_regions.clean_saxpy,
+            {"a": 2.0, "x": np.ones(4), "y0": np.zeros(4)},
+        )
+        assert cv.agrees
+        assert cv.static_inputs == ("a", "x", "y0")
+        assert cv.static_outputs == ("y",)

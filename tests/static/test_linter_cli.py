@@ -1,0 +1,129 @@
+"""Linter front-end, report rendering, and the ``repro lint`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.static import Severity, lint_module, lint_path, lint_source
+
+FIXTURE_DIR = os.path.dirname(__file__)
+BAD_FIXTURE = os.path.join(FIXTURE_DIR, "fixture_bad_regions.py")
+REPO_ROOT = os.path.dirname(os.path.dirname(FIXTURE_DIR))
+QUICKSTART = os.path.join(REPO_ROOT, "examples", "quickstart.py")
+
+
+class TestDiscovery:
+    def test_discovers_decorated_functions(self):
+        report = lint_source(
+            "from repro.extract import code_region\n"
+            "@code_region(name='one', live_after=('a',))\n"
+            "def f1(x):\n    a = x\n    return a\n"
+            "def plain(x):\n    return x\n"
+        )
+        assert report.regions == ("one",)
+
+    def test_duplicate_region_names_flagged(self):
+        report = lint_source(
+            "from repro.extract import code_region\n"
+            "@code_region(name='dup', live_after=('a',))\n"
+            "def f1(x):\n    a = x\n    return a\n"
+            "@code_region(name='dup', live_after=('b',))\n"
+            "def f2(x):\n    b = x\n    return b\n"
+        )
+        assert "SF107" in {d.rule for d in report.errors}
+
+    def test_no_regions_is_info_only(self):
+        report = lint_source("x = 1\n")
+        assert report.regions == ()
+        assert {d.rule for d in report.diagnostics} == {"SF001"}
+        assert report.exit_code() == 0
+
+    def test_syntax_error_is_error(self):
+        report = lint_source("def broken(:\n")
+        assert report.exit_code() == 1
+
+    def test_positional_name_argument(self):
+        report = lint_source(
+            "from repro.extract import code_region\n"
+            "@code_region('pos_name', live_after=('a',))\n"
+            "def f1(x):\n    a = x\n    return a\n"
+        )
+        assert report.regions == ("pos_name",)
+
+
+class TestReportRendering:
+    def test_text_format_has_location_lines(self):
+        text = lint_path(BAD_FIXTURE).format_text()
+        assert "fixture_bad_regions.py" in text
+        assert "error SF201" in text
+        assert "error(s)" in text
+
+    def test_json_roundtrip(self):
+        payload = json.loads(lint_path(BAD_FIXTURE).format_json())
+        assert payload["summary"]["error"] >= 4
+        assert {"rule", "severity", "message", "file", "line", "col", "region"} <= set(
+            payload["diagnostics"][0]
+        )
+
+    def test_exit_code_thresholds(self):
+        report = lint_source(
+            "from repro.extract import code_region\n"
+            "@code_region(name='w', live_after=())\n"
+            "def f1(x):\n    a = x\n    return a * 2\n"   # SF104 warning only
+        )
+        assert report.exit_code(Severity.ERROR) == 0
+        assert report.exit_code(Severity.WARNING) == 1
+
+
+class TestLintModuleResolution:
+    def test_path_target(self):
+        assert lint_module(BAD_FIXTURE).exit_code() == 1
+
+    def test_dotted_module_target(self):
+        report = lint_module("repro.apps.cg")
+        assert report.regions == ("cg_solver",)
+        assert report.exit_code() == 0
+
+    def test_unresolvable_target(self):
+        report = lint_module("no.such.module")
+        assert {d.rule for d in report.errors} == {"SF002"}
+        assert report.exit_code() == 1
+
+
+class TestCLI:
+    def test_lint_quickstart_exits_zero(self, capsys):
+        assert main(["lint", QUICKSTART]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_quickstart_json(self, capsys):
+        assert main(["lint", QUICKSTART, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error"] == 0
+
+    def test_lint_bad_fixture_exits_nonzero(self, capsys):
+        assert main(["lint", BAD_FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "SF201" in out and "SF204" in out
+
+    def test_lint_app_runs_crossval(self, capsys):
+        assert main(["lint", "CG"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-validation 'cg_solver': agree" in out
+
+    def test_lint_app_no_crossval(self, capsys):
+        assert main(["lint", "CG", "--no-crossval"]) == 0
+        assert "cross-validation" not in capsys.readouterr().out
+
+    def test_lint_app_json_is_pure_json(self, capsys):
+        assert main(["lint", "Blackscholes", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regions"] == ["blackscholes"]
+
+    def test_fail_on_warning(self):
+        # the bad fixture has warnings too; threshold must tighten the gate
+        assert main(["lint", BAD_FIXTURE, "--fail-on", "warning"]) == 1
+
+    def test_unknown_target_exits_nonzero(self):
+        assert main(["lint", "definitely.not.a.module"]) == 1

@@ -1,0 +1,42 @@
+"""Self-hosting: the repo's own regions must be lint-clean.
+
+Every application module and every example is linted by path (pure AST),
+and every application region again at runtime through its attached spec —
+the same gate the CI lint job applies.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS
+from repro.static import Severity, lint_path, lint_region_fn
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+APP_FILES = sorted(glob.glob(os.path.join(REPO_ROOT, "src", "repro", "apps", "*.py")))
+EXAMPLE_FILES = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.py")))
+
+
+def test_fixture_paths_found():
+    assert len(APP_FILES) >= 12
+    assert len(EXAMPLE_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", APP_FILES + EXAMPLE_FILES, ids=os.path.basename)
+def test_module_lints_clean(path):
+    report = lint_path(path)
+    noisy = report.at_least(Severity.WARNING)
+    assert not noisy, "\n".join(d.format() for d in noisy)
+    assert report.exit_code() == 0
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPLICATIONS, ids=lambda c: c.name)
+def test_region_fn_lints_clean(app_cls):
+    app = app_cls()
+    static_report, diags = lint_region_fn(app.region_fn)
+    errors = [d for d in diags if d.severity >= Severity.WARNING]
+    assert not errors, "\n".join(d.format() for d in errors)
+    # the region's declared outputs are all statically derivable
+    assert static_report.outputs
+    assert static_report.inputs
