@@ -8,12 +8,18 @@ annotating a region.  This CLI exposes the same verbs::
     python -m repro lint CG                   # app: lint + cross-validate
     python -m repro trace CG --dot /tmp/cg.dot
     python -m repro build Blackscholes --samples 400 --out /tmp/bs
+    python -m repro build CG --trace-out build.trace.json
     python -m repro evaluate Blackscholes --problems 50
     python -m repro compare FFT
+    python -m repro telemetry --app Blackscholes --format prometheus
 
 ``build`` writes the surrogate package (and the search checkpoint) to
 ``--out``; ``evaluate`` and ``compare`` build in-process with the given
-budgets and run the Fig. 5 / Fig. 6 protocols.
+budgets and run the Fig. 5 / Fig. 6 protocols.  ``--trace-out`` dumps a
+Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)
+and ``--metrics-out`` the Prometheus exposition; ``telemetry`` prints the
+process-global metrics registry, optionally after exercising one app's
+build + serving + guard path.
 """
 
 from __future__ import annotations
@@ -24,9 +30,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from . import obs
 from .apps import ALL_APPLICATIONS, make_application
 from .core import AutoHPCnet, AutoHPCnetConfig, evaluate_surrogate
-from .core.reports import format_build_report, format_evaluation_table
+from .core.reports import (
+    format_build_report,
+    format_evaluation_table,
+    format_metrics_table,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -76,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--quality-loss", type=float, default=0.10)
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--out", help="directory for the package + checkpoint")
+    _add_telemetry_args(build)
 
     evaluate = sub.add_parser("evaluate", help="Fig. 5 protocol on one app")
     evaluate.add_argument("app")
@@ -83,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--mu", type=float, default=0.10)
     evaluate.add_argument("--samples", type=int, default=400)
     evaluate.add_argument("--seed", type=int, default=0)
+    _add_telemetry_args(evaluate)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="dump the process-global metrics registry (optionally after "
+        "exercising one app's build + serving path)",
+    )
+    telemetry.add_argument(
+        "--app", help="build + serve this app first so the registry has data"
+    )
+    telemetry.add_argument("--samples", type=int, default=120)
+    telemetry.add_argument("--outer", type=int, default=1)
+    telemetry.add_argument("--inner", type=int, default=2)
+    telemetry.add_argument("--problems", type=int, default=5)
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument(
+        "--format", choices=("table", "prometheus", "json"), default="table",
+        dest="fmt", help="metrics output format",
+    )
+    _add_telemetry_args(telemetry)
 
     compare = sub.add_parser(
         "compare", help="Fig. 6 protocol: vs ACCEPT / perforation / Autokeras"
@@ -93,6 +125,34 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
 
     return parser
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        help="write a Chrome trace-event JSON of the run (open in "
+        "chrome://tracing or https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write the Prometheus text exposition of the run's metrics",
+    )
+
+
+def _flush_telemetry(args: argparse.Namespace) -> None:
+    """Honor --trace-out/--metrics-out after a command body ran."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        path = obs.get_tracer().export_chrome_trace(trace_out)
+        print(f"trace written to {path}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from pathlib import Path
+
+        path = Path(metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(obs.get_registry().to_prometheus())
+        print(f"metrics written to {path}")
 
 
 def _config(args: argparse.Namespace) -> AutoHPCnetConfig:
@@ -166,6 +226,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.out:
         build.surrogate.package.save(f"{args.out}/package")
         print(f"\npackage saved to {args.out}/package")
+    _flush_telemetry(args)
     return 0
 
 
@@ -179,6 +240,31 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         rng=np.random.default_rng(args.seed + 1),
     )
     print(format_evaluation_table([row]))
+    _flush_telemetry(args)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.app:
+        from .runtime import ServingSession, default_validator, GuardedSurrogate
+
+        app = make_application(args.app)
+        build = AutoHPCnet(_config(args)).build(app)
+        session = ServingSession(build.surrogate.package)
+        guarded = GuardedSurrogate(build.surrogate, default_validator(app.name))
+        rng = np.random.default_rng(args.seed + 1)
+        for problem in app.generate_problems(args.problems, rng):
+            session.infer(build.surrogate.input_schema.flatten(problem))
+            guarded.run(problem)
+        print(f"exercised {args.problems} serving + guarded invocations on {app.name}\n")
+    registry = obs.get_registry()
+    if args.fmt == "prometheus":
+        print(registry.to_prometheus(), end="")
+    elif args.fmt == "json":
+        print(registry.to_json())
+    else:
+        print(format_metrics_table(registry.snapshot()))
+    _flush_telemetry(args)
     return 0
 
 
@@ -209,6 +295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -20,6 +20,7 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from .. import obs
 from ..apps.base import Application
 from ..extract.acquisition import AcquisitionResult
 from ..nas.hierarchical import Hierarchical2DSearch, SearchResult
@@ -149,88 +150,96 @@ class AutoHPCnet:
         cfg = self.config
         timers = PhaseTimer()
 
-        with timers.measure("static_preflight"):
-            # fail fast on an unfit region (impure, nondeterministic, or
-            # inconsistently annotated) before any trace/train cost is paid;
-            # raises PreflightError in "error" mode, warns in "warn" mode
-            preflight_region(app.region_fn, mode=cfg.preflight)
+        with obs.span("build", app=app.name, samples=cfg.n_samples):
+            with obs.span("build.preflight"), timers.measure("static_preflight"):
+                # fail fast on an unfit region (impure, nondeterministic, or
+                # inconsistently annotated) before any trace/train cost is
+                # paid; raises PreflightError in "error" mode, warns in
+                # "warn" mode
+                preflight_region(app.region_fn, mode=cfg.preflight)
 
-        with timers.measure("trace_generation"):
-            acq = app.acquire(
-                n_samples=cfg.n_samples,
-                rng=np.random.default_rng(cfg.seed),
-                dddg_workers=2,
+            with obs.span("build.acquire"), timers.measure("trace_generation"):
+                acq = app.acquire(
+                    n_samples=cfg.n_samples,
+                    rng=np.random.default_rng(cfg.seed),
+                    dddg_workers=2,
+                )
+
+            with obs.span("build.encode", input_dim=acq.input_dim):
+                if cfg.preprocessing == "standardize" and not app.sparse_input():
+                    x_scaler = Scaler.fit(acq.x)
+                else:
+                    # scaling a sparse input would destroy its zero pattern
+                    x_scaler = Scaler.identity(acq.input_dim)
+                y_scaler = (
+                    Scaler.fit(acq.y)
+                    if cfg.preprocessing == "standardize"
+                    else Scaler.identity(acq.output_dim)
+                )
+                x = x_scaler.transform(acq.x)
+                y = y_scaler.transform(acq.y)
+
+                quality_fn = self._make_quality_fn(
+                    app, acq.input_schema, acq.output_schema, x_scaler, y_scaler
+                )
+
+            overrides = app.nas_overrides()
+            if cfg.model_type == "cnn":
+                # convolutional surrogates consume the raw feature signal, so
+                # the search runs fullInput (pool factors are tied to the
+                # signal length, which feature reduction would change per K)
+                overrides = dict(overrides)
+                overrides["search_type"] = "fullInput"
+            search_config = cfg.to_search_config(
+                sparse_input=app.sparse_input(), **overrides
             )
-
-        if cfg.preprocessing == "standardize" and not app.sparse_input():
-            x_scaler = Scaler.fit(acq.x)
-        else:
-            # scaling a sparse input would destroy its zero pattern
-            x_scaler = Scaler.identity(acq.input_dim)
-        y_scaler = (
-            Scaler.fit(acq.y)
-            if cfg.preprocessing == "standardize"
-            else Scaler.identity(acq.output_dim)
-        )
-        x = x_scaler.transform(acq.x)
-        y = y_scaler.transform(acq.y)
-
-        quality_fn = self._make_quality_fn(
-            app, acq.input_schema, acq.output_schema, x_scaler, y_scaler
-        )
-
-        overrides = app.nas_overrides()
-        if cfg.model_type == "cnn":
-            # convolutional surrogates consume the raw feature signal, so
-            # the search runs fullInput (pool factors are tied to the
-            # signal length, which feature reduction would change per K)
-            overrides = dict(overrides)
-            overrides["search_type"] = "fullInput"
-        search_config = cfg.to_search_config(
-            sparse_input=app.sparse_input(), **overrides
-        )
-        if cfg.model_type == "cnn":
-            topology_space = CNNSpace(
-                signal_length=acq.input_dim,
-                max_layers=2,
-                channel_choices=(2, 4, 8),
-                kernel_choices=(3, 5),
-                pool_choices=(1, 2),
-                activations=("relu", "tanh"),
+            if cfg.model_type == "cnn":
+                topology_space = CNNSpace(
+                    signal_length=acq.input_dim,
+                    max_layers=2,
+                    channel_choices=(2, 4, 8),
+                    kernel_choices=(3, 5),
+                    pool_choices=(1, 2),
+                    activations=("relu", "tanh"),
+                )
+            else:
+                topology_space = TopologySpace(
+                    max_layers=3,
+                    width_choices=(8, 16, 32, 64, 128),
+                    activations=("relu", "tanh"),
+                    allow_residual=True,
+                )
+            input_space = InputDimSpace.geometric(
+                acq.input_dim, levels=cfg.input_dim_levels, min_dim=4
             )
-        else:
-            topology_space = TopologySpace(
-                max_layers=3,
-                width_choices=(8, 16, 32, 64, 128),
-                activations=("relu", "tanh"),
-                allow_residual=True,
-            )
-        input_space = InputDimSpace.geometric(
-            acq.input_dim, levels=cfg.input_dim_levels, min_dim=4
-        )
-        search = Hierarchical2DSearch(topology_space, input_space, search_config)
-        result = search.run(x, y, quality_fn=quality_fn, checkpoint_dir=checkpoint_dir)
-        timers = timers.merged(result.timers)
+            search = Hierarchical2DSearch(topology_space, input_space, search_config)
+            with obs.span("build.search"):
+                result = search.run(
+                    x, y, quality_fn=quality_fn, checkpoint_dir=checkpoint_dir
+                )
+            timers = timers.merged(result.timers)
 
-        if result.best is None:
-            raise RuntimeError(
-                f"2D NAS found no surrogate for {app.name}; "
-                "increase budgets or relax quality_loss"
-            )
+            if result.best is None:
+                raise RuntimeError(
+                    f"2D NAS found no surrogate for {app.name}; "
+                    "increase budgets or relax quality_loss"
+                )
 
-        surrogate = DeployedSurrogate(
-            app=app,
-            package=result.best.package,
-            input_schema=acq.input_schema,
-            output_schema=acq.output_schema,
-            x_scaler=x_scaler,
-            y_scaler=y_scaler,
-        )
-        return BuildResult(
-            surrogate=surrogate,
-            acquisition=acq,
-            search=result,
-            timers=timers,
-            f_e=result.best.f_e,
-            f_c=result.best.f_c,
-        )
+            with obs.span("build.package", K=result.best_k):
+                surrogate = DeployedSurrogate(
+                    app=app,
+                    package=result.best.package,
+                    input_schema=acq.input_schema,
+                    output_schema=acq.output_schema,
+                    x_scaler=x_scaler,
+                    y_scaler=y_scaler,
+                )
+                build_result = BuildResult(
+                    surrogate=surrogate,
+                    acquisition=acq,
+                    search=result,
+                    timers=timers,
+                    f_e=result.best.f_e,
+                    f_c=result.best.f_c,
+                )
+        return build_result

@@ -12,7 +12,12 @@ from typing import Iterable, Mapping, Sequence
 from ..perf.metrics import harmonic_mean
 from .evaluation import EvaluationRow
 
-__all__ = ["format_evaluation_table", "format_build_report", "format_phase_table"]
+__all__ = [
+    "format_evaluation_table",
+    "format_build_report",
+    "format_phase_table",
+    "format_metrics_table",
+]
 
 
 def format_evaluation_table(rows: Sequence[EvaluationRow]) -> str:
@@ -52,6 +57,40 @@ def format_build_report(build) -> str:
     lines.append("")
     lines.append("offline phases:")
     lines.append(build.timers.report())
+    return "\n".join(lines)
+
+
+def format_metrics_table(snapshot: Mapping) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as a table.
+
+    One line per labelled series: counters/gauges show their value,
+    histograms show count/sum and the p50/p90/p99 estimates — the same
+    rows the Prometheus exposition carries, but human-readable next to
+    the Fig. 5-style reports.
+    """
+    metrics = snapshot.get("metrics", [])
+    lines = [f"{'metric':<44} {'type':<10} {'labels':<24} {'value'}"]
+    if not metrics:
+        lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+    for metric in metrics:
+        series = metric.get("series") or [{"labels": {}, "value": 0.0}]
+        for entry in series:
+            labels = entry.get("labels", {})
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+            if metric["type"] == "histogram":
+                nan = float("nan")
+                value_text = (
+                    f"count={entry.get('count', 0)} sum={entry.get('sum', 0.0):.6g} "
+                    f"p50={entry.get('p50', nan):.3g} p90={entry.get('p90', nan):.3g} "
+                    f"p99={entry.get('p99', nan):.3g}"
+                )
+            else:
+                value_text = f"{entry.get('value', 0.0):g}"
+            lines.append(
+                f"{metric['name']:<44} {metric['type']:<10} {label_text:<24} "
+                f"{value_text}"
+            )
     return "\n".join(lines)
 
 

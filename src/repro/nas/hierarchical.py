@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..autoencoder.model import Autoencoder
 from ..autoencoder.training import AETrainConfig, train_autoencoder
 from ..bo.optimize import BayesianOptimizer
@@ -218,14 +219,22 @@ class Hierarchical2DSearch:
             rng=np.random.default_rng(cfg.seed + 7),
         )
         # re-seed the outer GP from a restored checkpoint
-        for obs in result.outer_history:
-            outer_bo.tell(self.input_space.encode(obs.k), math.log(obs.f_c), obs.f_e)
+        for past in result.outer_history:
+            outer_bo.tell(self.input_space.encode(past.k), math.log(past.f_c), past.f_e)
 
-        evaluated = {obs.k for obs in result.outer_history}
+        evaluated = {past.k for past in result.outer_history}
         best: Optional[CandidateResult] = None
         best_k: Optional[int] = None
         iteration = len(result.outer_history)
         stall = 0
+
+        registry = obs.get_registry()
+        g_best_fc = registry.gauge(
+            "repro_nas_best_f_c", "Best feasible inference cost found so far"
+        )
+        g_best_fe = registry.gauge(
+            "repro_nas_best_f_e", "Quality degradation of the best-so-far candidate"
+        )
 
         while iteration < cfg.outer_iterations:
             remaining = [k for k in self.input_space.choices if k not in evaluated]
@@ -236,79 +245,87 @@ class Hierarchical2DSearch:
                 pool = np.array([self.input_space.encode(k) for k in candidates])
                 k = candidates[outer_bo.ask(pool)]
 
-            if k >= x.shape[1]:
-                # K equal to the raw input dimension means no reduction at
-                # all — the outer loop explores "keep the full input" as a
-                # first-class choice rather than paying a lossy identity AE
-                ae, sigma = None, 0.0
-                z = x
-            else:
-                with result.timers.measure("autoencoder_training"):
-                    ae, sigma = self._train_autoencoder(x, k, cfg.seed + iteration)
-                z = ae.encode(x)
+            outer_span = obs.span("nas.outer_iteration", iteration=iteration, K=k)
+            with outer_span as sp:
+                if k >= x.shape[1]:
+                    # K equal to the raw input dimension means no reduction at
+                    # all — the outer loop explores "keep the full input" as a
+                    # first-class choice rather than paying a lossy identity AE
+                    ae, sigma = None, 0.0
+                    z = x
+                else:
+                    with result.timers.measure("autoencoder_training"):
+                        ae, sigma = self._train_autoencoder(x, k, cfg.seed + iteration)
+                    z = ae.encode(x)
 
-            inner = TopologySearch(
-                self.topology_space,
-                epsilon=cfg.quality_loss,
-                device=self.device,
-                train_config=cfg.train_config(),
-                init_samples=cfg.bayesian_init,
-                seed=cfg.seed + 31 * (iteration + 1),
-                cost_metric=cfg.cost_metric,
-            )
-            if cfg.search_type == "userModel" and iteration == 0:
-                initial = cfg.init_model
-            elif cfg.search_type == "autokeras" and hasattr(
-                self.topology_space, "width_choices"
-            ):
-                # Table 1 searchType=autokeras: seed each inner search with
-                # the default topology (a strong generic two-layer net), as
-                # the paper starts from Autokeras' default.  Non-MLP spaces
-                # (CNNSpace) have no generic default and start unseeded.
-                width = max(self.topology_space.width_choices)
-                acts = self.topology_space.activations
-                initial = Topology(
-                    hidden=(width, width),
-                    activation="tanh" if "tanh" in acts else acts[0],
-                    sparse_input=self.topology_space.sparse_input,
+                inner = TopologySearch(
+                    self.topology_space,
+                    epsilon=cfg.quality_loss,
+                    device=self.device,
+                    train_config=cfg.train_config(),
+                    init_samples=cfg.bayesian_init,
+                    seed=cfg.seed + 31 * (iteration + 1),
+                    cost_metric=cfg.cost_metric,
                 )
-            else:
-                initial = None
-            with result.timers.measure("bayesian_optimization"):
-                inner_result = inner.search(
-                    z,
-                    y,
-                    cfg.inner_trials,
-                    autoencoder=ae,
-                    x_raw=x,
-                    quality_fn=quality_fn,
-                    initial_topology=initial,
-                )
-            result.inner_results[k] = inner_result
-
-            candidate = inner_result.best
-            if candidate is not None:
-                outer_bo.tell(
-                    self.input_space.encode(k), math.log(candidate.f_c), candidate.f_e
-                )
-                result.outer_history.append(
-                    OuterObservation(
-                        k=k,
-                        f_c=candidate.f_c,
-                        f_e=candidate.f_e,
-                        ae_sigma=sigma,
-                        inner_trials=inner_result.n_trials,
-                    )
-                )
-                if candidate.f_e <= cfg.quality_loss and (
-                    best is None or candidate.f_c < best.f_c
+                if cfg.search_type == "userModel" and iteration == 0:
+                    initial = cfg.init_model
+                elif cfg.search_type == "autokeras" and hasattr(
+                    self.topology_space, "width_choices"
                 ):
-                    best, best_k = candidate, k
-                    stall = 0
+                    # Table 1 searchType=autokeras: seed each inner search with
+                    # the default topology (a strong generic two-layer net), as
+                    # the paper starts from Autokeras' default.  Non-MLP spaces
+                    # (CNNSpace) have no generic default and start unseeded.
+                    width = max(self.topology_space.width_choices)
+                    acts = self.topology_space.activations
+                    initial = Topology(
+                        hidden=(width, width),
+                        activation="tanh" if "tanh" in acts else acts[0],
+                        sparse_input=self.topology_space.sparse_input,
+                    )
+                else:
+                    initial = None
+                with result.timers.measure("bayesian_optimization"):
+                    inner_result = inner.search(
+                        z,
+                        y,
+                        cfg.inner_trials,
+                        autoencoder=ae,
+                        x_raw=x,
+                        quality_fn=quality_fn,
+                        initial_topology=initial,
+                    )
+                result.inner_results[k] = inner_result
+
+                candidate = inner_result.best
+                sp.set_attribute("ae_sigma", sigma)
+                if candidate is not None:
+                    sp.set_attribute("f_c", candidate.f_c)
+                    sp.set_attribute("f_e", candidate.f_e)
+                    outer_bo.tell(
+                        self.input_space.encode(k), math.log(candidate.f_c), candidate.f_e
+                    )
+                    result.outer_history.append(
+                        OuterObservation(
+                            k=k,
+                            f_c=candidate.f_c,
+                            f_e=candidate.f_e,
+                            ae_sigma=sigma,
+                            inner_trials=inner_result.n_trials,
+                        )
+                    )
+                    if candidate.f_e <= cfg.quality_loss and (
+                        best is None or candidate.f_c < best.f_c
+                    ):
+                        best, best_k = candidate, k
+                        stall = 0
+                        if obs.is_enabled():
+                            g_best_fc.set(best.f_c)
+                            g_best_fe.set(best.f_e)
+                    else:
+                        stall += 1
                 else:
                     stall += 1
-            else:
-                stall += 1
             evaluated.add(k)
             iteration += 1
             self._save_state(checkpoint_path, result.outer_history)

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..autoencoder.model import Autoencoder
 from ..bo.optimize import BayesianOptimizer
 from ..nn.mlp import Topology
@@ -92,18 +93,26 @@ class TopologySearch:
         history: list[CandidateResult] = []
 
         def run_trial(topology: Topology) -> CandidateResult:
-            candidate = evaluate_topology(
-                topology,
-                x,
-                y,
-                autoencoder=autoencoder,
-                x_raw=x_raw,
-                device=self.device,
-                quality_fn=quality_fn,
-                train_config=self.train_config,
-                rng=np.random.default_rng(self.seed + 100 + len(history)),
-                cost_metric=self.cost_metric,
-            )
+            with obs.span(
+                "nas.trial",
+                trial=len(history),
+                K=x.shape[1],
+                topology=topology.describe(),
+            ) as sp:
+                candidate = evaluate_topology(
+                    topology,
+                    x,
+                    y,
+                    autoencoder=autoencoder,
+                    x_raw=x_raw,
+                    device=self.device,
+                    quality_fn=quality_fn,
+                    train_config=self.train_config,
+                    rng=np.random.default_rng(self.seed + 100 + len(history)),
+                    cost_metric=self.cost_metric,
+                )
+                sp.set_attribute("f_c", candidate.f_c)
+                sp.set_attribute("f_e", candidate.f_e)
             history.append(candidate)
             optimizer.tell(
                 self.space.encode(topology), math.log(candidate.f_c), candidate.f_e

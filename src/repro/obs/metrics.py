@@ -1,0 +1,374 @@
+"""Metrics registry: counters, gauges, and latency histograms.
+
+The paper's claims are quantitative (Eqn 2 speedup, Eqn 3 HitRate, the
+§7.3 online breakdown), so the runtime needs first-class instruments
+rather than ad-hoc arithmetic scattered through the stack.  This module
+provides the three Prometheus-style metric kinds:
+
+* :class:`Counter` — monotonically increasing totals (requests served,
+  guard fallbacks);
+* :class:`Gauge` — a value that goes up and down (queue depth, tensor
+  store size, best-so-far NAS objective);
+* :class:`Histogram` — fixed-bucket latency distributions with
+  p50/p90/p99 quantile estimates (per-model inference time).
+
+All instruments are thread-safe and label-aware, and the owning
+:class:`MetricsRegistry` exports the whole set as Prometheus text
+exposition (scrapeable) or JSON (machine-readable snapshots).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Bucket upper bounds (seconds) spanning sub-microsecond kernel launches
+#: to multi-second solver runs; the +Inf bucket is implicit.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+    1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+_RESERVED_LABELS = frozenset({"le", "quantile"})
+
+
+def _label_key(
+    label_names: tuple[str, ...], labels: Mapping[str, object]
+) -> tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+def _format_labels(label_names: Sequence[str], key: Sequence[str], extra: str = "") -> str:
+    parts = [f'{n}="{v}"' for n, v in zip(label_names, key)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Base: name/help/label bookkeeping plus the per-metric lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        bad = _RESERVED_LABELS.intersection(labels)
+        if bad:
+            raise ValueError(f"reserved label names: {sorted(bad)}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._lock = threading.Lock()
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing total, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        with self._lock:
+            return sum(self._values.values()) if self._values else 0.0
+
+    def expose(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(f"{self.name}{_format_labels(self.label_names, key)} {value:g}")
+        return lines
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"name": self.name, "type": self.kind, "help": self.help,
+                "series": series, "total": sum(s["value"] for s in series)}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, store size, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def expose(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(f"{self.name}{_format_labels(self.label_names, key)} {value:g}")
+        return lines
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"name": self.name, "type": self.kind, "help": self.help, "series": series}
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)   # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket latency histogram with interpolated quantile estimates."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (the +Inf bucket is implicit)")
+        self.buckets = bounds
+        self._states: dict[tuple[str, ...], _HistogramState] = {}
+
+    def _state(self, key: tuple[str, ...]) -> _HistogramState:
+        state = self._states.get(key)
+        if state is None:
+            state = self._states.setdefault(key, _HistogramState(len(self.buckets)))
+        return state
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            state = self._state(key)
+            state.bucket_counts[idx] += 1
+            state.sum += value
+            state.count += 1
+
+    def count(self, **labels: object) -> int:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            state = self._states.get(key)
+            return state.count if state else 0
+
+    def sum(self, **labels: object) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            state = self._states.get(key)
+            return state.sum if state else 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimate the ``q`` quantile by linear interpolation in-bucket.
+
+        The estimate is bucket-resolution accurate — exactly what the
+        operator gets from a Prometheus ``histogram_quantile`` query.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.count == 0:
+                return float("nan")
+            counts = list(state.bucket_counts)
+            total = state.count
+        rank = q * total
+        cumulative = 0.0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            prev = cumulative
+            cumulative += counts[i]
+            if cumulative >= rank:
+                if counts[i] == 0:
+                    return bound
+                frac = (rank - prev) / counts[i]
+                return lower + frac * (bound - lower)
+            lower = bound
+        return self.buckets[-1]   # rank fell in the +Inf bucket: clamp
+
+    def percentiles(self, **labels: object) -> dict[str, float]:
+        """The operator's trio: p50/p90/p99 of the observed distribution."""
+        return {f"p{int(q * 100)}": self.quantile(q, **labels) for q in (0.5, 0.9, 0.99)}
+
+    def expose(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(
+                (key, list(state.bucket_counts), state.sum, state.count)
+                for key, state in self._states.items()
+            )
+        for key, counts, total_sum, count in items:
+            cumulative = 0
+            for bound, c in zip(self.buckets, counts):
+                cumulative += c
+                labels = _format_labels(self.label_names, key, f'le="{bound:g}"')
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _format_labels(self.label_names, key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {count}")
+            plain = _format_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{plain} {total_sum:g}")
+            lines.append(f"{self.name}_count{plain} {count}")
+        return lines
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            keys = sorted(self._states)
+        series = []
+        for key in keys:
+            labels = dict(zip(self.label_names, key))
+            series.append({
+                "labels": labels,
+                "count": self.count(**labels),
+                "sum": self.sum(**labels),
+                **self.percentiles(**labels),
+            })
+        return {"name": self.name, "type": self.kind, "help": self.help,
+                "buckets": list(self.buckets), "series": series}
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create registry for every instrument in a process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Sequence[str], **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                if existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """JSON-able dict of every metric's current state."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        return {"metrics": [m.snapshot() for m in metrics]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)

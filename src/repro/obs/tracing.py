@@ -1,0 +1,159 @@
+"""Nested tracing spans with Chrome trace-event export.
+
+A :class:`Tracer` records :class:`Span` trees — the current span lives in
+a :mod:`contextvars` variable, so nesting works across call boundaries
+and each thread gets its own stack.  Finished spans export to the Chrome
+trace-event JSON format, so a build or serving run opens directly in
+``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed region: name, wall-clock extent, attributes, parent link."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float                       # time.perf_counter() at entry
+    end: Optional[float] = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    thread_id: int = 0
+    _token: Optional[contextvars.Token] = field(default=None, repr=False, compare=False)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0 while the span is open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+
+class Tracer:
+    """Records span trees; the current span is context-local."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._ids = itertools.count(1)
+        self._current: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
+            f"repro_span_{id(self)}", default=None
+        )
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        return self._current.get()
+
+    def start_span(
+        self, name: str, attributes: Optional[Mapping[str, Any]] = None
+    ) -> Span:
+        """Open a span as a child of the context's current span."""
+        parent = self._current.get()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start=time.perf_counter(),
+            attributes=dict(attributes or {}),
+            thread_id=threading.get_ident(),
+        )
+        span._token = self._current.set(span)
+        return span
+
+    def end_span(self, span: Span, *, duration: Optional[float] = None) -> Span:
+        """Close ``span``; ``duration`` pins the extent exactly (used by the
+        phase helper so span time and :class:`~repro.perf.timers.PhaseTimer`
+        time come from one measurement)."""
+        if span.finished:
+            return span
+        span.end = span.start + duration if duration is not None else time.perf_counter()
+        if span._token is not None:
+            try:
+                self._current.reset(span._token)
+            except ValueError:   # ended from a different context: just clear
+                self._current.set(None)
+            span._token = None
+        with self._lock:
+            self._finished.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        span = self.start_span(name, attributes)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    # -- inspection -------------------------------------------------------------
+
+    def finished_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.finished_spans() if s.name == name]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+        self.epoch = time.perf_counter()
+
+    # -- export -----------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON object format (complete ``X`` events)."""
+        events = []
+        for span in self.finished_spans():
+            args = {k: _jsonable(v) for k, v in span.attributes.items()}
+            if span.parent_id is not None:
+                args["parent_span_id"] = span.parent_id
+            args["span_id"] = span.span_id
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.start - self.epoch) * 1e6,     # microseconds
+                "dur": span.duration * 1e6,
+                "pid": os.getpid(),
+                "tid": span.thread_id,
+                "cat": "repro",
+                "args": args,
+            })
+        events.sort(key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path: str | Path) -> Path:
+        """Write the trace to ``path``; open it in chrome://tracing/Perfetto."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
+        return path
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

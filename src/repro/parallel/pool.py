@@ -12,6 +12,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..extract.sampling import Perturbation, SampleGenerator, perturb_value
 from .comm import Communicator, run_spmd
 
@@ -37,7 +38,10 @@ def parallel_map(
 
     def work(comm: Communicator) -> list[tuple[int, Any]]:
         mine = range(comm.rank, len(items), comm.size)   # cyclic decomposition
-        return [(i, fn(items[i])) for i in mine]
+        with obs.span(
+            "parallel.rank", rank=comm.rank, size=comm.size, items=len(mine)
+        ):
+            return [(i, fn(items[i])) for i in mine]
 
     per_rank = run_spmd(work, workers)
     ordered: list[Any] = [None] * len(items)

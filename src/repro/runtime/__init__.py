@@ -1,6 +1,6 @@
 """Online serving substrate: orchestrator, client, serving cost model (§6.3)."""
 
-from .orchestrator import InferenceRequest, Orchestrator
+from .orchestrator import InferenceRequest, Orchestrator, OrchestratorStopped
 from .client import Client
 from .serving import ONLINE_PHASES, OnlineCostModel, ServingSession
 from .guard import GuardStats, GuardedSurrogate, bounds_validator, default_validator, residual_validator
@@ -8,6 +8,7 @@ from .guard import GuardStats, GuardedSurrogate, bounds_validator, default_valid
 __all__ = [
     "InferenceRequest",
     "Orchestrator",
+    "OrchestratorStopped",
     "Client",
     "ONLINE_PHASES",
     "OnlineCostModel",

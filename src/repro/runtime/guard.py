@@ -17,11 +17,13 @@ bookkeeping (fallback rate, time ratio) the operator needs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.pipeline import DeployedSurrogate
 
 __all__ = ["GuardStats", "GuardedSurrogate", "residual_validator", "bounds_validator", "default_validator"]
@@ -31,10 +33,24 @@ Validator = Callable[[Mapping[str, Any], Mapping[str, Any]], bool]
 
 @dataclass
 class GuardStats:
-    """Bookkeeping of one guarded deployment."""
+    """Bookkeeping of one guarded deployment.
+
+    Updates go through :meth:`record`, which is atomic — a deployment
+    shared across threads never loses counts.
+    """
 
     invocations: int = 0
     fallbacks: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, *, fallback: bool) -> None:
+        """Count one invocation (and, when ``fallback``, one restart)."""
+        with self._lock:
+            self.invocations += 1
+            if fallback:
+                self.fallbacks += 1
 
     @property
     def fallback_rate(self) -> float:
@@ -56,15 +72,32 @@ class GuardedSurrogate:
         self.surrogate = surrogate
         self.validator = validator
         self.stats = GuardStats()
+        self._telemetry = obs.TELEMETRY
+        registry = obs.get_registry()
+        self._m_invocations = registry.counter(
+            "repro_guard_invocations_total",
+            "Guarded surrogate invocations",
+            labels=("app",),
+        )
+        self._m_fallbacks = registry.counter(
+            "repro_guard_fallbacks_total",
+            "Invocations that failed validation and restarted on exact code",
+            labels=("app",),
+        )
+        self._app_label = surrogate.app.name
 
     def run(self, problem: Mapping[str, Any]) -> dict[str, Any]:
         """Region outputs for ``problem`` — surrogate if valid, exact otherwise."""
-        self.stats.invocations += 1
         outputs = self.surrogate.run(problem)
-        if self.validator(problem, outputs):
+        valid = self.validator(problem, outputs)
+        self.stats.record(fallback=not valid)
+        if self._telemetry.enabled:
+            self._m_invocations.inc(app=self._app_label)
+            if not valid:
+                self._m_fallbacks.inc(app=self._app_label)
+        if valid:
             return outputs
         # restart with the original code (§7.1)
-        self.stats.fallbacks += 1
         return self.surrogate.app.run_exact(problem).outputs
 
     def qoi(self, problem: Mapping[str, Any]) -> float:

@@ -7,18 +7,30 @@ input tensors under keys, request ``run_model`` on a registered model, and
 a thread-safe in-process store plus an optional background worker thread
 that services inference requests from a queue (the "server" the paper runs
 on the GPU node).
+
+Telemetry: submit/serve/fail counters, a queue-depth gauge, a tensor-store
+size gauge, and a per-model inference latency histogram — all on the
+process-global registry (:mod:`repro.obs`).  When telemetry is disabled the
+hot paths pay one attribute check.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 import numpy as np
 
-__all__ = ["Orchestrator", "InferenceRequest"]
+from .. import obs
+
+__all__ = ["Orchestrator", "InferenceRequest", "OrchestratorStopped"]
+
+
+class OrchestratorStopped(RuntimeError):
+    """Raised to waiters whose request was still queued when stop() ran."""
 
 
 @dataclass
@@ -47,23 +59,67 @@ class Orchestrator:
         self._queue: "queue.Queue[Optional[InferenceRequest]]" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._running = False
+        # serializes start/stop/submit state transitions so no request can
+        # slip into the queue after stop() has drained it
+        self._state_lock = threading.Lock()
+        self._telemetry = obs.TELEMETRY
+        registry = obs.get_registry()
+        self._m_submitted = registry.counter(
+            "repro_orchestrator_submitted_total",
+            "Inference requests queued via submit()",
+        )
+        self._m_served = registry.counter(
+            "repro_orchestrator_served_total",
+            "Inference requests completed successfully by the worker",
+        )
+        self._m_failed = registry.counter(
+            "repro_orchestrator_failed_total",
+            "Inference requests that errored or were abandoned by stop()",
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_orchestrator_queue_depth",
+            "Inference requests waiting in the server queue",
+        )
+        self._m_tensors = registry.gauge(
+            "repro_orchestrator_tensor_store_size",
+            "Tensors currently held in the store",
+        )
+        self._m_latency = registry.histogram(
+            "repro_orchestrator_inference_seconds",
+            "run_model wall-clock seconds per registered model",
+            labels=("model",),
+        )
 
     # -- tensor store ---------------------------------------------------------
 
     def put_tensor(self, key: str, value: np.ndarray) -> None:
         with self._lock:
             self._tensors[key] = np.array(value, dtype=np.float64, copy=True)
+            if self._telemetry.enabled:
+                self._m_tensors.set(len(self._tensors))
 
     def get_tensor(self, key: str) -> np.ndarray:
+        """Fetch a stored tensor as a *read-only view*.
+
+        ``put_tensor`` copies defensively on the way in; handing the
+        internal array back out would let callers mutate the store in
+        place.  The view is zero-copy — callers that need to write take a
+        ``.copy()`` (``Client.unpack_tensor`` already does).
+        """
         with self._lock:
             try:
-                return self._tensors[key]
+                value = self._tensors[key]
             except KeyError:
                 raise KeyError(f"no tensor stored under key {key!r}") from None
+        view = value.view()
+        view.flags.writeable = False
+        return view
 
     def delete_tensor(self, key: str) -> None:
         with self._lock:
             self._tensors.pop(key, None)
+            if self._telemetry.enabled:
+                self._m_tensors.set(len(self._tensors))
 
     def tensor_exists(self, key: str) -> bool:
         with self._lock:
@@ -88,6 +144,16 @@ class Orchestrator:
         self, name: str, input_keys: tuple[str, ...], output_keys: tuple[str, ...]
     ) -> None:
         """Run a registered model on stored tensors, storing the outputs."""
+        if not self._telemetry.enabled:
+            self._run_model_inner(name, input_keys, output_keys)
+            return
+        start = time.perf_counter()
+        self._run_model_inner(name, input_keys, output_keys)
+        self._m_latency.observe(time.perf_counter() - start, model=name)
+
+    def _run_model_inner(
+        self, name: str, input_keys: tuple[str, ...], output_keys: tuple[str, ...]
+    ) -> None:
         with self._lock:
             try:
                 model = self._models[name]
@@ -110,41 +176,88 @@ class Orchestrator:
 
     def start(self, block: bool = False) -> None:
         """Start the background inference worker (``exp.start(orc, block=False)``)."""
-        if self._running:
-            return
-        self._running = True
-        self._worker = threading.Thread(target=self._serve, daemon=True)
-        self._worker.start()
+        with self._state_lock:
+            if self._running:
+                return
+            self._running = True
+            self._worker = threading.Thread(target=self._serve, daemon=True)
+            self._worker.start()
         if block:  # pragma: no cover - interactive convenience
             self._worker.join()
 
     def stop(self) -> None:
-        if not self._running:
-            return
-        self._running = False
-        self._queue.put(None)
-        if self._worker is not None:
-            self._worker.join(timeout=5.0)
-            self._worker = None
+        """Stop the worker and fail any request still waiting in the queue.
+
+        Every pending :class:`InferenceRequest` gets ``error`` set to
+        :class:`OrchestratorStopped` and its ``done`` event signalled, so
+        no waiter blocks forever.  Safe to call repeatedly.
+        """
+        with self._state_lock:
+            if not self._running:
+                return
+            self._running = False
+            self._queue.put(None)
+            worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.join(timeout=5.0)
+        # drain: nothing can enqueue anymore (_running is False), so every
+        # request left behind — and any stale sentinel — comes out here
+        abandoned = 0
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is None:
+                continue
+            request.error = OrchestratorStopped(
+                "orchestrator stopped before this request was served"
+            )
+            request.done.set()
+            abandoned += 1
+        if self._telemetry.enabled:
+            if abandoned:
+                self._m_failed.inc(abandoned)
+            self._m_queue_depth.set(0)
 
     def submit(self, request: InferenceRequest) -> InferenceRequest:
         """Queue an inference for the worker thread; wait on ``request.done``."""
-        if not self._running:
-            raise RuntimeError("orchestrator not started; call start() first")
-        self._queue.put(request)
+        with self._state_lock:
+            if not self._running:
+                raise RuntimeError("orchestrator not started; call start() first")
+            self._queue.put(request)
+            if self._telemetry.enabled:
+                self._m_submitted.inc()
+                self._m_queue_depth.set(self._queue.qsize())
         return request
 
     def _serve(self) -> None:
-        while self._running:
+        while True:
             request = self._queue.get()
             if request is None:
                 break
+            if not self._running:
+                # stop() is underway: abandon instead of serving late
+                request.error = OrchestratorStopped(
+                    "orchestrator stopped before this request was served"
+                )
+                request.done.set()
+                if self._telemetry.enabled:
+                    self._m_failed.inc()
+                continue
+            if self._telemetry.enabled:
+                self._m_queue_depth.set(self._queue.qsize())
             try:
                 self.run_model(
                     request.model_name, request.input_keys, request.output_keys
                 )
             except Exception as exc:  # noqa: BLE001 - surfaced to the waiter
                 request.error = exc
+                if self._telemetry.enabled:
+                    self._m_failed.inc()
+            else:
+                if self._telemetry.enabled:
+                    self._m_served.inc()
             finally:
                 request.done.set()
 

@@ -20,6 +20,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..nas.package import SurrogatePackage
 from ..perf.counting import nn_inference_cost
 from ..perf.devices import DeviceModel, Link, PCIE3_X16, TESLA_V100_NN
@@ -86,7 +87,14 @@ class OnlineCostModel:
 
 
 class ServingSession:
-    """Executes the Listing-2 online path and times each phase for real."""
+    """Executes the Listing-2 online path and times each phase for real.
+
+    Each §7.3 phase is measured exactly once: the elapsed seconds feed the
+    :class:`PhaseTimer` *and* a tracing span *and* the
+    ``repro_serving_phase_seconds`` histogram from the same measurement
+    (:func:`repro.obs.phase`), so the simulated/measured breakdowns and the
+    trace view share one source of truth.
+    """
 
     def __init__(
         self,
@@ -100,28 +108,42 @@ class ServingSession:
         self.orchestrator = orchestrator or Orchestrator()
         self.client = Client(self.orchestrator)
         self.timer = PhaseTimer()
-        with self.timer.measure("load_model"):
+        self._m_phase = obs.get_registry().histogram(
+            "repro_serving_phase_seconds",
+            "Online serving wall-clock seconds per §7.3 phase",
+            labels=("phase",),
+        )
+        with self._phase("load_model"):
             self.client.set_model(model_name, package)
             if package.autoencoder is not None:
                 self.client.set_autoencoder(package.autoencoder)
 
+    def _phase(self, name: str):
+        return obs.phase(
+            name,
+            timer=self.timer,
+            histogram=self._m_phase,
+            labels={"phase": name},
+            attributes={"component": "serving", "model": self.model_name},
+        )
+
     def infer(self, raw_input: Union[np.ndarray, CSRMatrix], key: str = "in") -> np.ndarray:
         """One surrogate call through the store, phase-timed."""
-        with self.timer.measure("fetch_input"):
+        with self._phase("fetch_input"):
             if isinstance(raw_input, CSRMatrix):
                 staged: Union[np.ndarray, CSRMatrix] = raw_input
             else:
                 self.client.put_tensor(key, np.atleast_2d(raw_input))
                 staged = self.client.get_tensor(key)
         if self.package.autoencoder is not None:
-            with self.timer.measure("encode"):
+            with self._phase("encode"):
                 features = self.client.autoencoder(staged)
         else:
-            with self.timer.measure("encode"):
+            with self._phase("encode"):
                 features = (
                     staged.to_dense() if isinstance(staged, CSRMatrix) else staged
                 )
-        with self.timer.measure("run_model"):
+        with self._phase("run_model"):
             # the registered model is the full package; feed reduced features
             # straight to the MLP half to avoid double-encoding
             from ..nn.tensor import Tensor, no_grad

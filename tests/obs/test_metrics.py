@@ -1,0 +1,166 @@
+"""Metrics registry: counters, gauges, histograms, exporters, thread safety."""
+
+import json
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("requests_total", "requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+        assert c.total() == pytest.approx(3.5)
+
+    def test_labels_split_series(self, registry):
+        c = registry.counter("hits_total", labels=("app",))
+        c.inc(app="cg")
+        c.inc(3, app="fft")
+        assert c.value(app="cg") == 1
+        assert c.value(app="fft") == 3
+        assert c.total() == 4
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        c = registry.counter("l_total", labels=("app",))
+        with pytest.raises(ValueError):
+            c.inc(model="x")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        c = registry.counter("hammered_total")
+        n_threads, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == n_threads * per_thread
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+    def test_labelled(self, registry):
+        g = registry.gauge("best", labels=("objective",))
+        g.set(0.25, objective="f_c")
+        assert g.value(objective="f_c") == 0.25
+
+
+class TestHistogram:
+    def test_count_sum(self, registry):
+        h = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+
+    def test_quantiles_are_bucket_accurate(self, registry):
+        h = registry.histogram("lat_seconds", buckets=tuple(np.linspace(0.01, 1.0, 100)))
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(0.0, 1.0, size=5000)
+        for v in samples:
+            h.observe(v)
+        for q in (0.5, 0.9, 0.99):
+            est = h.quantile(q)
+            true = float(np.quantile(samples, q))
+            assert est == pytest.approx(true, abs=0.02)
+
+    def test_percentiles_keys(self, registry):
+        h = registry.histogram("p_seconds")
+        h.observe(0.01)
+        p = h.percentiles()
+        assert set(p) == {"p50", "p90", "p99"}
+
+    def test_empty_quantile_is_nan(self, registry):
+        h = registry.histogram("e_seconds")
+        assert np.isnan(h.quantile(0.5))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-6
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0
+
+    def test_out_of_range_quantile_rejected(self, registry):
+        h = registry.histogram("q_seconds")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("lbl_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("lbl_total", labels=("b",))
+
+    def test_prometheus_exposition_well_formed(self, registry):
+        registry.counter("served_total", "requests served").inc(4)
+        registry.gauge("depth", "queue depth").set(2)
+        h = registry.histogram("lat_seconds", "latency", labels=("model",),
+                               buckets=(0.1, 1.0))
+        h.observe(0.05, model="m")
+        text = registry.to_prometheus()
+        line_re = re.compile(
+            r'^(# (HELP|TYPE) .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+)$'
+        )
+        for line in text.strip().splitlines():
+            assert line_re.match(line), line
+        assert "# TYPE served_total counter" in text
+        assert "served_total 4" in text
+        assert 'lat_seconds_bucket{model="m",le="+Inf"} 1' in text
+        assert 'lat_seconds_count{model="m"} 1' in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        h = registry.histogram("c_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.7, 5.0):
+            h.observe(v)
+        text = registry.to_prometheus()
+        assert 'c_seconds_bucket{le="0.1"} 1' in text
+        assert 'c_seconds_bucket{le="1"} 3' in text
+        assert 'c_seconds_bucket{le="+Inf"} 4' in text
+
+    def test_json_snapshot_round_trips(self, registry):
+        registry.counter("a_total", labels=("app",)).inc(app="cg")
+        registry.histogram("h_seconds").observe(0.2)
+        payload = json.loads(registry.to_json())
+        names = {m["name"] for m in payload["metrics"]}
+        assert names == {"a_total", "h_seconds"}
+        hist = next(m for m in payload["metrics"] if m["name"] == "h_seconds")
+        assert hist["series"][0]["count"] == 1
+        assert "p99" in hist["series"][0]
+
+    def test_reserved_label_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("r_seconds", labels=("le",))

@@ -1,0 +1,148 @@
+"""Tracer: nesting, context isolation, Chrome export, global switchboard."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer
+from repro.perf.timers import PhaseTimer
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+class TestSpans:
+    def test_nesting_links_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        spans = {s.name: s for s in tracer.finished_spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("t", K=16) as sp:
+            sp.set_attribute("f_c", 0.5)
+        span = tracer.finished_spans()[0]
+        assert span.attributes == {"K": 16, "f_c": 0.5}
+
+    def test_duration_positive_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        span = tracer.finished_spans()[0]
+        assert span.finished and span.duration >= 0
+
+    def test_threads_do_not_share_current_span(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            seen["parent_in_thread"] = tracer.current_span()
+            with tracer.span("child"):
+                pass
+
+        with tracer.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["parent_in_thread"] is None
+        child = tracer.spans_named("child")[0]
+        assert child.parent_id is None
+
+    def test_pinned_duration(self):
+        tracer = Tracer()
+        span = tracer.start_span("x")
+        tracer.end_span(span, duration=0.125)
+        assert span.duration == pytest.approx(0.125)
+
+
+class TestChromeExport:
+    def test_export_structure(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("build", app="CG"):
+            with tracer.span("build.search"):
+                pass
+        path = tracer.export_chrome_trace(tmp_path / "t.trace.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        ids = {e["args"]["span_id"] for e in events}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["cat"] == "repro"
+            parent = event["args"].get("parent_span_id")
+            assert parent is None or parent in ids
+        child = next(e for e in events if e["name"] == "build.search")
+        assert child["args"]["parent_span_id"] is not None
+
+    def test_nonjson_attributes_stringified(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", obj=object()):
+            pass
+        payload = tracer.to_chrome_trace()
+        assert isinstance(payload["traceEvents"][0]["args"]["obj"], str)
+
+
+class TestGlobalSwitch:
+    def test_disabled_span_is_noop(self):
+        with obs.disabled():
+            with obs.span("hot", x=1) as sp:
+                sp.set_attribute("y", 2)
+        assert obs.get_tracer().finished_spans() == []
+
+    def test_disabled_restores_previous_state(self):
+        assert obs.is_enabled()
+        with obs.disabled():
+            assert not obs.is_enabled()
+        assert obs.is_enabled()
+
+    def test_configure_swaps_registry(self):
+        fresh = MetricsRegistry()
+        obs.configure(registry=fresh)
+        assert obs.get_registry() is fresh
+
+    def test_state_identity_is_stable(self):
+        before = obs.TELEMETRY
+        obs.configure(enabled=False, reset=True)
+        assert obs.TELEMETRY is before
+
+
+class TestPhaseHelper:
+    def test_single_measurement_feeds_all_consumers(self):
+        timer = PhaseTimer()
+        hist = obs.get_registry().histogram("phase_seconds", labels=("phase",))
+        with obs.phase("fetch_input", timer=timer, histogram=hist,
+                       labels={"phase": "fetch_input"}):
+            pass
+        span = obs.get_tracer().spans_named("fetch_input")[0]
+        assert timer.phases["fetch_input"] == pytest.approx(span.duration, rel=0, abs=0)
+        assert hist.count(phase="fetch_input") == 1
+        assert hist.sum(phase="fetch_input") == pytest.approx(span.duration)
+
+    def test_disabled_still_feeds_timer(self):
+        timer = PhaseTimer()
+        with obs.disabled():
+            with obs.phase("encode", timer=timer):
+                pass
+        assert "encode" in timer.phases
+        assert obs.get_tracer().finished_spans() == []
+
+    def test_exception_still_records(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with obs.phase("run_model", timer=timer):
+                raise RuntimeError("boom")
+        assert timer.phases["run_model"] > 0
+        assert obs.get_tracer().spans_named("run_model")[0].finished

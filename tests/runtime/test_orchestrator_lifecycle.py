@@ -1,0 +1,202 @@
+"""Orchestrator lifecycle: stop() drains pending work, telemetry reconciles,
+and stored tensors cannot be aliased."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.runtime import Client, InferenceRequest, Orchestrator, OrchestratorStopped
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+def _counter(name: str) -> float:
+    metric = obs.get_registry().get(name)
+    return metric.total() if metric is not None else 0.0
+
+
+class TestStopDrainsQueue:
+    def test_pending_requests_complete_with_error(self):
+        orc = Orchestrator()
+        release = threading.Event()
+
+        def slow(x):
+            release.wait(timeout=10.0)
+            return x
+
+        orc.register_model("slow", slow)
+        orc.put_tensor("a", np.ones(2))
+        orc.start()
+        # first request occupies the worker; the rest stay queued
+        requests = [
+            orc.submit(InferenceRequest("slow", ("a",), (f"o{i}",)))
+            for i in range(5)
+        ]
+        stopper = threading.Thread(target=orc.stop)
+        stopper.start()
+        time.sleep(0.05)
+        release.set()
+        stopper.join(timeout=10.0)
+        assert not stopper.is_alive()
+        for request in requests:
+            # no waiter hangs forever: every done event fires
+            assert request.done.wait(timeout=5.0)
+        errors = [r.error for r in requests]
+        assert any(isinstance(e, OrchestratorStopped) for e in errors)
+
+    def test_blocked_waiter_unblocks(self):
+        orc = Orchestrator()
+        hold = threading.Event()
+        orc.register_model("hold", lambda x: (hold.wait(10.0), x)[1])
+        orc.put_tensor("a", np.ones(1))
+        orc.start()
+        orc.submit(InferenceRequest("hold", ("a",), ("x",)))
+        pending = orc.submit(InferenceRequest("hold", ("a",), ("y",)))
+
+        unblocked = threading.Event()
+
+        def waiter():
+            pending.done.wait(timeout=10.0)
+            unblocked.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        hold.set()
+        orc.stop()
+        assert unblocked.wait(timeout=5.0)
+        t.join(timeout=5.0)
+
+    def test_double_stop_is_idempotent_and_restartable(self):
+        orc = Orchestrator()
+        orc.register_model("id", lambda x: x)
+        orc.put_tensor("a", np.ones(2))
+        orc.start()
+        orc.stop()
+        orc.stop()
+        assert not orc.is_running
+        # a stale None sentinel must not kill the next serving session
+        orc.start()
+        assert orc.is_running
+        req = orc.submit(InferenceRequest("id", ("a",), ("b",)))
+        assert req.done.wait(timeout=5.0)
+        assert req.error is None
+        orc.stop()
+
+    def test_submit_after_stop_raises(self):
+        orc = Orchestrator()
+        orc.start()
+        orc.stop()
+        with pytest.raises(RuntimeError):
+            orc.submit(InferenceRequest("m", ("a",), ("b",)))
+
+
+class TestMetricsReconcile:
+    def test_submitted_equals_served_plus_failed_under_concurrency(self):
+        orc = Orchestrator()
+        orc.register_model("double", lambda x: x * 2.0)
+        # "broken" raises for some inputs -> failed counter
+        orc.register_model("broken", lambda x: 1 / 0)
+        n_producers, per_producer = 6, 25
+        results: list[InferenceRequest] = []
+        lock = threading.Lock()
+
+        def producer(worker: int) -> None:
+            rng = np.random.default_rng(worker)
+            for i in range(per_producer):
+                key = f"in_{worker}_{i}"
+                orc.put_tensor(key, rng.standard_normal(8))
+                model = "broken" if i % 5 == 0 else "double"
+                req = orc.submit(
+                    InferenceRequest(model, (key,), (f"out_{worker}_{i}",))
+                )
+                with lock:
+                    results.append(req)
+                if i % 7 == 0:
+                    orc.delete_tensor(key)  # churn the store concurrently
+
+        with orc:
+            threads = [
+                threading.Thread(target=producer, args=(w,))
+                for w in range(n_producers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for req in results:
+                assert req.done.wait(timeout=10.0)
+
+        total = n_producers * per_producer
+        assert len(results) == total
+        submitted = _counter("repro_orchestrator_submitted_total")
+        served = _counter("repro_orchestrator_served_total")
+        failed = _counter("repro_orchestrator_failed_total")
+        assert submitted == total
+        assert served + failed == submitted
+        # every completed-without-error request really has its output
+        ok = sum(1 for r in results if r.error is None)
+        assert served == ok
+
+    def test_queue_depth_returns_to_zero(self):
+        orc = Orchestrator()
+        orc.register_model("id", lambda x: x)
+        orc.put_tensor("a", np.ones(2))
+        with orc:
+            reqs = [
+                orc.submit(InferenceRequest("id", ("a",), (f"o{i}",)))
+                for i in range(10)
+            ]
+            for r in reqs:
+                r.done.wait(timeout=5.0)
+        gauge = obs.get_registry().get("repro_orchestrator_queue_depth")
+        assert gauge.value() == 0
+
+    def test_tensor_store_gauge_tracks_size(self):
+        orc = Orchestrator()
+        orc.put_tensor("a", np.ones(2))
+        orc.put_tensor("b", np.ones(2))
+        orc.delete_tensor("a")
+        gauge = obs.get_registry().get("repro_orchestrator_tensor_store_size")
+        assert gauge.value() == 1
+
+
+class TestTensorAliasing:
+    def test_get_tensor_result_is_read_only(self):
+        orc = Orchestrator()
+        orc.put_tensor("k", np.arange(4.0))
+        view = orc.get_tensor("k")
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+        assert orc.get_tensor("k")[0] == 0.0
+
+    def test_client_get_tensor_cannot_mutate_store(self):
+        orc = Orchestrator()
+        client = Client(orc)
+        client.put_tensor("k", np.arange(3.0))
+        got = client.get_tensor("k")
+        with pytest.raises(ValueError):
+            got += 1.0
+        assert np.allclose(orc.get_tensor("k"), [0.0, 1.0, 2.0])
+
+    def test_unpack_tensor_copy_is_writable(self):
+        orc = Orchestrator()
+        client = Client(orc)
+        client.put_tensor("k", np.arange(3.0))
+        out = client.unpack_tensor("k")
+        out[0] = 42.0   # caller-owned copy
+        assert orc.get_tensor("k")[0] == 0.0
+
+    def test_put_tensor_still_copies_in(self):
+        orc = Orchestrator()
+        src = np.ones(3)
+        orc.put_tensor("k", src)
+        src[0] = 7.0
+        assert orc.get_tensor("k")[0] == 1.0
