@@ -11,6 +11,7 @@ annotating a region.  This CLI exposes the same verbs::
     python -m repro build CG --trace-out build.trace.json
     python -m repro evaluate Blackscholes --problems 50
     python -m repro compare FFT
+    python -m repro serve Blackscholes --max-batch-size 32 --baseline
     python -m repro telemetry --app Blackscholes --format prometheus
 
 ``build`` writes the surrogate package (and the search checkpoint) to
@@ -123,6 +124,41 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--problems", type=int, default=30)
     compare.add_argument("--samples", type=int, default=400)
     compare.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="benchmark the micro-batched serving path on one app's surrogate",
+    )
+    serve.add_argument("app")
+    serve.add_argument(
+        "--requests", type=int, default=512,
+        help="inference requests to pipeline through the serving pool",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=32,
+        help="most requests one vectorized forward may carry (1 = per-request)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long a worker holds a partial batch waiting for more requests",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="serving threads in the pool"
+    )
+    serve.add_argument(
+        "--no-batch-invariant", action="store_true",
+        help="let model forwards use BLAS gemm (faster for large models, but "
+        "outputs are no longer bit-reproducible across batch sizes)",
+    )
+    serve.add_argument(
+        "--baseline", action="store_true",
+        help="also measure strict per-request serving and report the speedup",
+    )
+    serve.add_argument("--samples", type=int, default=200)
+    serve.add_argument("--outer", type=int, default=1)
+    serve.add_argument("--inner", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=0)
+    _add_telemetry_args(serve)
 
     return parser
 
@@ -268,6 +304,66 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime import measure_serving_throughput
+
+    app = make_application(args.app)
+    build = AutoHPCnet(_config(args)).build(app)
+    surrogate = build.surrogate
+    rng = np.random.default_rng(args.seed + 1)
+    n_problems = min(args.requests, 64)
+    flat = np.stack(
+        [
+            surrogate.input_schema.flatten(p)
+            for p in app.generate_problems(n_problems, rng)
+        ]
+    )
+    rows = surrogate.x_scaler.transform(flat)
+    reps = -(-args.requests // len(rows))  # ceil division
+    rows = np.tile(rows, (reps, 1))[: args.requests]
+
+    result = measure_serving_throughput(
+        surrogate.package,
+        rows,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers,
+        batch_invariant=not args.no_batch_invariant,
+        model_name=app.name,
+    )
+    print(result.format())
+    # snapshot the batching histograms before the baseline run pollutes
+    # them with its 1-request batches (the registry is process-global)
+    registry = obs.get_registry()
+    batch_size = registry.get("repro_orchestrator_batch_size")
+    batch_wait = registry.get("repro_orchestrator_batch_wait_seconds")
+    if batch_size is not None and batch_size.count():
+        p = batch_size.percentiles()
+        print(
+            f"micro-batches: {batch_size.count()} "
+            f"(size p50 {p['p50']:.0f}, p99 {p['p99']:.0f})"
+        )
+    if batch_wait is not None and batch_wait.count():
+        p = batch_wait.percentiles()
+        print(f"batch wait: p50 {p['p50'] * 1e3:.2f}ms, p99 {p['p99'] * 1e3:.2f}ms")
+    if args.baseline:
+        baseline = measure_serving_throughput(
+            surrogate.package,
+            rows,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            num_workers=1,
+            batch_invariant=not args.no_batch_invariant,
+            model_name=app.name,
+        )
+        print(f"baseline: {baseline.format()}")
+        print(
+            f"speedup: {result.requests_per_sec / baseline.requests_per_sec:.1f}x"
+        )
+    _flush_telemetry(args)
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .baselines import compare_methods
 
@@ -295,6 +391,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -47,8 +47,20 @@ class SurrogatePackage:
     # -- inference ----------------------------------------------------------
 
     def predict(self, x: Union[np.ndarray, CSRMatrix]) -> np.ndarray:
-        """Raw region inputs -> surrogate outputs (batch or single row)."""
+        """Raw region inputs -> surrogate outputs (batch or single row).
+
+        A 1-D array is one sample ``(F,)`` and returns ``(output_dim,)``;
+        a 2-D array (or CSR batch) is ``(B, F)`` and returns
+        ``(B, output_dim)`` from a single vectorized forward pass — this
+        is the row-wise contract the orchestrator's micro-batching server
+        relies on to stack compatible requests.
+        """
         single = isinstance(x, np.ndarray) and x.ndim == 1
+        if isinstance(x, np.ndarray) and x.shape[-1] != self.input_dim:
+            raise ValueError(
+                f"surrogate expects {self.input_dim} input features, "
+                f"got input of shape {x.shape}"
+            )
         if self.autoencoder is not None:
             z = self.autoencoder.encode(x if not single else x[None, :])
         else:
@@ -59,6 +71,12 @@ class SurrogatePackage:
         with no_grad():
             out = self.model(Tensor(z)).data
         return out[0] if single else out
+
+    def predict_batch(self, rows: Sequence[np.ndarray]) -> np.ndarray:
+        """Stack per-request rows into one ``(B, F)`` forward pass."""
+        if len(rows) == 0:
+            return np.empty((0, self.output_dim))
+        return self.predict(np.stack([np.asarray(r).ravel() for r in rows]))
 
     def inference_flops(self, batch: int = 1) -> int:
         """Online cost: encoder (if any) + surrogate forward."""

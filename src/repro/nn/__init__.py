@@ -11,7 +11,16 @@ reproduction (see DESIGN.md §2).  Public API::
     from repro.nn import save_mlp, load_mlp
 """
 
-from .tensor import Tensor, concat, no_grad, tensor, zeros, ones
+from .tensor import (
+    Tensor,
+    batch_invariant,
+    concat,
+    is_batch_invariant,
+    no_grad,
+    tensor,
+    zeros,
+    ones,
+)
 from .layers import (
     ACTIVATIONS,
     Activation,
@@ -33,7 +42,8 @@ from .checkpoint import CheckpointSequential, activation_bytes, checkpoint
 from .serialize import load_mlp, load_model, save_mlp, save_model
 
 __all__ = [
-    "Tensor", "concat", "no_grad", "tensor", "zeros", "ones",
+    "Tensor", "batch_invariant", "concat", "is_batch_invariant",
+    "no_grad", "tensor", "zeros", "ones",
     "ACTIVATIONS", "Activation", "Dense", "Module", "Residual",
     "Sequential", "SparseDense",
     "huber_loss", "mae_loss", "mse_loss", "relative_l2",

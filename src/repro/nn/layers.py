@@ -93,6 +93,12 @@ class Dense(Module):
         self.bias = Tensor(np.zeros(out_features), requires_grad=True, name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
+        # accepts a single row (F,) or a stacked batch (B, F)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Dense expected {self.in_features} input features, "
+                f"got input of shape {x.shape}"
+            )
         return x @ self.weight + self.bias
 
     def flops(self, batch: int = 1) -> int:
@@ -152,6 +158,11 @@ class SparseDense(Module):
             return Tensor._from_op(data, (weight, bias), backward)
         # dense fallback so the layer composes with downstream tensors
         x_t = x if isinstance(x, Tensor) else Tensor(x)
+        if x_t.shape[-1] != self.in_features:
+            raise ValueError(
+                f"SparseDense expected {self.in_features} input features, "
+                f"got input of shape {x_t.shape}"
+            )
         self._last_nnz = int(np.count_nonzero(x_t.data))
         return x_t @ self.weight + self.bias
 

@@ -20,7 +20,16 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "batch_invariant",
+    "is_batch_invariant",
+    "tensor",
+    "zeros",
+    "ones",
+]
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -41,6 +50,39 @@ def no_grad():
         yield
     finally:
         _state.grad_enabled = previous
+
+
+def is_batch_invariant() -> bool:
+    """True inside a :func:`batch_invariant` block."""
+    return getattr(_state, "batch_invariant", False)
+
+
+@contextlib.contextmanager
+def batch_invariant():
+    """Make 2-D matmuls independent of batch size, bit-for-bit.
+
+    BLAS ``gemm`` picks different K-blocking (and hence floating-point
+    summation order) for different output shapes, so the rows of
+    ``X[(B, F)] @ W`` differ in the last ulp from ``X[i] @ W``.  Inside
+    this context 2-D×2-D products route through ``np.einsum`` with a
+    fixed per-element reduction order, making every row's result
+    independent of how many other rows share the batch.  The serving
+    path uses this so dynamically batched inference is bit-identical to
+    per-request inference; training stays on BLAS for speed.
+    """
+    previous = is_batch_invariant()
+    _state.batch_invariant = True
+    try:
+        yield
+    finally:
+        _state.batch_invariant = previous
+
+
+def _matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Forward product honoring the batch-invariant mode for 2-D operands."""
+    if a.ndim == 2 and b.ndim == 2 and is_batch_invariant():
+        return np.einsum("ij,jk->ik", a, b)
+    return a @ b
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -204,7 +246,7 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._wrap(other)
-        data = self.data @ other.data
+        data = _matmul_data(self.data, other.data)
         self_2d = self.data.ndim == 2
         other_2d = other.data.ndim == 2
 

@@ -1,8 +1,14 @@
 """Online serving substrate: orchestrator, client, serving cost model (§6.3)."""
 
 from .orchestrator import InferenceRequest, Orchestrator, OrchestratorStopped
-from .client import Client
-from .serving import ONLINE_PHASES, OnlineCostModel, ServingSession
+from .client import Client, InferenceFuture
+from .serving import (
+    ONLINE_PHASES,
+    OnlineCostModel,
+    ServingSession,
+    ThroughputResult,
+    measure_serving_throughput,
+)
 from .guard import GuardStats, GuardedSurrogate, bounds_validator, default_validator, residual_validator
 
 __all__ = [
@@ -10,9 +16,12 @@ __all__ = [
     "Orchestrator",
     "OrchestratorStopped",
     "Client",
+    "InferenceFuture",
     "ONLINE_PHASES",
     "OnlineCostModel",
     "ServingSession",
+    "ThroughputResult",
+    "measure_serving_throughput",
     "GuardStats",
     "GuardedSurrogate",
     "bounds_validator",

@@ -5,10 +5,24 @@ input tensors to the orchestrator, requests inferences, and unpacks
 results.  ``set_model_from_file`` loads a surrogate saved by
 :class:`~repro.nas.package.SurrogatePackage`; ``autoencoder`` runs the
 online feature reduction directly on a sparse tensor (Listing 2 line 14).
+
+Three invocation styles feed the orchestrator's micro-batching server:
+
+* :meth:`Client.run_model` — the blocking Listing-1 call;
+* :meth:`Client.run_model_async` — returns an :class:`InferenceFuture`
+  immediately, so an HPC rank can overlap its own compute with the
+  surrogate's and pipeline many requests into one vectorized forward;
+* :meth:`Client.run_model_batch` — submits a whole list of inputs at once
+  and gathers the outputs in order.
+
+Raw-array inputs are staged under *unique* per-request scratch keys and
+deleted once the result is retrieved, so concurrent clients (or pipelined
+requests from one client) never clobber each other's inputs.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Optional, Sequence, Union
 
@@ -19,7 +33,133 @@ from ..nas.package import SurrogatePackage
 from ..sparse import CSRMatrix
 from .orchestrator import InferenceRequest, Orchestrator
 
-__all__ = ["Client"]
+__all__ = ["Client", "InferenceFuture"]
+
+#: process-wide scratch-key sequence; itertools.count is atomic under the GIL
+_SCRATCH_IDS = itertools.count()
+
+
+class _BatchLatch:
+    """Counts down as batched requests finish; fires one Event at zero.
+
+    ``threading.Event`` construction costs ~3us — per-request Events are
+    the single largest client-side overhead when pipelining thousands of
+    requests.  Requests submitted together share this latch through
+    :class:`_LatchedDone` handles instead.
+    """
+
+    __slots__ = ("_lock", "_event", "_remaining")
+
+    def __init__(self, n: int) -> None:
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self._remaining = n
+        if n <= 0:
+            self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+
+class _LatchedDone:
+    """Event-compatible ``done`` handle for bulk-submitted requests.
+
+    ``set()``/``is_set()`` match :class:`threading.Event`; ``wait()`` is
+    conservative — it blocks until the *whole* latch fires (all sibling
+    requests finished), which implies this request finished too.  That is
+    exactly the semantics :meth:`Client.run_model_batch` needs, at a
+    fraction of an Event's construction cost.
+    """
+
+    __slots__ = ("_latch", "_flag")
+
+    def __init__(self, latch: _BatchLatch) -> None:
+        self._latch = latch
+        self._flag = False
+
+    def set(self) -> None:
+        latch = self._latch
+        with latch._lock:
+            if self._flag:
+                return
+            self._flag = True
+            latch._remaining -= 1
+            if latch._remaining <= 0:
+                latch._event.set()
+
+    def is_set(self) -> bool:
+        return self._flag
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        if self._flag:
+            return True
+        if self._latch.wait(timeout):
+            return True
+        return self._flag
+
+
+class InferenceFuture:
+    """Handle to an in-flight :meth:`Client.run_model_async` invocation.
+
+    ``result()`` blocks until the serving pool finishes the request,
+    re-raises any serving error, and cleans up the request's scratch
+    input keys.  The future may be resolved from any thread; repeated
+    ``result()`` calls return the cached output.
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        out_key: str,
+        scratch_keys: tuple[str, ...],
+        *,
+        request: Optional[InferenceRequest] = None,
+        value: Optional[np.ndarray] = None,
+        error: Optional[Exception] = None,
+    ) -> None:
+        self._orc = orchestrator
+        self._out_key = out_key
+        self._scratch_keys = scratch_keys
+        self._request = request
+        self._value = value
+        self._error = error
+        self._resolved = request is None
+        self._resolve_lock = threading.Lock()
+        if self._resolved:
+            self._cleanup()
+
+    @property
+    def output_key(self) -> str:
+        return self._out_key
+
+    def done(self) -> bool:
+        """True once the request finished (successfully or not)."""
+        return self._resolved or self._request.done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Wait for the output tensor (raises the serving error, if any)."""
+        with self._resolve_lock:
+            if not self._resolved:
+                if not self._request.done.wait(timeout):
+                    raise TimeoutError(
+                        f"inference for output key {self._out_key!r} did not "
+                        f"complete within {timeout}s"
+                    )
+                try:
+                    if self._request.error is not None:
+                        self._error = self._request.error
+                    else:
+                        self._value = self._orc.get_tensor(self._out_key)
+                finally:
+                    self._resolved = True
+                    self._cleanup()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _cleanup(self) -> None:
+        for key in self._scratch_keys:
+            self._orc.delete_tensor(key)
 
 
 class Client:
@@ -35,7 +175,8 @@ class Client:
     # -- tensor traffic ---------------------------------------------------------
 
     def put_tensor(self, key: str, value: np.ndarray) -> None:
-        self._orc.put_tensor(key, np.asarray(value, dtype=np.float64))
+        # the store preserves floating dtypes (float32 stays float32)
+        self._orc.put_tensor(key, np.asarray(value))
 
     def get_tensor(self, key: str) -> np.ndarray:
         return self._orc.get_tensor(key)
@@ -79,38 +220,131 @@ class Client:
         self.set_model(name, package)
         return package
 
+    def _stage_inputs(
+        self, inputs: Union[str, Sequence[str], np.ndarray]
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Resolve ``inputs`` to store keys; raw arrays get a unique scratch key."""
+        if isinstance(inputs, np.ndarray):
+            key = f"__scratch_in_{next(_SCRATCH_IDS)}__"
+            self.put_tensor(key, inputs)
+            return (key,), (key,)
+        if isinstance(inputs, str):
+            return (inputs,), ()
+        return tuple(inputs), ()
+
     def run_model(
         self,
         name: str,
         inputs: Union[str, Sequence[str], np.ndarray],
         outputs: Union[str, Sequence[str]],
     ) -> np.ndarray:
-        """Invoke a registered model.
+        """Invoke a registered model and block for the result.
 
         ``inputs``/``outputs`` may be store keys (Listing 1 style) or a raw
         array for ``inputs`` (Listing 2 style) — in the latter case the
-        client stages it under a scratch key first.
+        client stages it under a unique scratch key and deletes it after
+        serving.
         """
-        in_keys: tuple[str, ...]
-        if isinstance(inputs, np.ndarray):
-            in_keys = ("__scratch_in__",)
-            self.put_tensor(in_keys[0], inputs)
-        elif isinstance(inputs, str):
-            in_keys = (inputs,)
-        else:
-            in_keys = tuple(inputs)
+        in_keys, scratch = self._stage_inputs(inputs)
         out_keys = (outputs,) if isinstance(outputs, str) else tuple(outputs)
+        try:
+            if self._orc.is_running:
+                request = self._orc.submit(
+                    InferenceRequest(
+                        model_name=name, input_keys=in_keys, output_keys=out_keys
+                    )
+                )
+                request.done.wait()
+                if request.error is not None:
+                    raise request.error
+            else:
+                self._orc.run_model(name, in_keys, out_keys)
+            return self.get_tensor(out_keys[0])
+        finally:
+            for key in scratch:
+                self._orc.delete_tensor(key)
 
+    def run_model_async(
+        self,
+        name: str,
+        inputs: Union[str, Sequence[str], np.ndarray],
+        outputs: Union[str, Sequence[str]],
+    ) -> InferenceFuture:
+        """Submit an inference and return immediately with a future.
+
+        With the orchestrator's serving pool running, the request joins the
+        micro-batching queue; otherwise it is executed synchronously and the
+        returned future is already resolved.  Either way ``future.result()``
+        yields the output tensor or re-raises the serving error.
+        """
+        in_keys, scratch = self._stage_inputs(inputs)
+        out_keys = (outputs,) if isinstance(outputs, str) else tuple(outputs)
         if self._orc.is_running:
             request = self._orc.submit(
-                InferenceRequest(model_name=name, input_keys=in_keys, output_keys=out_keys)
+                InferenceRequest(
+                    model_name=name, input_keys=in_keys, output_keys=out_keys
+                )
             )
-            request.done.wait()
-            if request.error is not None:
-                raise request.error
-        else:
+            return InferenceFuture(self._orc, out_keys[0], scratch, request=request)
+        try:
             self._orc.run_model(name, in_keys, out_keys)
-        return self.get_tensor(out_keys[0])
+            value = self.get_tensor(out_keys[0])
+        except Exception as exc:  # noqa: BLE001 - surfaced via result()
+            return InferenceFuture(self._orc, out_keys[0], scratch, error=exc)
+        return InferenceFuture(self._orc, out_keys[0], scratch, value=value)
+
+    def run_model_batch(
+        self,
+        name: str,
+        inputs: Sequence[Union[str, Sequence[str], np.ndarray]],
+        outputs: Sequence[Union[str, Sequence[str]]],
+    ) -> list[np.ndarray]:
+        """Submit many inferences at once and gather the outputs in order.
+
+        Pipelining the whole list before the first wait is what lets the
+        serving pool drain the requests into large micro-batches.
+        """
+        if len(inputs) != len(outputs):
+            raise ValueError(
+                f"got {len(inputs)} inputs but {len(outputs)} outputs"
+            )
+        if not inputs:
+            return []
+        if not self._orc.is_running:
+            futures = [
+                self.run_model_async(name, x, out)
+                for x, out in zip(inputs, outputs)
+            ]
+            return [future.result() for future in futures]
+        # bulk path: stage everything, enqueue in one submit_many call, and
+        # only then start waiting — the serving pool sees a deep queue and
+        # drains it into full micro-batches.  Requests share one completion
+        # latch and outputs are gathered under one store lock, so the
+        # per-request client overhead stays far below the serving cost.
+        staged = [self._stage_inputs(x) for x in inputs]
+        out_keys_list = [
+            (out,) if isinstance(out, str) else tuple(out) for out in outputs
+        ]
+        latch = _BatchLatch(len(inputs))
+        requests = [
+            InferenceRequest(
+                model_name=name,
+                input_keys=in_keys,
+                output_keys=out_keys,
+                done=_LatchedDone(latch),
+            )
+            for (in_keys, _), out_keys in zip(staged, out_keys_list)
+        ]
+        scratch_keys = [key for _, scratch in staged for key in scratch]
+        try:
+            self._orc.submit_many(requests)
+            latch.wait()
+            for request in requests:
+                if request.error is not None:
+                    raise request.error
+            return self._orc.get_tensors([keys[0] for keys in out_keys_list])
+        finally:
+            self._orc.delete_tensors(scratch_keys)
 
     # -- online feature reduction ---------------------------------------------------------
 

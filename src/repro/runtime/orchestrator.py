@@ -4,29 +4,49 @@ The paper couples HPC applications to NN runtimes through a Redis-based
 in-memory store (SmartSim Orchestrator + RedisAI): applications ``put``
 input tensors under keys, request ``run_model`` on a registered model, and
 ``unpack`` the output tensors.  This module reproduces those semantics with
-a thread-safe in-process store plus an optional background worker thread
-that services inference requests from a queue (the "server" the paper runs
+a thread-safe in-process store plus a pool of background worker threads
+that service inference requests from a queue (the "server" the paper runs
 on the GPU node).
 
+Serving is **dynamically micro-batched**: each worker drains the request
+queue into a batch of up to ``max_batch_size`` requests (waiting at most
+``max_wait_ms`` for the batch to fill), groups compatible requests — same
+model, same input shape and dtype, single 1-D input tensor — stacks them
+into one ``(B, F)`` array, runs a single vectorized forward pass, and
+scatters the output rows back to the per-request output keys.  Requests
+that cannot batch (multi-key inputs, 2-D inputs, non-batchable models)
+fall back to the per-request path inside the same drain.  Model forwards
+run inside :func:`repro.nn.batch_invariant`, so batched outputs are
+bit-identical to per-request outputs regardless of how the queue happened
+to be sliced into batches.
+
 Telemetry: submit/serve/fail counters, a queue-depth gauge, a tensor-store
-size gauge, and a per-model inference latency histogram — all on the
-process-global registry (:mod:`repro.obs`).  When telemetry is disabled the
-hot paths pay one attribute check.
+size gauge, a per-model inference latency histogram, plus batch-size and
+batch-wait histograms for the micro-batcher — all on the process-global
+registry (:mod:`repro.obs`).  When telemetry is disabled the hot paths pay
+one attribute check.
 """
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import threading
 import time
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, NamedTuple, Optional
 
 import numpy as np
 
 from .. import obs
+from ..nn.tensor import batch_invariant as _batch_invariant_mode
 
 __all__ = ["Orchestrator", "InferenceRequest", "OrchestratorStopped"]
+
+#: batch-size histogram buckets: powers of two up to a deep GPU-style batch
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 class OrchestratorStopped(RuntimeError):
@@ -44,20 +64,140 @@ class InferenceRequest:
     error: Optional[Exception] = None
 
 
+class _RegisteredModel(NamedTuple):
+    predict: Callable[[np.ndarray], np.ndarray]
+    batchable: bool
+
+
+class _Group(NamedTuple):
+    """A vectorizable run: requests plus their already-fetched input rows."""
+
+    model: _RegisteredModel
+    requests: list[InferenceRequest]
+    inputs: list[np.ndarray]
+
+
+class _RequestQueue:
+    """Deque + condition variable tuned for micro-batched serving.
+
+    ``queue.Queue`` pays one mutex acquisition per ``put``/``get``; at
+    thousands of requests per second that becomes a measurable slice of
+    the serving budget.  This queue adds two bulk primitives — ``put_many``
+    (one lock for a whole pipeline of requests) and ``get_batch`` (one
+    lock to drain an entire micro-batch, waiting up to the deadline for
+    stragglers) — and treats ``None`` as the worker-exit sentinel.
+    """
+
+    def __init__(self) -> None:
+        self._items: "deque[Optional[InferenceRequest]]" = deque()
+        self._cond = threading.Condition()
+
+    def put(self, item: Optional[InferenceRequest]) -> None:
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify()
+
+    def put_many(self, items: list[InferenceRequest]) -> None:
+        with self._cond:
+            self._items.extend(items)
+            self._cond.notify_all()
+
+    def get_nowait(self) -> Optional[InferenceRequest]:
+        with self._cond:
+            if not self._items:
+                raise queue.Empty
+            return self._items.popleft()
+
+    def qsize(self) -> int:
+        return len(self._items)
+
+    def get_batch(
+        self, max_items: int, max_wait: float
+    ) -> tuple[Optional[list[InferenceRequest]], float]:
+        """Drain up to ``max_items`` requests as one batch.
+
+        Blocks until at least one request (or sentinel) arrives.  Returns
+        ``(None, 0.0)`` when the first item is the stop sentinel; a
+        sentinel found mid-drain is pushed back so the pool still sees one
+        sentinel per worker.  The second element is the time spent waiting
+        for stragglers (the batch-wait histogram's sample); a deep queue
+        drains without touching the clock.
+        """
+        with self._cond:
+            while not self._items:
+                self._cond.wait()
+            first = self._items.popleft()
+            if first is None:
+                return None, 0.0
+            batch = [first]
+            deadline: Optional[float] = None
+            wait_started: Optional[float] = None
+            while len(batch) < max_items:
+                if self._items:
+                    item = self._items.popleft()
+                    if item is None:
+                        self._items.appendleft(None)
+                        self._cond.notify()
+                        break
+                    batch.append(item)
+                    continue
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + max_wait
+                    wait_started = now
+                remaining = deadline - now
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    break
+            waited = time.monotonic() - wait_started if wait_started else 0.0
+            return batch, waited
+
+
 class Orchestrator:
-    """Key-value tensor store with a model registry.
+    """Key-value tensor store with a model registry and a batching server.
 
     ``port`` is cosmetic (API parity with ``Orchestrator(port=REDIS_PORT)``
     in Listing 2); everything lives in process memory.
+
+    Serving knobs:
+
+    * ``max_batch_size`` — most requests one vectorized forward may carry.
+      ``1`` disables micro-batching (strict per-request serving).
+    * ``max_wait_ms`` — how long a worker holding a partial batch waits for
+      more requests before dispatching what it has.  The queue only pays
+      this when it runs dry; a deep queue drains without waiting.
+    * ``num_workers`` — serving threads pulling batches concurrently.
+    * ``batch_invariant`` — run model forwards under
+      :func:`repro.nn.batch_invariant` so outputs are bit-identical no
+      matter how requests were batched (default).  Turn off to let large
+      models keep BLAS ``gemm`` speed at the cost of last-ulp
+      reproducibility across batch sizes.
     """
 
-    def __init__(self, port: int = 6379) -> None:
+    def __init__(
+        self,
+        port: int = 6379,
+        *,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 1,
+        batch_invariant: bool = True,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
         self.port = int(port)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.num_workers = int(num_workers)
+        self.batch_invariant = bool(batch_invariant)
         self._tensors: dict[str, np.ndarray] = {}
-        self._models: dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+        self._models: dict[str, _RegisteredModel] = {}
         self._lock = threading.RLock()
-        self._queue: "queue.Queue[Optional[InferenceRequest]]" = queue.Queue()
-        self._worker: Optional[threading.Thread] = None
+        self._queue = _RequestQueue()
+        self._workers: list[threading.Thread] = []
         self._running = False
         # serializes start/stop/submit state transitions so no request can
         # slip into the queue after stop() has drained it
@@ -89,12 +229,39 @@ class Orchestrator:
             "run_model wall-clock seconds per registered model",
             labels=("model",),
         )
+        self._m_batch_size = registry.histogram(
+            "repro_orchestrator_batch_size",
+            "Requests per micro-batch drained by a serving worker",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._m_batch_wait = registry.histogram(
+            "repro_orchestrator_batch_wait_seconds",
+            "Seconds a worker spent collecting each micro-batch",
+        )
+        self._m_batched_rows = registry.counter(
+            "repro_orchestrator_batched_rows_total",
+            "Requests served through a vectorized (B, F) forward pass",
+        )
+        self._m_stuck_workers = registry.gauge(
+            "repro_orchestrator_stuck_workers",
+            "Serving workers that failed to join within the stop() timeout",
+        )
 
     # -- tensor store ---------------------------------------------------------
 
+    @staticmethod
+    def _coerce(value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value)
+        if np.issubdtype(value.dtype, np.floating):
+            # dtype-preserving defensive copy: float32 HPC data stays
+            # float32 instead of silently doubling its footprint
+            return np.array(value, copy=True)
+        return value.astype(np.float64)
+
     def put_tensor(self, key: str, value: np.ndarray) -> None:
+        value = self._coerce(value)
         with self._lock:
-            self._tensors[key] = np.array(value, dtype=np.float64, copy=True)
+            self._tensors[key] = value
             if self._telemetry.enabled:
                 self._m_tensors.set(len(self._tensors))
 
@@ -115,6 +282,30 @@ class Orchestrator:
         view.flags.writeable = False
         return view
 
+    def get_tensors(self, keys: list[str]) -> list[np.ndarray]:
+        """Bulk :meth:`get_tensor`: one lock acquisition for the whole list."""
+        with self._lock:
+            try:
+                values = [self._tensors[k] for k in keys]
+            except KeyError as exc:
+                raise KeyError(f"no tensor stored under key {exc.args[0]!r}") from None
+        views = []
+        for value in values:
+            view = value.view()
+            view.flags.writeable = False
+            views.append(view)
+        return views
+
+    def delete_tensors(self, keys: list[str]) -> None:
+        """Bulk :meth:`delete_tensor`: one lock acquisition for the whole list."""
+        if not keys:
+            return
+        with self._lock:
+            for key in keys:
+                self._tensors.pop(key, None)
+            if self._telemetry.enabled:
+                self._m_tensors.set(len(self._tensors))
+
     def delete_tensor(self, key: str) -> None:
         with self._lock:
             self._tensors.pop(key, None)
@@ -128,13 +319,26 @@ class Orchestrator:
     # -- model registry -----------------------------------------------------------
 
     def register_model(
-        self, name: str, predict: Callable[[np.ndarray], np.ndarray]
+        self,
+        name: str,
+        predict: Callable[[np.ndarray], np.ndarray],
+        *,
+        batchable: bool = True,
     ) -> None:
-        """Register a callable model (RedisAI's ``AI.MODELSET`` analogue)."""
+        """Register a callable model (RedisAI's ``AI.MODELSET`` analogue).
+
+        ``batchable`` declares that the callable is row-wise: for stacked
+        1-D inputs ``X`` of shape ``(B, F)`` it returns ``B`` output rows
+        such that row ``i`` equals ``predict(X[i])``.  Every
+        :class:`~repro.nas.package.SurrogatePackage` and element-wise
+        function qualifies; pass ``False`` for reducing models (e.g. a
+        callable returning a scalar norm) to keep them on the per-request
+        path.
+        """
         if not callable(predict):
             raise TypeError("model must be callable")
         with self._lock:
-            self._models[name] = predict
+            self._models[name] = _RegisteredModel(predict, bool(batchable))
 
     def model_exists(self, name: str) -> bool:
         with self._lock:
@@ -156,17 +360,24 @@ class Orchestrator:
     ) -> None:
         with self._lock:
             try:
-                model = self._models[name]
+                model = self._models[name].predict
             except KeyError:
                 raise KeyError(f"no model registered under {name!r}") from None
             inputs = [self.get_tensor(k) for k in input_keys]
         x = inputs[0] if len(inputs) == 1 else np.concatenate(
             [np.atleast_1d(v).ravel() for v in inputs]
         )
-        y = np.asarray(model(x))
+        with self._forward_mode():
+            y = np.asarray(model(x))
         if len(output_keys) != 1:
             raise ValueError("multi-output splitting is the client's job; pass one key")
         self.put_tensor(output_keys[0], y)
+
+    def _forward_mode(self):
+        """Context every model forward runs under (see ``batch_invariant``)."""
+        if self.batch_invariant:
+            return _batch_invariant_mode()
+        return contextlib.nullcontext()
 
     # -- server mode -----------------------------------------------------------------
 
@@ -175,31 +386,56 @@ class Orchestrator:
         return self._running
 
     def start(self, block: bool = False) -> None:
-        """Start the background inference worker (``exp.start(orc, block=False)``)."""
+        """Start the background serving pool (``exp.start(orc, block=False)``)."""
         with self._state_lock:
             if self._running:
                 return
             self._running = True
-            self._worker = threading.Thread(target=self._serve, daemon=True)
-            self._worker.start()
+            self._workers = [
+                threading.Thread(
+                    target=self._serve, daemon=True, name=f"orchestrator-worker-{i}"
+                )
+                for i in range(self.num_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
         if block:  # pragma: no cover - interactive convenience
-            self._worker.join()
+            for worker in list(self._workers):
+                worker.join()
 
-    def stop(self) -> None:
-        """Stop the worker and fail any request still waiting in the queue.
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop the pool and fail any request still waiting in the queue.
 
         Every pending :class:`InferenceRequest` gets ``error`` set to
         :class:`OrchestratorStopped` and its ``done`` event signalled, so
-        no waiter blocks forever.  Safe to call repeatedly.
+        no waiter blocks forever.  A worker that fails to join within
+        ``join_timeout`` seconds (e.g. wedged inside a model forward) is
+        recorded on the ``repro_orchestrator_stuck_workers`` gauge and
+        reported with a :class:`RuntimeWarning` instead of being silently
+        ignored.  Safe to call repeatedly.
         """
         with self._state_lock:
             if not self._running:
                 return
             self._running = False
-            self._queue.put(None)
-            worker, self._worker = self._worker, None
-        if worker is not None:
-            worker.join(timeout=5.0)
+            workers, self._workers = self._workers, []
+            for _ in workers:
+                self._queue.put(None)
+        stuck = 0
+        for worker in workers:
+            worker.join(timeout=join_timeout)
+            if worker.is_alive():
+                stuck += 1
+        if self._telemetry.enabled:
+            self._m_stuck_workers.set(stuck)
+        if stuck:
+            warnings.warn(
+                f"{stuck} orchestrator worker(s) still alive after "
+                f"{join_timeout:.1f}s join timeout; their in-flight requests "
+                "may never complete",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         # drain: nothing can enqueue anymore (_running is False), so every
         # request left behind — and any stale sentinel — comes out here
         abandoned = 0
@@ -221,7 +457,7 @@ class Orchestrator:
             self._m_queue_depth.set(0)
 
     def submit(self, request: InferenceRequest) -> InferenceRequest:
-        """Queue an inference for the worker thread; wait on ``request.done``."""
+        """Queue an inference for the serving pool; wait on ``request.done``."""
         with self._state_lock:
             if not self._running:
                 raise RuntimeError("orchestrator not started; call start() first")
@@ -231,35 +467,152 @@ class Orchestrator:
                 self._m_queue_depth.set(self._queue.qsize())
         return request
 
+    def submit_many(
+        self, requests: list[InferenceRequest]
+    ) -> list[InferenceRequest]:
+        """Queue a whole request list in one state transition.
+
+        Functionally ``[submit(r) for r in requests]``, but the state lock
+        and telemetry updates are paid once per call instead of once per
+        request — the difference between client-bound and server-bound
+        serving when a rank pipelines hundreds of inferences.
+        """
+        with self._state_lock:
+            if not self._running:
+                raise RuntimeError("orchestrator not started; call start() first")
+            self._queue.put_many(requests)
+            if self._telemetry.enabled:
+                self._m_submitted.inc(len(requests))
+                self._m_queue_depth.set(self._queue.qsize())
+        return requests
+
+    # -- serving pool internals -------------------------------------------------------
+
     def _serve(self) -> None:
         while True:
-            request = self._queue.get()
-            if request is None:
+            batch = self._collect_batch()
+            if batch is None:
                 break
-            if not self._running:
-                # stop() is underway: abandon instead of serving late
+            self._serve_batch(batch)
+
+    def _collect_batch(self) -> Optional[list[InferenceRequest]]:
+        """Drain the queue into one micro-batch (None means: worker exits)."""
+        batch, waited = self._queue.get_batch(
+            self.max_batch_size, self.max_wait_ms / 1000.0
+        )
+        if batch is not None and self._telemetry.enabled:
+            self._m_batch_size.observe(len(batch))
+            self._m_batch_wait.observe(waited)
+        return batch
+
+    def _serve_batch(self, batch: list[InferenceRequest]) -> None:
+        if not self._running:
+            # stop() is underway: abandon instead of serving late
+            for request in batch:
                 request.error = OrchestratorStopped(
                     "orchestrator stopped before this request was served"
                 )
                 request.done.set()
-                if self._telemetry.enabled:
-                    self._m_failed.inc()
-                continue
             if self._telemetry.enabled:
-                self._m_queue_depth.set(self._queue.qsize())
-            try:
-                self.run_model(
-                    request.model_name, request.input_keys, request.output_keys
-                )
-            except Exception as exc:  # noqa: BLE001 - surfaced to the waiter
-                request.error = exc
-                if self._telemetry.enabled:
-                    self._m_failed.inc()
+                self._m_failed.inc(len(batch))
+            return
+        if self._telemetry.enabled:
+            self._m_queue_depth.set(self._queue.qsize())
+        for entry in self._group_batch(batch):
+            if isinstance(entry, _Group) and len(entry.requests) > 1:
+                self._serve_group(entry)
+            elif isinstance(entry, _Group):
+                self._serve_one(entry.requests[0])
             else:
-                if self._telemetry.enabled:
-                    self._m_served.inc()
-            finally:
-                request.done.set()
+                self._serve_one(entry)
+
+    def _group_batch(
+        self, batch: list[InferenceRequest]
+    ) -> list[Any]:
+        """Split a drained batch into vectorizable groups.
+
+        Requests stack into one forward pass when they target the same
+        batchable model with a single 1-D input tensor of the same shape
+        and dtype; everything else is served on the per-request path.
+        Groups carry the model and input tensors fetched here, under one
+        lock acquisition — tensors are defensive copies, so a concurrent
+        ``delete_tensor`` cannot invalidate a group once formed.
+        """
+        groups: dict[tuple, _Group] = {}
+        ordered: list[Any] = []
+        with self._lock:
+            for request in batch:
+                key: Optional[tuple] = None
+                if len(request.input_keys) == 1 and len(request.output_keys) == 1:
+                    model = self._models.get(request.model_name)
+                    tensor = self._tensors.get(request.input_keys[0])
+                    if (
+                        model is not None
+                        and model.batchable
+                        and tensor is not None
+                        and tensor.ndim == 1
+                    ):
+                        key = (request.model_name, tensor.shape, tensor.dtype.str)
+                if key is None:
+                    ordered.append(request)
+                    continue
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = _Group(model, [], [])
+                    ordered.append(group)
+                group.requests.append(request)
+                group.inputs.append(tensor)
+        return ordered
+
+    def _serve_one(self, request: InferenceRequest) -> None:
+        try:
+            self.run_model(request.model_name, request.input_keys, request.output_keys)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the waiter
+            request.error = exc
+            if self._telemetry.enabled:
+                self._m_failed.inc()
+        else:
+            if self._telemetry.enabled:
+                self._m_served.inc()
+        finally:
+            request.done.set()
+
+    def _serve_group(self, group: _Group) -> None:
+        """One vectorized forward for a group of shape-compatible requests."""
+        requests = group.requests
+        name = requests[0].model_name
+        stacked = np.stack(group.inputs)
+        start = time.perf_counter()
+        try:
+            with self._forward_mode():
+                output = np.asarray(group.model.predict(stacked))
+            if output.ndim < 1 or output.shape[0] != len(requests):
+                raise ValueError(
+                    f"model {name!r} returned shape {output.shape} for a "
+                    f"batch of {len(requests)}; register with batchable=False "
+                    "if it is not row-wise"
+                )
+        except Exception:  # noqa: BLE001 - retried per request
+            # a poisoned row (or a non-row-wise model) must not fail its
+            # batch-mates: fall back to serving each request individually
+            for request in requests:
+                self._serve_one(request)
+            return
+        elapsed = time.perf_counter() - start
+        # one dtype-preserving defensive copy of the whole output, then
+        # scatter row views under one lock acquisition and wake the waiters
+        output = self._coerce(output)
+        with self._lock:
+            for request, row in zip(requests, output):
+                self._tensors[request.output_keys[0]] = row
+            if self._telemetry.enabled:
+                self._m_tensors.set(len(self._tensors))
+        for request in requests:
+            request.done.set()
+        if self._telemetry.enabled:
+            self._m_latency.observe(elapsed, model=name)
+            self._m_served.inc(len(requests))
+            self._m_batched_rows.inc(len(requests))
 
     def __enter__(self) -> "Orchestrator":
         self.start()

@@ -15,6 +15,7 @@ both simulated and measured splits.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -29,7 +30,13 @@ from ..sparse import CSRMatrix
 from .client import Client
 from .orchestrator import Orchestrator
 
-__all__ = ["OnlineCostModel", "ServingSession", "ONLINE_PHASES"]
+__all__ = [
+    "OnlineCostModel",
+    "ServingSession",
+    "ONLINE_PHASES",
+    "ThroughputResult",
+    "measure_serving_throughput",
+]
 
 ONLINE_PHASES = ("fetch_input", "encode", "load_model", "run_model")
 
@@ -84,6 +91,74 @@ class OnlineCostModel:
         for phase, seconds in self.phase_times(package, input_bytes).items():
             timer.add(phase, seconds)
         return timer
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one serving-throughput measurement."""
+
+    requests: int
+    seconds: float
+    max_batch_size: int
+    num_workers: int
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else float("inf")
+
+    def format(self) -> str:
+        return (
+            f"{self.requests} requests in {self.seconds:.3f}s = "
+            f"{self.requests_per_sec:,.0f} req/s "
+            f"(max_batch_size={self.max_batch_size}, "
+            f"workers={self.num_workers})"
+        )
+
+
+def measure_serving_throughput(
+    package: SurrogatePackage,
+    rows: np.ndarray,
+    *,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    num_workers: int = 1,
+    batch_invariant: bool = True,
+    model_name: str = "surrogate",
+    timeout: float = 120.0,
+) -> ThroughputResult:
+    """Requests/sec of the orchestrator serving path for one configuration.
+
+    Every row of ``rows`` is staged under its own input key *before* the
+    clock starts, then all requests are pipelined through
+    :meth:`Client.run_model_batch` so the serving pool can drain them into
+    micro-batches; the measurement covers submit -> result for the full
+    set.  ``max_batch_size=1`` gives the strict per-request baseline the
+    batching speedup is judged against.
+    """
+    rows = np.atleast_2d(np.asarray(rows))
+    orchestrator = Orchestrator(
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        num_workers=num_workers,
+        batch_invariant=batch_invariant,
+    )
+    client = Client(orchestrator)
+    client.set_model(model_name, package)
+    in_keys = [f"__bench_in_{i}__" for i in range(len(rows))]
+    out_keys = [f"__bench_out_{i}__" for i in range(len(rows))]
+    for key, row in zip(in_keys, rows):
+        client.put_tensor(key, row)
+    del timeout  # request waits are unbounded inside run_model_batch
+    with orchestrator:
+        start = time.perf_counter()
+        client.run_model_batch(model_name, in_keys, out_keys)
+        elapsed = time.perf_counter() - start
+    return ThroughputResult(
+        requests=len(rows),
+        seconds=elapsed,
+        max_batch_size=max_batch_size,
+        num_workers=num_workers,
+    )
 
 
 class ServingSession:
@@ -153,3 +228,19 @@ class ServingSession:
             self.client.put_tensor("out", out)
             result = self.client.unpack_tensor("out")
         return result[0] if np.asarray(raw_input).ndim == 1 else result
+
+    def infer_batch(
+        self, rows: Union[np.ndarray, list], key: str = "in"
+    ) -> np.ndarray:
+        """Serve a stack of per-request rows through one phase-timed pass.
+
+        ``rows`` is a ``(B, F)`` array or a list of ``(F,)`` rows; the four
+        §7.3 phases are each timed once for the whole batch, which is how
+        the micro-batching server amortizes per-invocation overhead.
+        """
+        stacked = (
+            rows if isinstance(rows, np.ndarray) else np.stack([np.asarray(r) for r in rows])
+        )
+        if stacked.ndim != 2:
+            raise ValueError(f"expected a (B, F) batch, got shape {stacked.shape}")
+        return self.infer(stacked, key=key)

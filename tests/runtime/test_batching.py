@@ -1,0 +1,460 @@
+"""Micro-batched serving: grouping, scatter, bit-identity, async client API."""
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.nas import evaluate_topology
+from repro.nn import Topology
+from repro.runtime import (
+    Client,
+    InferenceFuture,
+    InferenceRequest,
+    Orchestrator,
+    OrchestratorStopped,
+    measure_serving_throughput,
+)
+
+
+def make_package(rng, din=6, dout=2, hidden=(16,)):
+    x = rng.standard_normal((80, din))
+    y = x @ rng.standard_normal((din, dout))
+    return evaluate_topology(
+        Topology(hidden=hidden, activation="tanh"), x, y, rng=rng
+    ).package
+
+
+class TestConstructorKnobs:
+    def test_defaults(self):
+        orc = Orchestrator()
+        assert orc.max_batch_size == 32
+        assert orc.max_wait_ms == 2.0
+        assert orc.num_workers == 1
+        assert orc.batch_invariant
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_ms": -1.0},
+            {"num_workers": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Orchestrator(**kwargs)
+
+
+class TestMicroBatching:
+    def test_compatible_requests_batch_into_one_forward(self, rng):
+        calls = []
+
+        def model(x):
+            calls.append(np.asarray(x).shape)
+            return np.asarray(x) * 2.0
+
+        orc = Orchestrator(max_batch_size=16, max_wait_ms=50.0)
+        orc.register_model("scale", model)
+        for i in range(8):
+            orc.put_tensor(f"in{i}", np.full(4, float(i)))
+        requests = [
+            InferenceRequest("scale", (f"in{i}",), (f"out{i}",)) for i in range(8)
+        ]
+        # enqueue everything before the worker starts so one drain sees all
+        for req in requests:
+            orc._queue.put(req)
+        orc.start()
+        for req in requests:
+            assert req.done.wait(timeout=5.0)
+            assert req.error is None
+        orc.stop()
+        assert (8, 4) in calls  # one stacked forward, not 8 singles
+        for i in range(8):
+            assert np.allclose(orc.get_tensor(f"out{i}"), 2.0 * i)
+
+    def test_incompatible_shapes_grouped_separately(self, rng):
+        shapes_seen = []
+
+        def model(x):
+            shapes_seen.append(np.asarray(x).shape)
+            return np.asarray(x) * -1.0
+
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
+        orc.register_model("neg", model)
+        orc.put_tensor("a", np.ones(3))
+        orc.put_tensor("b", np.ones(3))
+        orc.put_tensor("c", np.ones(5))
+        requests = [
+            InferenceRequest("neg", (k,), (f"o_{k}",)) for k in ("a", "b", "c")
+        ]
+        for req in requests:
+            orc._queue.put(req)
+        orc.start()
+        for req in requests:
+            assert req.done.wait(timeout=5.0)
+            assert req.error is None
+        orc.stop()
+        # the two (3,) inputs stack; the (5,) input runs alone
+        assert (2, 3) in shapes_seen
+        assert (5,) in shapes_seen
+
+    def test_multi_key_inputs_stay_per_request(self, rng):
+        shapes_seen = []
+
+        def model(x):
+            shapes_seen.append(np.asarray(x).shape)
+            return np.asarray(x).sum(keepdims=True)
+
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
+        orc.register_model("sum", model, batchable=False)
+        orc.put_tensor("p", np.ones(2))
+        orc.put_tensor("q", np.ones(3))
+        req = InferenceRequest("sum", ("p", "q"), ("out",))
+        orc._queue.put(req)
+        orc.start()
+        assert req.done.wait(timeout=5.0)
+        orc.stop()
+        assert req.error is None
+        assert shapes_seen == [(5,)]  # concatenated, per-request path
+        assert np.allclose(orc.get_tensor("out"), 5.0)
+
+    def test_non_batchable_model_served_per_request(self, rng):
+        shapes_seen = []
+
+        def model(x):
+            shapes_seen.append(np.asarray(x).shape)
+            return np.asarray(x) * 3.0
+
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
+        orc.register_model("m", model, batchable=False)
+        for i in range(4):
+            orc.put_tensor(f"i{i}", np.ones(2))
+        requests = [InferenceRequest("m", (f"i{i}",), (f"o{i}",)) for i in range(4)]
+        for req in requests:
+            orc._queue.put(req)
+        orc.start()
+        for req in requests:
+            assert req.done.wait(timeout=5.0)
+            assert req.error is None
+        orc.stop()
+        assert all(shape == (2,) for shape in shapes_seen)
+        assert len(shapes_seen) == 4
+
+    def test_bad_request_does_not_poison_batchmates(self, rng):
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
+        pkg = make_package(rng)
+        orc.register_model("m", pkg.predict)
+        orc.put_tensor("good1", rng.standard_normal(6))
+        orc.put_tensor("bad", rng.standard_normal(9))   # wrong feature count
+        orc.put_tensor("good2", rng.standard_normal(6))
+        requests = [
+            InferenceRequest("m", (k,), (f"o_{k}",))
+            for k in ("good1", "bad", "good2")
+        ]
+        for req in requests:
+            orc._queue.put(req)
+        orc.start()
+        for req in requests:
+            assert req.done.wait(timeout=5.0)
+        orc.stop()
+        assert requests[0].error is None
+        assert isinstance(requests[1].error, ValueError)
+        assert requests[2].error is None
+        assert orc.tensor_exists("o_good1") and orc.tensor_exists("o_good2")
+
+    def test_non_rowwise_batchable_model_falls_back(self, rng):
+        # claims batchable but returns one row regardless of batch size:
+        # the shape check must route every request to the per-request path
+        def collapse(x):
+            x = np.atleast_2d(np.asarray(x))
+            return x.sum(axis=0)
+
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
+        orc.register_model("collapse", collapse)
+        orc.put_tensor("u", np.full(3, 1.0))
+        orc.put_tensor("v", np.full(3, 2.0))
+        requests = [
+            InferenceRequest("collapse", (k,), (f"o_{k}",)) for k in ("u", "v")
+        ]
+        for req in requests:
+            orc._queue.put(req)
+        orc.start()
+        for req in requests:
+            assert req.done.wait(timeout=5.0)
+            assert req.error is None
+        orc.stop()
+        assert np.allclose(orc.get_tensor("o_u"), 1.0)
+        assert np.allclose(orc.get_tensor("o_v"), 2.0)
+
+    def test_worker_pool_serves_all_requests(self, rng):
+        pkg = make_package(rng)
+        orc = Orchestrator(max_batch_size=4, max_wait_ms=1.0, num_workers=4)
+        client = Client(orc)
+        client.set_model("m", pkg)
+        x = rng.standard_normal((40, 6))
+        with orc:
+            futures = [
+                client.run_model_async("m", x[i], f"o{i}") for i in range(40)
+            ]
+            outs = [f.result(timeout=10.0) for f in futures]
+        for i in range(40):
+            assert np.allclose(outs[i], pkg.predict(x[i]))
+
+    def test_batch_telemetry_recorded(self, rng):
+        registry = obs.get_registry()
+        rows_before = registry.counter(
+            "repro_orchestrator_batched_rows_total"
+        ).total()
+        pkg = make_package(rng)
+        orc = Orchestrator(max_batch_size=16, max_wait_ms=100.0)
+        client = Client(orc)
+        client.set_model("m", pkg)
+        x = rng.standard_normal((16, 6))
+        with orc:
+            futures = [
+                client.run_model_async("m", x[i], f"o{i}") for i in range(16)
+            ]
+            for f in futures:
+                f.result(timeout=10.0)
+        assert registry.counter("repro_orchestrator_batched_rows_total").total() > rows_before
+        assert registry.histogram("repro_orchestrator_batch_size").count() > 0
+        assert registry.histogram("repro_orchestrator_batch_wait_seconds").count() > 0
+
+
+class TestBitIdentity:
+    """Batched serving must be bit-identical to per-request serving."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("batch", [2, 7, 32])
+    def test_property_batched_equals_per_request(self, seed, batch):
+        rng = np.random.default_rng(seed)
+        din = int(rng.integers(3, 12))
+        hidden = tuple(int(h) for h in rng.integers(4, 24, size=rng.integers(1, 3)))
+        pkg = make_package(rng, din=din, hidden=hidden)
+        x = rng.standard_normal((batch + 1, din))
+
+        per_request = Orchestrator(max_batch_size=1)
+        batched = Orchestrator(max_batch_size=batch, max_wait_ms=100.0)
+        c_per, c_bat = Client(per_request), Client(batched)
+        c_per.set_model("m", pkg)
+        c_bat.set_model("m", pkg)
+        with per_request:
+            ref = [
+                c_per.run_model("m", x[i], f"r{i}").copy() for i in range(len(x))
+            ]
+        with batched:
+            futures = [
+                c_bat.run_model_async("m", x[i], f"b{i}") for i in range(len(x))
+            ]
+            got = [f.result(timeout=10.0).copy() for f in futures]
+        for i in range(len(x)):
+            assert np.array_equal(ref[i], got[i]), f"row {i} differs"
+
+    def test_direct_run_model_matches_server_mode(self, rng):
+        pkg = make_package(rng)
+        x = rng.standard_normal(6)
+        offline = Orchestrator()
+        offline.register_model("m", pkg.predict)
+        offline.put_tensor("in", x)
+        offline.run_model("m", ("in",), ("out",))
+        direct = offline.get_tensor("out").copy()
+
+        served = Orchestrator(max_batch_size=32, max_wait_ms=10.0)
+        client = Client(served)
+        client.set_model("m", pkg)
+        with served:
+            out = client.run_model("m", x, "out")
+        assert np.array_equal(direct, out)
+
+    def test_float32_rows_batch_bit_identically(self, rng):
+        pkg = make_package(rng)
+        x = rng.standard_normal((9, 6)).astype(np.float32)
+        per_request = Orchestrator(max_batch_size=1)
+        batched = Orchestrator(max_batch_size=8, max_wait_ms=100.0)
+        c_per, c_bat = Client(per_request), Client(batched)
+        c_per.set_model("m", pkg)
+        c_bat.set_model("m", pkg)
+        with per_request:
+            ref = [c_per.run_model("m", x[i], f"r{i}").copy() for i in range(9)]
+        with batched:
+            futures = [c_bat.run_model_async("m", x[i], f"b{i}") for i in range(9)]
+            got = [f.result(timeout=10.0).copy() for f in futures]
+        for a, b in zip(ref, got):
+            assert np.array_equal(a, b)
+
+
+class TestAsyncClient:
+    def test_future_resolves_with_result(self, rng):
+        pkg = make_package(rng)
+        orc = Orchestrator(max_batch_size=4, max_wait_ms=1.0)
+        client = Client(orc)
+        client.set_model("m", pkg)
+        x = rng.standard_normal(6)
+        with orc:
+            future = client.run_model_async("m", x, "out")
+            assert isinstance(future, InferenceFuture)
+            out = future.result(timeout=5.0)
+            assert future.done()
+            # repeated result() returns the cached value
+            assert np.array_equal(out, future.result())
+        # served forwards run batch-invariant (einsum), direct predict on
+        # BLAS: equal to rounding, bit-equal only within the serving path
+        assert np.allclose(out, pkg.predict(x))
+
+    def test_future_raises_serving_error(self):
+        orc = Orchestrator(max_batch_size=4, max_wait_ms=1.0)
+        client = Client(orc)
+        with orc:
+            future = client.run_model_async("ghost", np.ones(3), "out")
+            with pytest.raises(KeyError):
+                future.result(timeout=5.0)
+            # the error is cached too
+            with pytest.raises(KeyError):
+                future.result()
+
+    def test_future_without_server_resolves_synchronously(self, rng):
+        pkg = make_package(rng)
+        orc = Orchestrator()
+        client = Client(orc)
+        client.set_model("m", pkg)
+        x = rng.standard_normal(6)
+        future = client.run_model_async("m", x, "out")
+        assert future.done()
+        assert np.allclose(future.result(), pkg.predict(x))
+
+    def test_future_timeout(self, rng):
+        stall = threading.Event()
+
+        def slow(x):
+            stall.wait(timeout=10.0)
+            return np.asarray(x)
+
+        orc = Orchestrator(max_batch_size=1)
+        orc.register_model("slow", slow)
+        client = Client(orc)
+        with orc:
+            future = client.run_model_async("slow", np.ones(2), "out")
+            with pytest.raises(TimeoutError):
+                future.result(timeout=0.05)
+            stall.set()
+            future.result(timeout=5.0)
+
+    def test_run_model_batch_orders_outputs(self, rng):
+        pkg = make_package(rng)
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=5.0)
+        client = Client(orc)
+        client.set_model("m", pkg)
+        x = rng.standard_normal((12, 6))
+        with orc:
+            outs = client.run_model_batch(
+                "m", [x[i] for i in range(12)], [f"o{i}" for i in range(12)]
+            )
+        assert len(outs) == 12
+        for i in range(12):
+            assert np.allclose(outs[i], pkg.predict(x[i]))
+
+    def test_run_model_batch_length_mismatch(self, rng):
+        client = Client(Orchestrator())
+        with pytest.raises(ValueError):
+            client.run_model_batch("m", [np.ones(2)], ["a", "b"])
+
+    def test_scratch_keys_unique_and_cleaned(self, rng):
+        pkg = make_package(rng)
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=5.0)
+        client = Client(orc)
+        client.set_model("m", pkg)
+        x = rng.standard_normal((6, 6))
+        with orc:
+            futures = [client.run_model_async("m", x[i], f"o{i}") for i in range(6)]
+            # while in flight, every staged scratch key is distinct
+            for f in futures:
+                f.result(timeout=10.0)
+        leftover = [k for k in orc._tensors if k.startswith("__scratch")]
+        assert leftover == []
+
+    def test_sync_run_model_cleans_scratch_on_error(self, rng):
+        orc = Orchestrator()
+        client = Client(orc)
+        with pytest.raises(KeyError):
+            client.run_model("ghost", np.ones(3), "out")
+        assert not [k for k in orc._tensors if k.startswith("__scratch")]
+
+
+class TestStoreDtypes:
+    def test_float32_preserved(self):
+        orc = Orchestrator()
+        orc.put_tensor("k", np.ones((3, 3), dtype=np.float32))
+        assert orc.get_tensor("k").dtype == np.float32
+
+    def test_float64_preserved(self):
+        orc = Orchestrator()
+        orc.put_tensor("k", np.ones(3))
+        assert orc.get_tensor("k").dtype == np.float64
+
+    def test_int_coerced_to_float64(self):
+        orc = Orchestrator()
+        orc.put_tensor("k", np.arange(4))
+        assert orc.get_tensor("k").dtype == np.float64
+
+    def test_defensive_copy_kept_for_float32(self):
+        orc = Orchestrator()
+        t = np.ones(4, dtype=np.float32)
+        orc.put_tensor("k", t)
+        t[0] = 99.0
+        assert orc.get_tensor("k")[0] == 1.0
+
+
+class TestStopDiagnostics:
+    def test_stuck_worker_warns_and_sets_gauge(self):
+        release = threading.Event()
+
+        def wedge(x):
+            release.wait(timeout=30.0)
+            return np.asarray(x)
+
+        orc = Orchestrator(max_batch_size=1)
+        orc.register_model("wedge", wedge)
+        orc.put_tensor("in", np.ones(2))
+        orc.start()
+        orc.submit(InferenceRequest("wedge", ("in",), ("out",)))
+        time.sleep(0.05)  # let the worker pick the request up
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            orc.stop(join_timeout=0.1)
+        release.set()
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        gauge = obs.get_registry().gauge("repro_orchestrator_stuck_workers")
+        assert gauge.value() >= 1
+        # a clean stop afterwards resets the gauge
+        orc2 = Orchestrator()
+        orc2.start()
+        orc2.stop()
+        assert gauge.value() == 0
+
+    def test_stop_abandons_queued_requests_in_batches(self):
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=1.0)
+        orc.register_model("id", lambda x: x)
+        orc.put_tensor("a", np.ones(2))
+        orc.start()
+        req = orc.submit(InferenceRequest("id", ("a",), ("b",)))
+        assert req.done.wait(timeout=5.0)
+        orc.stop()
+        with pytest.raises(RuntimeError):
+            orc.submit(InferenceRequest("id", ("a",), ("c",)))
+
+
+class TestThroughputHelper:
+    def test_measure_reports_all_requests(self, rng):
+        pkg = make_package(rng)
+        rows = rng.standard_normal((32, 6))
+        result = measure_serving_throughput(
+            pkg, rows, max_batch_size=8, max_wait_ms=1.0
+        )
+        assert result.requests == 32
+        assert result.seconds > 0
+        assert result.requests_per_sec > 0
+        assert "req/s" in result.format()

@@ -67,6 +67,65 @@ class TestParallelAccess:
         for seed, out in results:
             assert np.allclose(out, -float(seed))
 
+    def test_interleaved_run_model_outputs_match_inputs(self, rng):
+        """Regression for the shared-scratch-key race: N threads pipeline raw
+        arrays through one started orchestrator; every response must match
+        its own input, not a neighbor's."""
+        from repro.nas import evaluate_topology
+        from repro.nn import Topology
+
+        x_train = rng.standard_normal((60, 5))
+        y_train = x_train @ rng.standard_normal((5, 2))
+        pkg = evaluate_topology(
+            Topology(hidden=(8,), activation="tanh"), x_train, y_train, rng=rng
+        ).package
+        inputs = rng.standard_normal((8, 25, 5))
+        expected = [[pkg.predict(inputs[w, i]) for i in range(25)] for w in range(8)]
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=1.0, num_workers=2)
+        primary = Client(orc)
+        primary.set_model("m", pkg)
+        failures = []
+
+        def worker(w: int) -> None:
+            client = Client(orc)
+            for i in range(25):
+                out = client.run_model("m", inputs[w, i], f"out_{w}_{i}")
+                if not np.allclose(out, expected[w][i]):
+                    failures.append((w, i))
+
+        with orc:
+            threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert failures == []
+
+    def test_concurrent_async_batch_calls(self, rng):
+        """Pipelined run_model_batch from several threads at once."""
+        orc = Orchestrator(max_batch_size=16, max_wait_ms=1.0, num_workers=2)
+        orc.register_model("affine", lambda x: x * 2.0 + 1.0)
+        results = {}
+
+        def worker(w: int) -> None:
+            client = Client(orc)
+            xs = [np.full(4, float(w * 100 + i)) for i in range(10)]
+            outs = client.run_model_batch(
+                "affine", xs, [f"bo_{w}_{i}" for i in range(10)]
+            )
+            results[w] = (xs, outs)
+
+        with orc:
+            threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(results) == 4
+        for w, (xs, outs) in results.items():
+            for x, out in zip(xs, outs):
+                assert np.array_equal(out, x * 2.0 + 1.0)
+
     def test_stop_drains_cleanly(self):
         orc = Orchestrator()
         orc.start()
