@@ -138,13 +138,16 @@ class InferenceFuture:
 
     def result(self, timeout: Optional[float] = None) -> np.ndarray:
         """Wait for the output tensor (raises the serving error, if any)."""
+        # wait *outside* the resolve lock: Event.wait is safe from many
+        # threads, and holding the lock while waiting would let one
+        # caller's open-ended wait swallow another caller's timeout
+        if not self._resolved and not self._request.done.wait(timeout):
+            raise TimeoutError(
+                f"inference for output key {self._out_key!r} did not "
+                f"complete within {timeout}s"
+            )
         with self._resolve_lock:
             if not self._resolved:
-                if not self._request.done.wait(timeout):
-                    raise TimeoutError(
-                        f"inference for output key {self._out_key!r} did not "
-                        f"complete within {timeout}s"
-                    )
                 try:
                     if self._request.error is not None:
                         self._error = self._request.error
@@ -199,9 +202,16 @@ class Client:
     # -- models ----------------------------------------------------------------------
 
     def set_model(self, name: str, package: SurrogatePackage) -> None:
-        """Register an in-memory surrogate package under ``name``."""
+        """Register an in-memory surrogate package under ``name``.
+
+        Surrogate packages are row-wise by construction (``predict`` on a
+        stacked ``(B, F)`` input returns ``B`` output rows), so they are
+        opted into micro-batched serving; raw callables registered through
+        :meth:`Orchestrator.register_model` stay per-request unless the
+        caller declares them ``batchable=True``.
+        """
         self._packages[name] = package
-        self._orc.register_model(name, package.predict)
+        self._orc.register_model(name, package.predict, batchable=True)
 
     def set_model_from_file(
         self,
@@ -298,11 +308,16 @@ class Client:
         name: str,
         inputs: Sequence[Union[str, Sequence[str], np.ndarray]],
         outputs: Sequence[Union[str, Sequence[str]]],
+        *,
+        timeout: Optional[float] = None,
     ) -> list[np.ndarray]:
         """Submit many inferences at once and gather the outputs in order.
 
         Pipelining the whole list before the first wait is what lets the
         serving pool drain the requests into large micro-batches.
+        ``timeout`` bounds the wait for the *whole* batch to finish;
+        :class:`TimeoutError` is raised if it elapses first (the scratch
+        inputs are still cleaned up).
         """
         if len(inputs) != len(outputs):
             raise ValueError(
@@ -315,7 +330,7 @@ class Client:
                 self.run_model_async(name, x, out)
                 for x, out in zip(inputs, outputs)
             ]
-            return [future.result() for future in futures]
+            return [future.result(timeout) for future in futures]
         # bulk path: stage everything, enqueue in one submit_many call, and
         # only then start waiting — the serving pool sees a deep queue and
         # drains it into full micro-batches.  Requests share one completion
@@ -338,7 +353,11 @@ class Client:
         scratch_keys = [key for _, scratch in staged for key in scratch]
         try:
             self._orc.submit_many(requests)
-            latch.wait()
+            if not latch.wait(timeout):
+                raise TimeoutError(
+                    f"{len(requests)} batched inferences for model {name!r} "
+                    f"did not complete within {timeout}s"
+                )
             for request in requests:
                 if request.error is not None:
                     raise request.error

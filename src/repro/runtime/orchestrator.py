@@ -13,9 +13,12 @@ queue into a batch of up to ``max_batch_size`` requests (waiting at most
 ``max_wait_ms`` for the batch to fill), groups compatible requests — same
 model, same input shape and dtype, single 1-D input tensor — stacks them
 into one ``(B, F)`` array, runs a single vectorized forward pass, and
-scatters the output rows back to the per-request output keys.  Requests
-that cannot batch (multi-key inputs, 2-D inputs, non-batchable models)
-fall back to the per-request path inside the same drain.  Model forwards
+scatters the output rows back to the per-request output keys.  Batching
+is opt-in per model (``register_model(..., batchable=True)`` declares the
+callable row-wise; ``Client.set_model`` opts surrogate packages in
+automatically).  Requests that cannot batch (multi-key inputs, 2-D
+inputs, models not declared batchable) fall back to the per-request path
+inside the same drain.  Model forwards
 run inside :func:`repro.nn.batch_invariant`, so batched outputs are
 bit-identical to per-request outputs regardless of how the queue happened
 to be sliced into batches.
@@ -323,7 +326,7 @@ class Orchestrator:
         name: str,
         predict: Callable[[np.ndarray], np.ndarray],
         *,
-        batchable: bool = True,
+        batchable: bool = False,
     ) -> None:
         """Register a callable model (RedisAI's ``AI.MODELSET`` analogue).
 
@@ -331,9 +334,13 @@ class Orchestrator:
         1-D inputs ``X`` of shape ``(B, F)`` it returns ``B`` output rows
         such that row ``i`` equals ``predict(X[i])``.  Every
         :class:`~repro.nas.package.SurrogatePackage` and element-wise
-        function qualifies; pass ``False`` for reducing models (e.g. a
-        callable returning a scalar norm) to keep them on the per-request
-        path.
+        function qualifies (``Client.set_model`` opts packages in
+        automatically); batching is **opt-in** because a model that mixes
+        rows but still returns ``B`` output rows — e.g.
+        ``lambda x: x / np.linalg.norm(x)``, which normalizes over the
+        whole stack — would silently produce wrong per-request results if
+        batched by default.  Raw callables stay on the per-request path
+        unless the caller declares them row-wise.
         """
         if not callable(predict):
             raise TypeError("model must be callable")
@@ -589,8 +596,8 @@ class Orchestrator:
             if output.ndim < 1 or output.shape[0] != len(requests):
                 raise ValueError(
                     f"model {name!r} returned shape {output.shape} for a "
-                    f"batch of {len(requests)}; register with batchable=False "
-                    "if it is not row-wise"
+                    f"batch of {len(requests)}; only row-wise models may be "
+                    "registered batchable=True"
                 )
         except Exception:  # noqa: BLE001 - retried per request
             # a poisoned row (or a non-row-wise model) must not fail its
@@ -599,12 +606,16 @@ class Orchestrator:
                 self._serve_one(request)
             return
         elapsed = time.perf_counter() - start
-        # one dtype-preserving defensive copy of the whole output, then
-        # scatter row views under one lock acquisition and wake the waiters
-        output = self._coerce(output)
+        # dtype-coerce once, then store an independent copy per row: a
+        # (B,) output yields np.float64 scalars here, and the store needs
+        # real ndarrays (get_tensor sets view flags); per-row copies also
+        # keep a stored row from pinning the whole (B, ...) output array
+        # through its view base
+        if not np.issubdtype(output.dtype, np.floating):
+            output = output.astype(np.float64)
         with self._lock:
             for request, row in zip(requests, output):
-                self._tensors[request.output_keys[0]] = row
+                self._tensors[request.output_keys[0]] = np.array(row, copy=True)
             if self._telemetry.enabled:
                 self._m_tensors.set(len(self._tensors))
         for request in requests:

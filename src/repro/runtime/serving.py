@@ -133,7 +133,9 @@ def measure_serving_throughput(
     :meth:`Client.run_model_batch` so the serving pool can drain them into
     micro-batches; the measurement covers submit -> result for the full
     set.  ``max_batch_size=1`` gives the strict per-request baseline the
-    batching speedup is judged against.
+    batching speedup is judged against.  ``timeout`` bounds the wait for
+    the whole request set (a wedged model forward raises
+    :class:`TimeoutError` instead of hanging the benchmark).
     """
     rows = np.atleast_2d(np.asarray(rows))
     orchestrator = Orchestrator(
@@ -148,10 +150,9 @@ def measure_serving_throughput(
     out_keys = [f"__bench_out_{i}__" for i in range(len(rows))]
     for key, row in zip(in_keys, rows):
         client.put_tensor(key, row)
-    del timeout  # request waits are unbounded inside run_model_batch
     with orchestrator:
         start = time.perf_counter()
-        client.run_model_batch(model_name, in_keys, out_keys)
+        client.run_model_batch(model_name, in_keys, out_keys, timeout=timeout)
         elapsed = time.perf_counter() - start
     return ThroughputResult(
         requests=len(rows),

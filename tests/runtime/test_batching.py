@@ -58,7 +58,7 @@ class TestMicroBatching:
             return np.asarray(x) * 2.0
 
         orc = Orchestrator(max_batch_size=16, max_wait_ms=50.0)
-        orc.register_model("scale", model)
+        orc.register_model("scale", model, batchable=True)
         for i in range(8):
             orc.put_tensor(f"in{i}", np.full(4, float(i)))
         requests = [
@@ -84,7 +84,7 @@ class TestMicroBatching:
             return np.asarray(x) * -1.0
 
         orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
-        orc.register_model("neg", model)
+        orc.register_model("neg", model, batchable=True)
         orc.put_tensor("a", np.ones(3))
         orc.put_tensor("b", np.ones(3))
         orc.put_tensor("c", np.ones(5))
@@ -147,7 +147,7 @@ class TestMicroBatching:
     def test_bad_request_does_not_poison_batchmates(self, rng):
         orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
         pkg = make_package(rng)
-        orc.register_model("m", pkg.predict)
+        orc.register_model("m", pkg.predict, batchable=True)
         orc.put_tensor("good1", rng.standard_normal(6))
         orc.put_tensor("bad", rng.standard_normal(9))   # wrong feature count
         orc.put_tensor("good2", rng.standard_normal(6))
@@ -166,6 +166,54 @@ class TestMicroBatching:
         assert requests[2].error is None
         assert orc.tensor_exists("o_good1") and orc.tensor_exists("o_good2")
 
+    def test_batching_is_opt_in_for_raw_callables(self):
+        # regression (REVIEW high): a non-row-wise model that still returns
+        # batch-shaped output (normalizes over the whole stack) must NOT be
+        # batched by default — batching it silently corrupts per-request
+        # results whenever two same-shape requests share a micro-batch
+        def normalize(x):
+            x = np.asarray(x)
+            return x / np.linalg.norm(x)
+
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
+        orc.register_model("norm", normalize)  # default: per-request path
+        orc.put_tensor("a", np.array([3.0, 4.0]))
+        orc.put_tensor("b", np.array([30.0, 40.0]))
+        requests = [
+            InferenceRequest("norm", (k,), (f"o_{k}",)) for k in ("a", "b")
+        ]
+        for req in requests:
+            orc._queue.put(req)
+        orc.start()
+        for req in requests:
+            assert req.done.wait(timeout=5.0)
+            assert req.error is None
+        orc.stop()
+        # each request normalized by its own norm, not the stacked norm
+        assert np.allclose(orc.get_tensor("o_a"), [0.6, 0.8])
+        assert np.allclose(orc.get_tensor("o_b"), [0.6, 0.8])
+
+    def test_rowwise_scalar_outputs_batch_and_unpack(self, rng):
+        # regression (REVIEW medium): a row-wise model returning one scalar
+        # per row — predict((B, F)) -> (B,) — must scatter real 0-d
+        # ndarrays, not np.float64 scalars that break get_tensor
+        orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
+        orc.register_model(
+            "rowsum", lambda x: np.asarray(x).sum(axis=-1), batchable=True
+        )
+        client = Client(orc)
+        x = rng.standard_normal((6, 4))
+        for i in range(6):
+            orc.put_tensor(f"i{i}", x[i])
+        with orc:
+            outs = client.run_model_batch(
+                "rowsum",
+                [f"i{i}" for i in range(6)],
+                [f"o{i}" for i in range(6)],
+            )
+        for i in range(6):
+            assert np.allclose(outs[i], x[i].sum())
+
     def test_non_rowwise_batchable_model_falls_back(self, rng):
         # claims batchable but returns one row regardless of batch size:
         # the shape check must route every request to the per-request path
@@ -174,7 +222,7 @@ class TestMicroBatching:
             return x.sum(axis=0)
 
         orc = Orchestrator(max_batch_size=8, max_wait_ms=50.0)
-        orc.register_model("collapse", collapse)
+        orc.register_model("collapse", collapse, batchable=True)
         orc.put_tensor("u", np.full(3, 1.0))
         orc.put_tensor("v", np.full(3, 2.0))
         requests = [
@@ -343,6 +391,48 @@ class TestAsyncClient:
             stall.set()
             future.result(timeout=5.0)
 
+    def test_result_timeout_honored_while_another_caller_waits(self):
+        # regression (REVIEW low): one caller blocked inside result() must
+        # not make a second caller's result(timeout) wait indefinitely
+        release = threading.Event()
+
+        def slow(x):
+            release.wait(timeout=10.0)
+            return np.asarray(x)
+
+        orc = Orchestrator(max_batch_size=1)
+        orc.register_model("slow", slow)
+        client = Client(orc)
+        try:
+            with orc:
+                future = client.run_model_async("slow", np.ones(2), "out")
+                blocker = threading.Thread(
+                    target=lambda: future.result(timeout=10.0), daemon=True
+                )
+                blocker.start()
+                time.sleep(0.05)  # let the blocker enter result()
+                start = time.monotonic()
+                with pytest.raises(TimeoutError):
+                    future.result(timeout=0.1)
+                assert time.monotonic() - start < 5.0
+                release.set()
+                blocker.join(timeout=5.0)
+                assert not blocker.is_alive()
+        finally:
+            release.set()
+
+    def test_run_model_batch_timeout(self):
+        release = threading.Event()
+        orc = Orchestrator(max_batch_size=1)
+        orc.register_model(
+            "slow", lambda x: (release.wait(timeout=1.0), np.asarray(x))[1]
+        )
+        client = Client(orc)
+        with orc:
+            with pytest.raises(TimeoutError):
+                client.run_model_batch("slow", [np.ones(2)], ["o"], timeout=0.05)
+            release.set()
+
     def test_run_model_batch_orders_outputs(self, rng):
         pkg = make_package(rng)
         orc = Orchestrator(max_batch_size=8, max_wait_ms=5.0)
@@ -448,6 +538,19 @@ class TestStopDiagnostics:
 
 
 class TestThroughputHelper:
+    def test_measure_timeout_enforced(self, rng):
+        # regression (REVIEW low): the advertised timeout must actually
+        # bound the measurement instead of being discarded
+        class WedgedPackage:
+            def predict(self, x):
+                time.sleep(0.3)
+                return np.atleast_2d(np.asarray(x)) * 2.0
+
+        with pytest.raises(TimeoutError):
+            measure_serving_throughput(
+                WedgedPackage(), rng.standard_normal((4, 3)), timeout=0.01
+            )
+
     def test_measure_reports_all_requests(self, rng):
         pkg = make_package(rng)
         rows = rng.standard_normal((32, 6))
