@@ -69,6 +69,7 @@ class Autoencoder(Module):
         self.input_dim = int(input_dim)
         self.latent_dim = int(latent_dim)
         self.sparse_input = bool(sparse_input)
+        self.activation = activation
         widths = hourglass_widths(self.input_dim, self.latent_dim, depth)
 
         encoder_layers: list[Module] = []

@@ -96,6 +96,54 @@ class BayesianOptimizer:
 
     # -- candidate selection -------------------------------------------------
 
+    def _acquisition_scores(
+        self, candidates: np.ndarray, observations: Sequence[Observation]
+    ) -> np.ndarray:
+        """Score candidate rows against an explicit observation set.
+
+        Factored out of :meth:`ask` so :meth:`ask_batch` can score against
+        observations augmented with constant-liar placeholders without
+        mutating the real history.
+        """
+        x = np.array([o.x for o in observations])
+        y = np.array([o.objective for o in observations])
+        obj_gp = GaussianProcess().fit(x, y)
+        mean, std = obj_gp.predict(candidates)
+
+        if not self.constrained:
+            return expected_improvement(mean, std, float(y.min()), self.xi)
+
+        c = np.array([o.constraint for o in observations], dtype=np.float64)
+        con_gp = GaussianProcess().fit(x, c)
+        c_mean, c_std = con_gp.predict(candidates)
+
+        feasible = [
+            o for o in observations
+            if o.constraint is not None and o.constraint <= self.threshold
+        ]
+        if not feasible:
+            # no feasible point known: hunt feasibility first
+            return probability_feasible(c_mean, c_std, float(self.threshold))
+        best_objective = min(o.objective for o in feasible)
+        return constrained_expected_improvement(
+            mean, std, best_objective, c_mean, c_std, float(self.threshold), self.xi
+        )
+
+    def _liar(self, x: np.ndarray, observations: Sequence[Observation]) -> Observation:
+        """Constant-liar placeholder for a proposed-but-unevaluated point.
+
+        CL-min: pretend the pending point achieves the best objective seen
+        so far (and, when constrained, sits exactly on the threshold).  The
+        optimistic lie deflates the acquisition near the pending point, so
+        the next pick in the same batch is pushed elsewhere — the classic
+        penalized q-point acquisition (Ginsbourger et al.).
+        """
+        objective = (
+            min(o.objective for o in observations) if observations else 0.0
+        )
+        constraint = float(self.threshold) if self.constrained else None
+        return Observation(tuple(float(v) for v in x), float(objective), constraint)
+
     def ask(self, candidates: np.ndarray) -> int:
         """Pick the index of the most promising candidate row.
 
@@ -104,36 +152,40 @@ class BayesianOptimizer:
         ``bayesianInit``).  Afterwards the **update** + **generation**
         steps run: fit GPs on all observations and maximize the acquisition.
         """
+        return self.ask_batch(candidates, 1)[0]
+
+    def ask_batch(self, candidates: np.ndarray, q: int) -> list[int]:
+        """Propose ``q`` distinct candidate rows for concurrent evaluation.
+
+        The first pick is exactly :meth:`ask`'s; each subsequent pick is
+        scored against the observations plus constant-liar placeholders for
+        the picks already in the batch, so one ``ask_batch`` proposes a
+        diverse batch instead of ``q`` copies of the same argmax.  The
+        optimizer's real observation history is not modified — callers
+        :meth:`tell` each result once it lands.
+        """
         candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
-        if candidates.shape[0] == 0:
+        n = candidates.shape[0]
+        if n == 0:
             raise ValueError("no candidates to choose from")
-        if len(self.observations) < self.init_samples:
-            return int(self.rng.integers(candidates.shape[0]))
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        q = min(q, n)
 
-        x = np.array([o.x for o in self.observations])
-        y = np.array([o.objective for o in self.observations])
-        obj_gp = GaussianProcess().fit(x, y)
-        mean, std = obj_gp.predict(candidates)
-
-        if not self.constrained:
-            scores = expected_improvement(mean, std, float(y.min()), self.xi)
-            return int(np.argmax(scores))
-
-        c = np.array(
-            [o.constraint for o in self.observations], dtype=np.float64
-        )
-        con_gp = GaussianProcess().fit(x, c)
-        c_mean, c_std = con_gp.predict(candidates)
-
-        best = self.best
-        if best is None:
-            # no feasible point known: hunt feasibility first
-            scores = probability_feasible(c_mean, c_std, float(self.threshold))
-        else:
-            scores = constrained_expected_improvement(
-                mean, std, best.objective, c_mean, c_std, float(self.threshold), self.xi
-            )
-        return int(np.argmax(scores))
+        picked: list[int] = []
+        virtual: list[Observation] = list(self.observations)
+        available = np.ones(n, dtype=bool)
+        for _ in range(q):
+            indices = np.flatnonzero(available)
+            if len(virtual) < self.init_samples:
+                choice = int(indices[self.rng.integers(indices.size)])
+            else:
+                scores = self._acquisition_scores(candidates[indices], virtual)
+                choice = int(indices[int(np.argmax(scores))])
+            picked.append(choice)
+            available[choice] = False
+            virtual.append(self._liar(candidates[choice], virtual))
+        return picked
 
     # -- convenience driver ----------------------------------------------------
 

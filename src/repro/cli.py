@@ -9,6 +9,7 @@ annotating a region.  This CLI exposes the same verbs::
     python -m repro trace CG --dot /tmp/cg.dot
     python -m repro build Blackscholes --samples 400 --out /tmp/bs
     python -m repro build CG --trace-out build.trace.json
+    python -m repro build MG --parallel-trials 4 --prune-trials --out /tmp/mg
     python -m repro evaluate Blackscholes --problems 50
     python -m repro compare FFT
     python -m repro serve Blackscholes --max-batch-size 32 --baseline
@@ -88,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--quality-loss", type=float, default=0.10)
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--out", help="directory for the package + checkpoint")
+    _add_search_args(build)
     _add_telemetry_args(build)
 
     evaluate = sub.add_parser("evaluate", help="Fig. 5 protocol on one app")
@@ -163,6 +165,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_search_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel-trials", type=int, default=1,
+        help="inner NAS trials proposed per constant-liar batch and evaluated "
+        "concurrently (1 = the classic sequential loop)",
+    )
+    parser.add_argument(
+        "--trial-workers", type=int, default=None,
+        help="threads evaluating one trial batch (default: one per trial)",
+    )
+    parser.add_argument(
+        "--prune-trials", action="store_true",
+        help="cut inner trials short when their validation curve falls "
+        "behind the median of earlier trials (median-stopping rule)",
+    )
+    parser.add_argument(
+        "--no-ae-cache", action="store_true",
+        help="always retrain autoencoders instead of reusing cached "
+        "artifacts (the cache persists under --out when given)",
+    )
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out",
@@ -197,6 +221,10 @@ def _config(args: argparse.Namespace) -> AutoHPCnetConfig:
         outer_iterations=getattr(args, "outer", 2),
         inner_trials=getattr(args, "inner", 3),
         quality_loss=getattr(args, "quality_loss", 0.10),
+        parallel_trials=getattr(args, "parallel_trials", 1),
+        trial_workers=getattr(args, "trial_workers", None),
+        prune_trials=getattr(args, "prune_trials", False),
+        ae_cache=not getattr(args, "no_ae_cache", False),
         seed=args.seed,
     )
 

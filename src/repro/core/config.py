@@ -44,6 +44,11 @@ class AutoHPCnetConfig:
     cost_metric: str = "time"           # f_c metric: "time" | "energy" (§5.1)
     model_type: str = "mlp"             # surrogate family: "mlp" | "cnn" (Table 1)
     preflight: str = "error"            # static fitness preflight: off | warn | error
+    # --- search throughput (batched BO / caching / pruning) ---
+    parallel_trials: int = 1            # inner trials proposed+evaluated per batch
+    trial_workers: Optional[int] = None  # eval threads per batch (None: = batch size)
+    prune_trials: bool = False          # median-stopping rule on inner trials
+    ae_cache: bool = True               # reuse trained autoencoder artifacts
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -57,6 +62,8 @@ class AutoHPCnetConfig:
             raise ValueError("quality_loss must be non-negative")
         if self.n_samples < 10:
             raise ValueError("need at least 10 training samples")
+        if self.parallel_trials < 1:
+            raise ValueError("parallel_trials must be >= 1")
 
     def to_search_config(self, *, sparse_input: bool, **overrides) -> SearchConfig:
         """Lower to the NAS layer's config, applying per-app overrides."""
@@ -76,6 +83,10 @@ class AutoHPCnetConfig:
             ae_epochs=self.ae_epochs,
             sparse_input=sparse_input,
             cost_metric=self.cost_metric,
+            parallel_trials=self.parallel_trials,
+            trial_workers=self.trial_workers,
+            prune_trials=self.prune_trials,
+            ae_cache=self.ae_cache,
             seed=self.seed,
         )
         params.update(overrides)

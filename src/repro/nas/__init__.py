@@ -2,6 +2,7 @@
 
 from .space import CNNSpace, InputDimSpace, TopologySpace
 from .package import SurrogatePackage
+from .cache import AutoencoderCache, CachedEncoding, fingerprint_array
 from .evaluation import CandidateResult, evaluate_topology, validation_quality
 from .inner import InnerSearchResult, TopologySearch
 from .hierarchical import (
@@ -14,6 +15,7 @@ from .hierarchical import (
 __all__ = [
     "CNNSpace", "InputDimSpace", "TopologySpace",
     "SurrogatePackage",
+    "AutoencoderCache", "CachedEncoding", "fingerprint_array",
     "CandidateResult", "evaluate_topology", "validation_quality",
     "InnerSearchResult", "TopologySearch",
     "Hierarchical2DSearch", "OuterObservation", "SearchConfig", "SearchResult",

@@ -1,0 +1,201 @@
+"""Content-addressed cache for trained autoencoders and encoded datasets.
+
+Every outer iteration of the 2D NAS trains an autoencoder for its proposed
+K and re-encodes the whole training set (§4.3) — the dominant fixed cost of
+an iteration.  But the trained artifact is a pure function of
+``(training data, K, AE config, seed)``: revisited K values, resumed
+checkpointed searches and repeated benchmark runs all recompute identical
+weights.  This cache memoizes that function.
+
+Keys are SHA-256 digests over the data fingerprint (dtype, shape, raw
+bytes) plus every knob that influences training, so a stale hit is
+impossible: touch the data, the latent size, the depth, the epoch budget or
+the seed and the key changes.  Entries hold the trained
+:class:`~repro.autoencoder.model.Autoencoder`, its final σ_y and the
+encoded dataset ``z`` (the encode pass is also skipped on a hit).
+
+Two tiers back the cache: an in-process dict (revisited K within one
+search) and an optional on-disk store under ``<checkpoint_dir>/ae_cache/``
+(resumed searches, repeated runs).  Disk layout per entry::
+
+    ae_cache/<key>/meta.json          # ctor args + sigma + full key
+    ae_cache/<key>/autoencoder.npz    # flat parameter arrays
+    ae_cache/<key>/encoded.npy        # the encoded training set z
+
+Hits and misses are counted in ``repro.obs`` as
+``repro_nas_ae_cache_hits_total`` / ``repro_nas_ae_cache_misses_total``
+(labelled by tier).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from .. import obs
+from ..autoencoder.model import Autoencoder
+
+__all__ = ["CachedEncoding", "AutoencoderCache", "fingerprint_array"]
+
+
+def fingerprint_array(a: np.ndarray) -> str:
+    """SHA-256 digest of an array's dtype, shape and contents."""
+    a = np.ascontiguousarray(a)
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CachedEncoding:
+    """One cache entry: the trained artifact plus its quality and encoding."""
+
+    autoencoder: Autoencoder
+    sigma: float
+    z: np.ndarray
+
+
+class AutoencoderCache:
+    """Two-tier (memory + optional disk) store of trained AE artifacts."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        enabled: bool = True,
+    ) -> None:
+        self.directory = Path(directory) / "ae_cache" if directory else None
+        self.enabled = enabled
+        self._memory: dict[str, CachedEncoding] = {}
+        self._lock = threading.Lock()
+
+    # -- keying ---------------------------------------------------------------
+
+    @staticmethod
+    def key(
+        x: np.ndarray,
+        k: int,
+        *,
+        depth: int,
+        activation: str = "relu",
+        sparse_input: bool = False,
+        ae_epochs: int,
+        lr: float,
+        encoding_loss: float,
+        seed: int,
+    ) -> str:
+        """Content address of one training run (data + config + seed)."""
+        payload = json.dumps(
+            {
+                "data": fingerprint_array(x),
+                "k": int(k),
+                "depth": int(depth),
+                "activation": activation,
+                "sparse_input": bool(sparse_input),
+                "ae_epochs": int(ae_epochs),
+                "lr": float(lr),
+                "encoding_loss": float(encoding_loss),
+                "seed": int(seed),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CachedEncoding]:
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._memory.get(key)
+        if entry is not None:
+            self._count("hit", "memory")
+            return entry
+        entry = self._load_disk(key)
+        if entry is not None:
+            with self._lock:
+                self._memory[key] = entry
+            self._count("hit", "disk")
+            return entry
+        self._count("miss", "any")
+        return None
+
+    def put(self, key: str, entry: CachedEncoding) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._memory[key] = entry
+        self._store_disk(key, entry)
+
+    # -- disk tier -------------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> Optional[Path]:
+        return self.directory / key if self.directory else None
+
+    def _load_disk(self, key: str) -> Optional[CachedEncoding]:
+        path = self._entry_dir(key)
+        if path is None or not (path / "meta.json").exists():
+            return None
+        meta = json.loads((path / "meta.json").read_text())
+        ae = Autoencoder(
+            meta["input_dim"],
+            meta["latent_dim"],
+            depth=meta["depth"],
+            activation=meta.get("activation", "relu"),
+            sparse_input=meta.get("sparse_input", False),
+        )
+        with np.load(path / "autoencoder.npz") as archive:
+            for i, p in enumerate(ae.parameters()):
+                p.data = archive[f"param_{i}"]
+        z = np.load(path / "encoded.npy")
+        return CachedEncoding(autoencoder=ae, sigma=float(meta["sigma"]), z=z)
+
+    def _store_disk(self, key: str, entry: CachedEncoding) -> None:
+        path = self._entry_dir(key)
+        if path is None:
+            return
+        path.mkdir(parents=True, exist_ok=True)
+        ae = entry.autoencoder
+        np.savez(
+            path / "autoencoder.npz",
+            **{f"param_{i}": p.data for i, p in enumerate(ae.parameters())},
+        )
+        np.save(path / "encoded.npy", entry.z)
+        depth = sum(1 for layer in ae.encoder if hasattr(layer, "weight"))
+        meta = {
+            "key": key,
+            "input_dim": ae.input_dim,
+            "latent_dim": ae.latent_dim,
+            "depth": depth,
+            "activation": getattr(ae, "activation", "relu"),
+            "sparse_input": ae.sparse_input,
+            "sigma": entry.sigma,
+        }
+        (path / "meta.json").write_text(json.dumps(meta, indent=2))
+
+    # -- telemetry ---------------------------------------------------------------
+
+    @staticmethod
+    def _count(outcome: str, tier: str) -> None:
+        if not obs.is_enabled():
+            return
+        registry = obs.get_registry()
+        if outcome == "hit":
+            registry.counter(
+                "repro_nas_ae_cache_hits_total",
+                "Autoencoder artifact cache hits",
+                labels=("tier",),
+            ).inc(tier=tier)
+        else:
+            registry.counter(
+                "repro_nas_ae_cache_misses_total",
+                "Autoencoder artifact cache misses",
+            ).inc()

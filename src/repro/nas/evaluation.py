@@ -21,7 +21,7 @@ import numpy as np
 from ..autoencoder.model import Autoencoder
 from ..nn.cnn import AnyTopology, build_model
 from ..nn.mlp import Topology
-from ..nn.train import TrainConfig, train_model
+from ..nn.train import EpochCallback, TrainConfig, train_model
 from ..perf.counting import nn_inference_cost
 from ..perf.devices import DeviceModel, TESLA_V100_NN
 from .package import SurrogatePackage
@@ -40,6 +40,10 @@ class CandidateResult:
     f_e: float                 # quality degradation in [0, inf)
     val_error: float           # plain validation relative error
     epochs: int
+    #: per-epoch validation losses (feeds the median-stopping rule)
+    val_curve: tuple[float, ...] = ()
+    #: True when training was cut short by the pruning callback
+    pruned: bool = False
 
     @property
     def topology(self) -> AnyTopology:
@@ -72,6 +76,7 @@ def evaluate_topology(
     rng: Optional[np.random.Generator] = None,
     holdout_fraction: float = 0.2,
     cost_metric: str = "time",
+    epoch_callback: Optional[EpochCallback] = None,
 ) -> CandidateResult:
     """Train a surrogate for ``topology`` and score it.
 
@@ -99,7 +104,9 @@ def evaluate_topology(
         fit_idx, hold_idx = perm, perm
 
     model = build_model(x.shape[1], y.shape[1], topology, rng)
-    result = train_model(model, x[fit_idx], y[fit_idx], train_config)
+    result = train_model(
+        model, x[fit_idx], y[fit_idx], train_config, epoch_callback=epoch_callback
+    )
 
     package = SurrogatePackage(
         model=model,
@@ -128,4 +135,6 @@ def evaluate_topology(
         f_e=float(f_e),
         val_error=val_error,
         epochs=result.epochs_run,
+        val_curve=tuple(result.val_losses),
+        pruned=result.stopped_by_callback,
     )

@@ -33,8 +33,10 @@ from ..nn.mlp import Topology
 from ..nn.train import TrainConfig
 from ..perf.devices import DeviceModel, TESLA_V100_NN
 from ..perf.timers import PhaseTimer
+from .cache import AutoencoderCache, CachedEncoding
 from .evaluation import CandidateResult, QualityFn
 from .inner import InnerSearchResult, TopologySearch
+from .package import SurrogatePackage
 from .space import InputDimSpace, TopologySpace
 
 __all__ = ["SearchConfig", "OuterObservation", "SearchResult", "Hierarchical2DSearch"]
@@ -69,6 +71,15 @@ class SearchConfig:
     #: best feasible f_c (Alg. 2: "a continuing search does not lead to
     #: enough improvement"); None disables
     stall_iterations: Optional[int] = None
+    #: inner-loop trials proposed per constant-liar batch ask (q)
+    parallel_trials: int = 1
+    #: threads evaluating one batch; None means one per proposed trial
+    trial_workers: Optional[int] = None
+    #: cut inner trials short via the median-stopping rule
+    prune_trials: bool = False
+    #: reuse trained autoencoders/encodings (memory always; disk when a
+    #: checkpoint_dir is passed to :meth:`Hierarchical2DSearch.run`)
+    ae_cache: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -78,6 +89,8 @@ class SearchConfig:
             raise ValueError("searchType=userModel requires init_model")
         if self.outer_iterations < 1 or self.inner_trials < 1:
             raise ValueError("iteration budgets must be >= 1")
+        if self.parallel_trials < 1:
+            raise ValueError("parallel_trials must be >= 1")
 
     def train_config(self) -> TrainConfig:
         return TrainConfig(
@@ -117,6 +130,10 @@ class SearchResult:
         return sum(r.n_trials for r in self.inner_results.values())
 
     @property
+    def trials_pruned(self) -> int:
+        return sum(r.n_pruned for r in self.inner_results.values())
+
+    @property
     def feasible(self) -> bool:
         return self.best is not None
 
@@ -148,25 +165,61 @@ class Hierarchical2DSearch:
 
     # -- feature reduction (outer-loop body, §4.3) -----------------------------
 
-    def _train_autoencoder(self, x: np.ndarray, k: int, seed: int) -> tuple[Autoencoder, float]:
+    def _ae_seed(self, k: int) -> int:
+        """Deterministic per-K autoencoder seed.
+
+        A function of (config seed, K) only — NOT of the outer iteration
+        index — so a revisited or checkpoint-resumed K trains bit-identical
+        weights and the artifact cache is a pure memoization (a hit can
+        never change search results, only skip work).
+        """
+        return self.config.seed + 1013 * (int(k) + 1)
+
+    def _train_autoencoder(
+        self,
+        x: np.ndarray,
+        k: int,
+        cache: Optional[AutoencoderCache] = None,
+    ) -> tuple[Autoencoder, float, np.ndarray]:
+        """Train (or fetch) the K-latent autoencoder and the encoded set."""
+        cfg = self.config
+        seed = self._ae_seed(k)
+        key = None
+        if cache is not None:
+            key = AutoencoderCache.key(
+                x,
+                k,
+                depth=cfg.ae_depth,
+                sparse_input=cfg.sparse_input,
+                ae_epochs=cfg.ae_epochs,
+                lr=cfg.lr,
+                encoding_loss=cfg.encoding_loss,
+                seed=seed,
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return hit.autoencoder, hit.sigma, hit.z
         ae = Autoencoder(
             x.shape[1],
             k,
-            depth=self.config.ae_depth,
-            sparse_input=self.config.sparse_input,
+            depth=cfg.ae_depth,
+            sparse_input=cfg.sparse_input,
             rng=np.random.default_rng(seed),
         )
         result = train_autoencoder(
             ae,
             x,
             AETrainConfig(
-                num_epochs=self.config.ae_epochs,
-                lr=self.config.lr,
-                encoding_loss_bound=self.config.encoding_loss,
+                num_epochs=cfg.ae_epochs,
+                lr=cfg.lr,
+                encoding_loss_bound=cfg.encoding_loss,
                 seed=seed,
             ),
         )
-        return ae, result.final_sigma
+        z = ae.encode(x)
+        if cache is not None and key is not None:
+            cache.put(key, CachedEncoding(ae, result.final_sigma, z))
+        return ae, result.final_sigma, z
 
     # -- checkpointing ------------------------------------------------------------
 
@@ -174,22 +227,65 @@ class Hierarchical2DSearch:
     def _state_path(checkpoint_dir: Path) -> Path:
         return checkpoint_dir / "search_state.json"
 
-    def _load_state(self, checkpoint_dir: Optional[Path]) -> list[OuterObservation]:
+    def _load_state(
+        self, checkpoint_dir: Optional[Path]
+    ) -> tuple[
+        list[OuterObservation], Optional[CandidateResult], Optional[int], bool
+    ]:
+        """Restore outer history plus the best-so-far candidate (if saved).
+
+        Restoring the best is what makes a resumed search equivalent to an
+        uninterrupted one: without it, a resume would forget a best found
+        in an already-completed iteration.  The ``feasible`` flag tells the
+        caller whether the stored candidate met the quality bound or was
+        the end-of-search fallback — a fallback must not seed the in-loop
+        best (it would block cheaper *feasible* candidates from winning).
+        """
         if checkpoint_dir is None:
-            return []
+            return [], None, None, False
         path = self._state_path(checkpoint_dir)
         if not path.exists():
-            return []
+            return [], None, None, False
         raw = json.loads(path.read_text())
-        return [OuterObservation(**entry) for entry in raw["outer_history"]]
+        history = [OuterObservation(**entry) for entry in raw["outer_history"]]
+        best_meta = raw.get("best")
+        best: Optional[CandidateResult] = None
+        best_k: Optional[int] = None
+        feasible = False
+        package_dir = checkpoint_dir / "best_package"
+        if best_meta is not None and (package_dir / "package.json").exists():
+            best = CandidateResult(
+                package=SurrogatePackage.load(package_dir),
+                f_c=best_meta["f_c"],
+                f_e=best_meta["f_e"],
+                val_error=best_meta.get("val_error", best_meta["f_e"]),
+                epochs=best_meta.get("epochs", 0),
+            )
+            best_k = best_meta["k"]
+            feasible = bool(best_meta.get("feasible", True))
+        return history, best, best_k, feasible
 
     def _save_state(
-        self, checkpoint_dir: Optional[Path], history: list[OuterObservation]
+        self,
+        checkpoint_dir: Optional[Path],
+        history: list[OuterObservation],
+        best: Optional[CandidateResult] = None,
+        best_k: Optional[int] = None,
+        feasible: bool = True,
     ) -> None:
         if checkpoint_dir is None:
             return
         checkpoint_dir.mkdir(parents=True, exist_ok=True)
-        payload = {"outer_history": [vars(o) for o in history]}
+        payload: dict = {"outer_history": [vars(o) for o in history]}
+        if best is not None:
+            payload["best"] = {
+                "k": best_k,
+                "f_c": best.f_c,
+                "f_e": best.f_e,
+                "val_error": best.val_error,
+                "epochs": best.epochs,
+                "feasible": feasible,
+            }
         self._state_path(checkpoint_dir).write_text(json.dumps(payload, indent=2))
 
     # -- main loop -------------------------------------------------------------------
@@ -207,10 +303,15 @@ class Hierarchical2DSearch:
         cfg = self.config
         checkpoint_path = Path(checkpoint_dir) if checkpoint_dir else None
         result = SearchResult(best=None, best_k=None)
-        result.outer_history = self._load_state(checkpoint_path)
+        restored_history, restored_best, restored_k, restored_feasible = (
+            self._load_state(checkpoint_path)
+        )
+        result.outer_history = restored_history
 
         if cfg.search_type == "fullInput":
             return self._run_full_input(x, y, quality_fn, result)
+
+        cache = AutoencoderCache(checkpoint_path, enabled=cfg.ae_cache)
 
         rng = np.random.default_rng(cfg.seed)
         outer_bo = BayesianOptimizer(
@@ -223,8 +324,8 @@ class Hierarchical2DSearch:
             outer_bo.tell(self.input_space.encode(past.k), math.log(past.f_c), past.f_e)
 
         evaluated = {past.k for past in result.outer_history}
-        best: Optional[CandidateResult] = None
-        best_k: Optional[int] = None
+        best = restored_best if restored_feasible else None
+        best_k = restored_k if restored_feasible else None
         iteration = len(result.outer_history)
         stall = 0
 
@@ -255,8 +356,7 @@ class Hierarchical2DSearch:
                     z = x
                 else:
                     with result.timers.measure("autoencoder_training"):
-                        ae, sigma = self._train_autoencoder(x, k, cfg.seed + iteration)
-                    z = ae.encode(x)
+                        ae, sigma, z = self._train_autoencoder(x, k, cache)
 
                 inner = TopologySearch(
                     self.topology_space,
@@ -266,6 +366,9 @@ class Hierarchical2DSearch:
                     init_samples=cfg.bayesian_init,
                     seed=cfg.seed + 31 * (iteration + 1),
                     cost_metric=cfg.cost_metric,
+                    parallel_trials=cfg.parallel_trials,
+                    trial_workers=cfg.trial_workers,
+                    prune=cfg.prune_trials,
                 )
                 if cfg.search_type == "userModel" and iteration == 0:
                     initial = cfg.init_model
@@ -319,6 +422,10 @@ class Hierarchical2DSearch:
                     ):
                         best, best_k = candidate, k
                         stall = 0
+                        if checkpoint_path is not None:
+                            # persist immediately so a kill mid-search (or
+                            # mid-next-iteration) never forgets the best
+                            best.package.save(checkpoint_path / "best_package")
                         if obs.is_enabled():
                             g_best_fc.set(best.f_c)
                             g_best_fe.set(best.f_e)
@@ -328,7 +435,7 @@ class Hierarchical2DSearch:
                     stall += 1
             evaluated.add(k)
             iteration += 1
-            self._save_state(checkpoint_path, result.outer_history)
+            self._save_state(checkpoint_path, result.outer_history, best, best_k)
             if (
                 cfg.stall_iterations is not None
                 and best is not None
@@ -337,6 +444,7 @@ class Hierarchical2DSearch:
                 break   # continuing search is not improving f_c (Alg. 2)
 
         # fall back to the lowest-f_e candidate when nothing met the bound
+        feasible = best is not None
         if best is None:
             all_candidates = [
                 (k, c)
@@ -345,11 +453,19 @@ class Hierarchical2DSearch:
             ]
             if all_candidates:
                 best_k, best = min(all_candidates, key=lambda kc: kc[1].f_e)
+            elif restored_best is not None:
+                # a resumed already-complete search ran no iterations, so
+                # the fallback pool is empty — surface the stored candidate
+                best, best_k = restored_best, restored_k
+                feasible = restored_feasible
 
         result.best = best
         result.best_k = best_k
         if checkpoint_path is not None and best is not None:
             best.package.save(checkpoint_path / "best_package")
+            self._save_state(
+                checkpoint_path, result.outer_history, best, best_k, feasible
+            )
         return result
 
     def _run_full_input(
@@ -369,6 +485,9 @@ class Hierarchical2DSearch:
             init_samples=cfg.bayesian_init,
             seed=cfg.seed,
             cost_metric=cfg.cost_metric,
+            parallel_trials=cfg.parallel_trials,
+            trial_workers=cfg.trial_workers,
+            prune=cfg.prune_trials,
         )
         with result.timers.measure("bayesian_optimization"):
             inner_result = inner.search(

@@ -18,6 +18,24 @@ from .tensor import Tensor, no_grad
 
 __all__ = ["TrainConfig", "TrainResult", "train_model", "predict"]
 
+#: Called after every epoch with ``(epoch, train_loss, val_loss)``; a truthy
+#: return stops training (the NAS median-pruning hook rides on this).
+EpochCallback = Callable[[int, float, float], bool]
+
+
+def _as_float_array(a: np.ndarray) -> np.ndarray:
+    """View ``a`` as a float array without copying float32/float64 inputs.
+
+    ``np.asarray(a, dtype=np.float64)`` silently copies (and upcasts) a
+    float32 array on every call; serving already preserves float32 end to
+    end, so training/inference must too.  Non-float dtypes still convert
+    to float64.
+    """
+    a = np.asarray(a)
+    if a.dtype == np.float64 or a.dtype == np.float32:
+        return a
+    return a.astype(np.float64)
+
 
 @dataclass(frozen=True)
 class TrainConfig:
@@ -47,6 +65,8 @@ class TrainResult:
     val_losses: list[float] = field(default_factory=list)
     best_val_loss: float = float("inf")
     epochs_run: int = 0
+    #: True when an ``epoch_callback`` cut the run short (e.g. NAS pruning)
+    stopped_by_callback: bool = False
 
     @property
     def converged(self) -> bool:
@@ -71,14 +91,18 @@ def train_model(
     *,
     loss_fn: Callable[[Tensor, Tensor], Tensor] = mse_loss,
     forward: Optional[Callable[[Module, np.ndarray], Tensor]] = None,
+    epoch_callback: Optional[EpochCallback] = None,
 ) -> TrainResult:
     """Train ``model`` to map ``x -> y``; returns loss history.
 
     ``forward`` lets callers inject a custom forward (e.g. the autoencoder's
     checkpointed pass); by default the model is called on a Tensor batch.
+    ``epoch_callback(epoch, train_loss, val_loss)`` runs after every epoch;
+    returning truthy stops training early (independently of ``patience``) —
+    this is how the NAS inner loop prunes unpromising trials mid-training.
     """
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    x = _as_float_array(x)
+    y = _as_float_array(y)
     if x.shape[0] != y.shape[0]:
         raise ValueError("x and y must have the same number of rows")
     if x.shape[0] == 0:
@@ -115,6 +139,14 @@ def train_model(
         result.val_losses.append(val_loss)
         result.epochs_run = epoch + 1
 
+        if epoch_callback is not None and epoch_callback(
+            epoch, result.train_losses[-1], val_loss
+        ):
+            result.stopped_by_callback = True
+            if val_loss < result.best_val_loss:
+                result.best_val_loss = val_loss
+            break
+
         if val_loss < result.best_val_loss - config.min_delta:
             result.best_val_loss = val_loss
             stale = 0
@@ -126,7 +158,11 @@ def train_model(
 
 
 def predict(model: Module, x: np.ndarray) -> np.ndarray:
-    """Inference without building the autograd graph."""
+    """Inference without building the autograd graph.
+
+    float32 inputs are fed through as-is (no upcast copy), matching the
+    serving path's dtype-preserving contract.
+    """
     with no_grad():
-        out = model(Tensor(np.asarray(x, dtype=np.float64)))
+        out = model(Tensor(_as_float_array(x)))
     return out.data

@@ -1,0 +1,92 @@
+"""q-point batched proposals (constant-liar acquisition)."""
+
+import numpy as np
+import pytest
+
+from repro.bo import BayesianOptimizer
+
+
+def quadratic(x):
+    return float(np.sum((x - 0.3) ** 2))
+
+
+def make_pool(rng, n=32, d=2):
+    return rng.uniform(-1, 1, size=(n, d))
+
+
+class TestAskBatch:
+    def test_distinct_indices(self, rng):
+        opt = BayesianOptimizer(init_samples=2, rng=np.random.default_rng(0))
+        pool = make_pool(rng)
+        for _ in range(4):
+            idx = opt.ask(pool)
+            opt.tell(pool[idx], quadratic(pool[idx]))
+        batch = opt.ask_batch(pool, 6)
+        assert len(batch) == 6
+        assert len(set(batch)) == 6
+
+    def test_q_clamped_to_pool(self, rng):
+        opt = BayesianOptimizer(init_samples=1, rng=np.random.default_rng(0))
+        pool = make_pool(rng, n=3)
+        assert sorted(opt.ask_batch(pool, 10)) == [0, 1, 2]
+
+    def test_invalid_q_rejected(self, rng):
+        opt = BayesianOptimizer(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            opt.ask_batch(make_pool(rng), 0)
+
+    def test_observations_not_mutated(self, rng):
+        opt = BayesianOptimizer(init_samples=1, rng=np.random.default_rng(0))
+        pool = make_pool(rng)
+        opt.tell(pool[0], quadratic(pool[0]))
+        before = list(opt.observations)
+        opt.ask_batch(pool, 5)
+        assert opt.observations == before
+
+    def test_q1_matches_single_ask(self, rng):
+        """ask() and ask_batch(..., 1) consume rng identically."""
+        pool = make_pool(rng)
+        a = BayesianOptimizer(init_samples=2, rng=np.random.default_rng(7))
+        b = BayesianOptimizer(init_samples=2, rng=np.random.default_rng(7))
+        for _ in range(5):
+            ia = a.ask(pool)
+            [ib] = b.ask_batch(pool, 1)
+            assert ia == ib
+            a.tell(pool[ia], quadratic(pool[ia]))
+            b.tell(pool[ib], quadratic(pool[ib]))
+
+    def test_deterministic_given_seed(self, rng):
+        pool = make_pool(rng)
+
+        def propose():
+            opt = BayesianOptimizer(init_samples=1, rng=np.random.default_rng(3))
+            opt.tell(pool[0], quadratic(pool[0]))
+            return opt.ask_batch(pool, 4)
+
+        assert propose() == propose()
+
+    def test_constrained_batch(self, rng):
+        opt = BayesianOptimizer(
+            threshold=0.5, init_samples=2, rng=np.random.default_rng(0)
+        )
+        pool = make_pool(rng)
+        for i in range(3):
+            opt.tell(pool[i], quadratic(pool[i]), constraint=float(i) / 4)
+        batch = opt.ask_batch(pool, 4)
+        assert len(set(batch)) == 4
+
+    def test_warmup_batch_is_random_and_distinct(self, rng):
+        opt = BayesianOptimizer(init_samples=10, rng=np.random.default_rng(1))
+        batch = opt.ask_batch(make_pool(rng), 5)
+        assert len(set(batch)) == 5
+
+    def test_batch_spreads_beyond_single_argmax(self, rng):
+        """The liar must push later picks away from the first argmax."""
+        opt = BayesianOptimizer(init_samples=2, rng=np.random.default_rng(0))
+        pool = make_pool(rng, n=64)
+        for i in (0, 5, 11, 20):
+            opt.tell(pool[i], quadratic(pool[i]))
+        first = opt.ask(pool)
+        batch = opt.ask_batch(pool, 3)
+        assert batch[0] == first
+        assert batch[1] != first and batch[2] != first

@@ -1,0 +1,139 @@
+"""Batched parallel inner search: determinism, seeding, pruning, telemetry."""
+
+import numpy as np
+import pytest
+
+import repro.nas.inner as inner_mod
+from repro import obs
+from repro.nas import TopologySearch, TopologySpace
+from repro.parallel.pool import parallel_map
+
+
+SMALL_SPACE = TopologySpace(
+    max_layers=2, width_choices=(4, 8), activations=("relu", "tanh"), allow_residual=False
+)
+
+
+def toy_data(rng, n=100, din=8, dout=2):
+    x = rng.standard_normal((n, din))
+    w = rng.standard_normal((din, dout))
+    return x, x @ w
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+def run_search(x, y, n_trials=4, **kwargs):
+    params = dict(epsilon=0.9, seed=0)
+    params.update(kwargs)
+    return TopologySearch(SMALL_SPACE, **params).search(x, y, n_trials=n_trials)
+
+
+def histories_equal(a, b):
+    assert len(a.history) == len(b.history)
+    for ca, cb in zip(a.history, b.history):
+        assert ca.topology == cb.topology
+        assert ca.f_c == cb.f_c
+        assert ca.f_e == cb.f_e
+
+
+class TestWorkerInvariance:
+    def test_parallel_matches_single_worker(self, rng):
+        """Same batch size, different worker counts → bit-identical search."""
+        x, y = toy_data(rng)
+        one = run_search(x, y, parallel_trials=2, trial_workers=1)
+        two = run_search(x, y, parallel_trials=2, trial_workers=2)
+        histories_equal(one, two)
+        assert one.best.f_c == two.best.f_c
+        assert one.best.topology == two.best.topology
+
+    def test_out_of_order_completion_is_harmless(self, rng, monkeypatch):
+        """Regression: reversing evaluation order must not change results.
+
+        Before trial identity moved to proposal time, the per-trial seed was
+        ``seed + 100 + len(history)`` — whichever trial *finished* first got
+        the lower seed.  A parallel_map that evaluates the batch backwards
+        simulates the worst-case completion order.
+        """
+        x, y = toy_data(rng)
+        baseline = run_search(x, y, parallel_trials=2, trial_workers=1)
+
+        def reversed_map(fn, items, workers=1):
+            results = [fn(item) for item in reversed(list(items))]
+            return list(reversed(results))
+
+        monkeypatch.setattr(inner_mod, "parallel_map", reversed_map)
+        shuffled = run_search(x, y, parallel_trials=2, trial_workers=1)
+        histories_equal(baseline, shuffled)
+
+    def test_batch_size_one_matches_sequential_default(self, rng):
+        x, y = toy_data(rng)
+        default = run_search(x, y)
+        explicit = run_search(x, y, parallel_trials=1, trial_workers=1)
+        histories_equal(default, explicit)
+
+
+class TestPruning:
+    def test_median_rule_prunes_and_counts(self, rng):
+        x, y = toy_data(rng, n=120)
+        result = run_search(
+            x, y, n_trials=6,
+            parallel_trials=1, prune=True, prune_warmup_epochs=2,
+            train_config=inner_mod.TrainConfig(num_epochs=30, patience=30),
+        )
+        assert result.n_pruned >= 1
+        assert all(c.val_curve for c in result.history)
+        counter = obs.get_registry().get("repro_nas_trials_pruned_total")
+        assert counter is not None and counter.total() == result.n_pruned
+
+    def test_first_round_never_pruned(self, rng):
+        """No reference curves yet → the opening batch always runs full."""
+        x, y = toy_data(rng)
+        result = run_search(
+            x, y, n_trials=2, parallel_trials=2, prune=True, prune_warmup_epochs=0
+        )
+        assert result.n_pruned == 0
+
+    def test_pruned_trials_still_feed_history(self, rng):
+        x, y = toy_data(rng, n=120)
+        result = run_search(
+            x, y, n_trials=6,
+            parallel_trials=1, prune=True, prune_warmup_epochs=2,
+            train_config=inner_mod.TrainConfig(num_epochs=30, patience=30),
+        )
+        assert result.n_trials == 6  # pruned candidates counted, not dropped
+
+
+class TestTelemetry:
+    def test_batch_ask_histogram_observed(self, rng):
+        x, y = toy_data(rng)
+        run_search(x, y, n_trials=4, parallel_trials=2)
+        hist = obs.get_registry().get("repro_nas_batch_ask_size")
+        assert hist is not None
+        assert hist.count() == 2  # two rounds of q=2
+        assert hist.sum() == 4.0
+
+    def test_trial_spans_carry_index(self, rng):
+        x, y = toy_data(rng)
+        run_search(x, y, n_trials=3, parallel_trials=3)
+        spans = [s for s in obs.get_tracer().finished_spans() if s.name == "nas.trial"]
+        assert sorted(s.attributes["trial"] for s in spans) == [0, 1, 2]
+
+
+class TestValidation:
+    def test_bad_parallel_trials_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySearch(SMALL_SPACE, parallel_trials=0)
+
+    def test_bad_trial_workers_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySearch(SMALL_SPACE, trial_workers=0)
+
+    def test_parallel_map_preserves_input_order(self):
+        """The determinism argument leans on this contract."""
+        out = parallel_map(lambda v: v * v, list(range(10)), workers=3)
+        assert out == [v * v for v in range(10)]

@@ -1,0 +1,82 @@
+"""Per-epoch callbacks and dtype preservation in the training loop."""
+
+import numpy as np
+
+from repro.nn.mlp import Topology, build_mlp
+from repro.nn.train import TrainConfig, _as_float_array, predict, train_model
+
+
+def make_data(rng, n=64, din=5, dout=2, dtype=np.float64):
+    x = rng.standard_normal((n, din)).astype(dtype)
+    w = rng.standard_normal((din, dout))
+    return x, (x @ w).astype(dtype)
+
+
+def make_model(din=5, dout=2):
+    return build_mlp(
+        din,
+        dout,
+        Topology(hidden=(8,), activation="relu"),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestEpochCallback:
+    def test_truthy_return_stops_training(self, rng):
+        x, y = make_data(rng)
+        result = train_model(
+            make_model(), x, y, TrainConfig(num_epochs=50, patience=50),
+            epoch_callback=lambda epoch, tl, vl: epoch >= 4,
+        )
+        assert result.epochs_run == 5
+        assert result.stopped_by_callback
+        assert np.isfinite(result.best_val_loss)
+
+    def test_falsy_callback_never_stops(self, rng):
+        x, y = make_data(rng)
+        seen = []
+
+        def watch(epoch, train_loss, val_loss):
+            seen.append((epoch, train_loss, val_loss))
+            return False
+
+        result = train_model(
+            make_model(), x, y, TrainConfig(num_epochs=6, patience=50),
+            epoch_callback=watch,
+        )
+        assert not result.stopped_by_callback
+        assert [s[0] for s in seen] == list(range(result.epochs_run))
+        assert [s[2] for s in seen] == result.val_losses
+
+    def test_no_callback_unchanged(self, rng):
+        x, y = make_data(rng)
+        a = train_model(make_model(), x, y, TrainConfig(num_epochs=8))
+        b = train_model(make_model(), x, y, TrainConfig(num_epochs=8),
+                        epoch_callback=None)
+        assert a.val_losses == b.val_losses
+        assert not a.stopped_by_callback
+
+
+class TestDtypePreservation:
+    def test_as_float_array_passthrough(self):
+        for dtype in (np.float32, np.float64):
+            a = np.ones((3, 2), dtype=dtype)
+            assert _as_float_array(a) is a
+
+    def test_as_float_array_upcasts_ints(self):
+        out = _as_float_array(np.arange(6).reshape(2, 3))
+        assert out.dtype == np.float64
+
+    def test_float32_training_runs(self, rng):
+        x, y = make_data(rng, dtype=np.float32)
+        result = train_model(make_model(), x, y, TrainConfig(num_epochs=5))
+        assert result.epochs_run == 5
+        assert np.isfinite(result.best_val_loss)
+
+    def test_predict_does_not_upcast_input(self, rng):
+        x, y = make_data(rng, dtype=np.float32)
+        model = make_model()
+        train_model(model, x, y, TrainConfig(num_epochs=3))
+        out = predict(model, x[:4])
+        assert out.shape == (4, 2)
+        assert np.isfinite(out).all()
