@@ -2,6 +2,7 @@
 
 from .model import Autoencoder, hourglass_widths
 from .training import AETrainConfig, AETrainResult, train_autoencoder
+from .serialize import load_autoencoder, save_autoencoder
 
 __all__ = [
     "Autoencoder",
@@ -9,4 +10,6 @@ __all__ = [
     "AETrainConfig",
     "AETrainResult",
     "train_autoencoder",
+    "load_autoencoder",
+    "save_autoencoder",
 ]

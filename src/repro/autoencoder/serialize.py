@@ -1,0 +1,39 @@
+"""Autoencoder persistence: thin wrappers over the registry codecs.
+
+Historically every consumer serialized autoencoders ad hoc with its own
+``np.savez`` layout; the format now has exactly one definition in
+:mod:`repro.registry.formats`.  A saved file is self-describing (embedded
+constructor meta + parameter arrays), and loading also accepts the two
+legacy layouts (bare ``param_i`` / ``ae_param_i`` archives) when given an
+already-constructed model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..registry.formats import (
+    load_autoencoder_params,
+    read_autoencoder_npz,
+    write_autoencoder_npz,
+)
+from .model import Autoencoder
+
+__all__ = ["save_autoencoder", "load_autoencoder", "load_autoencoder_params"]
+
+
+def save_autoencoder(
+    ae: Autoencoder,
+    path: Union[str, Path],
+    *,
+    sigma: Optional[float] = None,
+) -> Path:
+    """Persist ``ae`` (params + rebuild meta, optional recorded σ_y)."""
+    return write_autoencoder_npz(ae, path, sigma=sigma)
+
+
+def load_autoencoder(path: Union[str, Path]) -> Autoencoder:
+    """Rebuild an autoencoder saved by :func:`save_autoencoder`."""
+    ae, _meta = read_autoencoder_npz(path)
+    return ae

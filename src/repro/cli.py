@@ -13,7 +13,10 @@ annotating a region.  This CLI exposes the same verbs::
     python -m repro evaluate Blackscholes --problems 50
     python -m repro compare FFT
     python -m repro serve Blackscholes --max-batch-size 32 --baseline
+    python -m repro serve Blackscholes --hot-swap
     python -m repro telemetry --app Blackscholes --format prometheus
+    python -m repro registry list /tmp/bs/registry
+    python -m repro registry verify /tmp/bs/registry
 
 ``build`` writes the surrogate package (and the search checkpoint) to
 ``--out``; ``evaluate`` and ``compare`` build in-process with the given
@@ -40,6 +43,7 @@ from .core.reports import (
     format_evaluation_table,
     format_metrics_table,
 )
+from .registry.cli import add_registry_parser, cmd_registry
 
 __all__ = ["main", "build_parser"]
 
@@ -156,11 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", action="store_true",
         help="also measure strict per-request serving and report the speedup",
     )
+    serve.add_argument(
+        "--hot-swap", action="store_true",
+        help="also smoke-test versioned serving: deploy a second version of "
+        "the surrogate while requests are in flight and verify none fail",
+    )
     serve.add_argument("--samples", type=int, default=200)
     serve.add_argument("--outer", type=int, default=1)
     serve.add_argument("--inner", type=int, default=2)
     serve.add_argument("--seed", type=int, default=0)
     _add_telemetry_args(serve)
+
+    add_registry_parser(sub)
 
     return parser
 
@@ -290,6 +301,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.out:
         build.surrogate.package.save(f"{args.out}/package")
         print(f"\npackage saved to {args.out}/package")
+    if build.artifact is not None:
+        print(
+            f"published to registry: {build.artifact.name} "
+            f"v{build.artifact.version} (digest {build.artifact.digest[:12]})"
+        )
     _flush_telemetry(args)
     return 0
 
@@ -388,8 +404,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"speedup: {result.requests_per_sec / baseline.requests_per_sec:.1f}x"
         )
+    if args.hot_swap:
+        code = _hot_swap_smoke(app.name, surrogate.package, rows, args)
+        if code:
+            return code
     _flush_telemetry(args)
     return 0
+
+
+def _hot_swap_smoke(name, package, rows, args: argparse.Namespace) -> int:
+    """Deploy a second surrogate version while requests are in flight."""
+    from .runtime import Client, Orchestrator
+
+    orc = Orchestrator(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers,
+        batch_invariant=not args.no_batch_invariant,
+    )
+    client = Client(orc)
+    v1 = client.set_model(name, package)
+    v2 = client.set_model(name, package, deploy=False)
+    half = max(1, len(rows) // 2)
+    failures = 0
+    with orc:
+        futures = [
+            client.run_model_async(name, row, f"swap_out_{i}")
+            for i, row in enumerate(rows[:half])
+        ]
+        deployed = client.deploy_model(name, v2)
+        futures += [
+            client.run_model_async(name, row, f"swap_out_{half + i}")
+            for i, row in enumerate(rows[half:])
+        ]
+        for future in futures:
+            try:
+                future.result(timeout=60.0)
+            except Exception:  # noqa: BLE001 - counted, reported below
+                failures += 1
+        active = orc.active_version(name)
+    print(
+        f"hot-swap smoke: {len(futures)} requests across deploy "
+        f"v{v1}->v{deployed}, {failures} failed, active v{active}"
+    )
+    return 1 if failures or active != deployed else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -423,6 +481,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "registry":
+        return cmd_registry(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Optional
 
 import numpy as np
@@ -28,6 +29,7 @@ from ..nas.package import SurrogatePackage
 from ..nas.space import CNNSpace, InputDimSpace, TopologySpace
 from ..perf.metrics import relative_qoi_error
 from ..perf.timers import PhaseTimer
+from ..registry import ArtifactRef, ModelRegistry
 from ..static.preflight import preflight_region
 from .config import AutoHPCnetConfig
 from .scaling import Scaler
@@ -87,13 +89,22 @@ class BuildResult:
     timers: PhaseTimer
     f_e: float
     f_c: float
+    #: registry version published under the app's name (None when the build
+    #: ran without a checkpoint_dir to host the registry)
+    artifact: Optional[ArtifactRef] = None
 
     def summary(self) -> str:
-        return (
+        lines = (
             f"{self.acquisition.summary()}\n"
             f"{self.search.summary()}\n"
             f"offline phases:\n{self.timers.report()}"
         )
+        if self.artifact is not None:
+            lines += (
+                f"\npublished: {self.artifact.name} "
+                f"v{self.artifact.version} -> {self.artifact.path}"
+            )
+        return lines
 
 
 class AutoHPCnet:
@@ -234,6 +245,20 @@ class AutoHPCnet:
                     x_scaler=x_scaler,
                     y_scaler=y_scaler,
                 )
+                artifact = None
+                if checkpoint_dir is not None:
+                    # every build appends a version under the app's name, so
+                    # "what was deployed last week" is one `registry list` away
+                    registry = ModelRegistry(Path(checkpoint_dir) / "registry")
+                    artifact = result.best.package.publish(
+                        registry,
+                        app.name,
+                        metrics={
+                            "f_e": float(result.best.f_e),
+                            "f_c": float(result.best.f_c),
+                            "k": int(result.best_k),
+                        },
+                    )
                 build_result = BuildResult(
                     surrogate=surrogate,
                     acquisition=acq,
@@ -241,5 +266,6 @@ class AutoHPCnet:
                     timers=timers,
                     f_e=result.best.f_e,
                     f_c=result.best.f_c,
+                    artifact=artifact,
                 )
         return build_result

@@ -16,11 +16,16 @@ encoded dataset ``z`` (the encode pass is also skipped on a hit).
 
 Two tiers back the cache: an in-process dict (revisited K within one
 search) and an optional on-disk store under ``<checkpoint_dir>/ae_cache/``
-(resumed searches, repeated runs).  Disk layout per entry::
+(resumed searches, repeated runs).  The disk tier is a
+:class:`~repro.registry.ModelRegistry` of ``ae-cache-entry`` artifacts —
+each entry a digest-verified directory holding ``autoencoder.npz`` and
+``encoded.npy`` published atomically (a killed run can never leave a
+half-written entry that poisons the next resume)::
 
-    ae_cache/<key>/meta.json          # ctor args + sigma + full key
-    ae_cache/<key>/autoencoder.npz    # flat parameter arrays
-    ae_cache/<key>/encoded.npy        # the encoded training set z
+    ae_cache/<key>/v0001/{manifest.json, autoencoder.npz, encoded.npy}
+
+Entries written by the pre-registry layout
+(``ae_cache/<key>/{meta.json, autoencoder.npz, encoded.npy}``) still load.
 
 Hits and misses are counted in ``repro.obs`` as
 ``repro_nas_ae_cache_hits_total`` / ``repro_nas_ae_cache_misses_total``
@@ -40,6 +45,9 @@ import numpy as np
 
 from .. import obs
 from ..autoencoder.model import Autoencoder
+from ..registry import formats
+from ..registry.artifacts import KIND_AE_CACHE
+from ..registry.store import ArtifactNotFoundError, ModelRegistry, RegistryError
 
 __all__ = ["CachedEncoding", "AutoencoderCache", "fingerprint_array"]
 
@@ -64,7 +72,7 @@ class CachedEncoding:
 
 
 class AutoencoderCache:
-    """Two-tier (memory + optional disk) store of trained AE artifacts."""
+    """Two-tier (memory + optional registry-on-disk) store of AE artifacts."""
 
     def __init__(
         self,
@@ -74,6 +82,7 @@ class AutoencoderCache:
     ) -> None:
         self.directory = Path(directory) / "ae_cache" if directory else None
         self.enabled = enabled
+        self._registry = ModelRegistry(self.directory) if self.directory else None
         self._memory: dict[str, CachedEncoding] = {}
         self._lock = threading.Lock()
 
@@ -135,13 +144,38 @@ class AutoencoderCache:
             self._memory[key] = entry
         self._store_disk(key, entry)
 
-    # -- disk tier -------------------------------------------------------------
-
-    def _entry_dir(self, key: str) -> Optional[Path]:
-        return self.directory / key if self.directory else None
+    # -- disk tier (registry artifacts) ----------------------------------------
 
     def _load_disk(self, key: str) -> Optional[CachedEncoding]:
-        path = self._entry_dir(key)
+        if self._registry is None:
+            return None
+        if self._registry.exists(key):
+            try:
+                ref = self._registry.resolve(key)
+                meta = ref.meta
+                ae = Autoencoder(
+                    meta["input_dim"],
+                    meta["latent_dim"],
+                    depth=meta["depth"],
+                    activation=meta.get("activation", "relu"),
+                    sparse_input=meta.get("sparse_input", False),
+                )
+                # cast=None keeps params dtype-exact, so a disk hit is
+                # bit-identical to the in-memory artifact it memoizes
+                formats.load_autoencoder_params(
+                    ae, ref.payload_path("autoencoder.npz"), cast=None
+                )
+                z = formats.read_array(ref.payload_path("encoded.npy"))
+                return CachedEncoding(
+                    autoencoder=ae, sigma=float(meta.get("sigma", 0.0)), z=z
+                )
+            except (RegistryError, ArtifactNotFoundError, OSError, ValueError, KeyError):
+                return None
+        return self._load_legacy(key)
+
+    def _load_legacy(self, key: str) -> Optional[CachedEncoding]:
+        """Read an entry written by the pre-registry disk layout."""
+        path = self.directory / key if self.directory else None
         if path is None or not (path / "meta.json").exists():
             return None
         meta = json.loads((path / "meta.json").read_text())
@@ -152,34 +186,30 @@ class AutoencoderCache:
             activation=meta.get("activation", "relu"),
             sparse_input=meta.get("sparse_input", False),
         )
-        with np.load(path / "autoencoder.npz") as archive:
-            for i, p in enumerate(ae.parameters()):
-                p.data = archive[f"param_{i}"]
-        z = np.load(path / "encoded.npy")
+        formats.load_autoencoder_params(ae, path / "autoencoder.npz", cast=None)
+        z = formats.read_array(path / "encoded.npy")
         return CachedEncoding(autoencoder=ae, sigma=float(meta["sigma"]), z=z)
 
     def _store_disk(self, key: str, entry: CachedEncoding) -> None:
-        path = self._entry_dir(key)
-        if path is None:
-            return
-        path.mkdir(parents=True, exist_ok=True)
+        if self._registry is None or self._registry.exists(key):
+            return  # entries are content-addressed: one version is enough
         ae = entry.autoencoder
-        np.savez(
-            path / "autoencoder.npz",
-            **{f"param_{i}": p.data for i, p in enumerate(ae.parameters())},
+
+        def writer(staged: Path) -> None:
+            formats.write_autoencoder_npz(
+                ae, staged / "autoencoder.npz", sigma=entry.sigma
+            )
+            formats.write_array(staged / "encoded.npy", entry.z)
+
+        meta = dict(formats.autoencoder_meta(ae), key=key, sigma=float(entry.sigma))
+        self._registry.publish(
+            key,
+            KIND_AE_CACHE,
+            writer,
+            input_dim=ae.input_dim,
+            output_dim=ae.latent_dim,
+            meta=meta,
         )
-        np.save(path / "encoded.npy", entry.z)
-        depth = sum(1 for layer in ae.encoder if hasattr(layer, "weight"))
-        meta = {
-            "key": key,
-            "input_dim": ae.input_dim,
-            "latent_dim": ae.latent_dim,
-            "depth": depth,
-            "activation": getattr(ae, "activation", "relu"),
-            "sparse_input": ae.sparse_input,
-            "sigma": entry.sigma,
-        }
-        (path / "meta.json").write_text(json.dumps(meta, indent=2))
 
     # -- telemetry ---------------------------------------------------------------
 

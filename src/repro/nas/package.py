@@ -4,6 +4,13 @@ Bundles the trained autoencoder (when feature reduction is on) with the
 trained surrogate MLP, knows its own inference cost (for Eqn 2's
 ``T_NN_infer`` under a device model) and serializes to a directory so
 surrogates can be saved, shared and re-loaded across applications (§6.1).
+
+Persistence goes through :mod:`repro.registry`: ``save`` writes an atomic
+registry-artifact directory (payloads + digest-verified ``manifest.json``,
+staged in a temp dir and renamed into place so a kill mid-save can never
+leave a half-written package), ``publish`` pushes a new version into a
+:class:`~repro.registry.ModelRegistry`, and ``load`` reads registry
+artifacts and pre-registry legacy directories alike.
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from ..autoencoder.model import Autoencoder
 from ..nn.layers import Sequential
 from ..nn.cnn import AnyTopology
 from ..nn.mlp import Topology
-from ..nn.serialize import load_model, save_model
+from ..registry import formats
+from ..registry.store import ArtifactRef, ModelRegistry, atomic_directory, write_manifest
 from ..nn.tensor import Tensor, no_grad
 from ..sparse import CSRMatrix
 
@@ -93,39 +101,107 @@ class SurrogatePackage:
 
     # -- serialization ----------------------------------------------------------
 
-    def save(self, directory: Union[str, Path]) -> Path:
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        save_model(self.model, self.topology, self.latent_dim, self.output_dim,
-                   directory / "surrogate.npz")
-        meta = {
+    def payload_meta(self) -> dict:
+        """The ``package.json`` body (also embedded in registry manifests)."""
+        meta: dict = {
             "input_dim": self.input_dim,
             "output_dim": self.output_dim,
             "uses_reduction": self.uses_reduction,
         }
         if self.autoencoder is not None:
+            ae_meta = formats.autoencoder_meta(self.autoencoder)
             meta["autoencoder"] = {
-                "input_dim": self.autoencoder.input_dim,
-                "latent_dim": self.autoencoder.latent_dim,
-                "sparse_input": self.autoencoder.sparse_input,
-                "depth": sum(
-                    1 for layer in self.autoencoder.encoder
-                    if hasattr(layer, "weight")
-                ),
+                "input_dim": ae_meta["input_dim"],
+                "latent_dim": ae_meta["latent_dim"],
+                "sparse_input": ae_meta["sparse_input"],
+                "depth": ae_meta["depth"],
             }
-            arrays = {
-                f"ae_param_{i}": p.data
-                for i, p in enumerate(self.autoencoder.parameters())
-            }
-            np.savez(directory / "autoencoder.npz", **arrays)
-        (directory / "package.json").write_text(json.dumps(meta, indent=2))
+        return meta
+
+    def write_payloads(self, directory: Union[str, Path]) -> None:
+        """Stage the package's payload files into ``directory``."""
+        directory = Path(directory)
+        formats.write_model_npz(
+            self.model, self.topology, self.latent_dim, self.output_dim,
+            directory / "surrogate.npz",
+        )
+        if self.autoencoder is not None:
+            formats.write_autoencoder_npz(
+                self.autoencoder, directory / "autoencoder.npz"
+            )
+        (directory / "package.json").write_text(
+            json.dumps(self.payload_meta(), indent=2)
+        )
+
+    def save(
+        self,
+        directory: Union[str, Path],
+        *,
+        metrics: Optional[dict] = None,
+    ) -> Path:
+        """Write the package as a registry-artifact directory, atomically.
+
+        Payloads and the manifest are staged into a temp directory and
+        renamed into ``directory`` in one step, so an interrupted save
+        leaves either the previous complete package or nothing — never a
+        half-written directory that :meth:`load` crashes on.
+        """
+        directory = Path(directory)
+        with atomic_directory(directory) as staged:
+            self.write_payloads(staged)
+            write_manifest(
+                staged,
+                name=directory.name,
+                version=1,
+                kind="surrogate-package",
+                input_dim=self.input_dim,
+                output_dim=self.output_dim,
+                metrics=metrics,
+                meta=self.payload_meta(),
+            )
         return directory
+
+    def publish(
+        self,
+        registry: ModelRegistry,
+        name: str,
+        *,
+        metrics: Optional[dict] = None,
+    ) -> ArtifactRef:
+        """Publish this package as the next version of ``name``."""
+        return registry.publish(
+            name,
+            "surrogate-package",
+            self.write_payloads,
+            input_dim=self.input_dim,
+            output_dim=self.output_dim,
+            metrics=metrics,
+            meta=self.payload_meta(),
+        )
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ModelRegistry,
+        name: str,
+        version: Optional[int] = None,
+    ) -> "SurrogatePackage":
+        """Resolve and load ``name`` (latest version unless pinned)."""
+        return cls.load(registry.resolve(name, version).path)
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "SurrogatePackage":
+        """Load a package from a registry artifact or a legacy directory.
+
+        Both layouts carry ``package.json``; the autoencoder archive is
+        read through the registry codec, which understands the legacy
+        ``ae_param_i`` arrays as well as the self-describing format.
+        """
         directory = Path(directory)
         meta = json.loads((directory / "package.json").read_text())
-        model, topology, _in, out_dim = load_model(directory / "surrogate.npz")
+        model, topology, _in, out_dim = formats.read_model_npz(
+            directory / "surrogate.npz"
+        )
         autoencoder = None
         if meta.get("uses_reduction"):
             ae_meta = meta["autoencoder"]
@@ -135,9 +211,9 @@ class SurrogatePackage:
                 depth=ae_meta["depth"],
                 sparse_input=ae_meta["sparse_input"],
             )
-            with np.load(directory / "autoencoder.npz") as archive:
-                for i, p in enumerate(autoencoder.parameters()):
-                    p.data = archive[f"ae_param_{i}"].astype(np.float64)
+            formats.load_autoencoder_params(
+                autoencoder, directory / "autoencoder.npz", cast=np.float64
+            )
         return cls(
             model=model,
             topology=topology,

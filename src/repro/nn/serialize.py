@@ -4,59 +4,27 @@ A saved model is a single ``.npz`` holding the topology description (JSON)
 plus every parameter array, so a surrogate trained in one application can be
 re-loaded and re-used in another, as Auto-HPCnet allows.  Both surrogate
 families (MLP and CNN) serialize through the same functions.
+
+This module is a thin wrapper: the on-disk format is defined once in
+:mod:`repro.registry.formats`, and registry artifacts published through
+:func:`repro.registry.publish_model` carry the same payload with a
+digest-verified manifest on top.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Union
 
-import numpy as np
-
-from .cnn import AnyTopology, CNNTopology, build_model
-from .mlp import Topology
+from ..registry.formats import (
+    MODEL_FORMAT_VERSION as _FORMAT_VERSION,  # noqa: F401 - legacy name
+    read_model_npz,
+    write_model_npz,
+)
+from .cnn import AnyTopology
 from .layers import Sequential
 
 __all__ = ["save_model", "load_model", "save_mlp", "load_mlp"]
-
-_FORMAT_VERSION = 2
-
-
-def _topology_meta(topology: AnyTopology) -> dict:
-    if isinstance(topology, CNNTopology):
-        return {
-            "family": "cnn",
-            "channels": list(topology.channels),
-            "kernel_sizes": list(topology.kernel_sizes),
-            "pools": list(topology.pools),
-            "activation": topology.activation,
-            "pool_kind": topology.pool_kind,
-        }
-    return {
-        "family": "mlp",
-        "hidden": list(topology.hidden),
-        "activation": topology.activation,
-        "residual": topology.residual,
-        "sparse_input": topology.sparse_input,
-    }
-
-
-def _topology_from_meta(meta: dict) -> AnyTopology:
-    if meta.get("family") == "cnn":
-        return CNNTopology(
-            channels=tuple(meta["channels"]),
-            kernel_sizes=tuple(meta["kernel_sizes"]),
-            pools=tuple(meta["pools"]),
-            activation=meta["activation"],
-            pool_kind=meta.get("pool_kind", "max"),
-        )
-    return Topology(
-        hidden=tuple(meta["hidden"]),
-        activation=meta["activation"],
-        residual=meta["residual"],
-        sparse_input=meta["sparse_input"],
-    )
 
 
 def save_model(
@@ -67,46 +35,12 @@ def save_model(
     path: Union[str, Path],
 ) -> Path:
     """Persist a surrogate built by :func:`repro.nn.cnn.build_model`."""
-    path = Path(path)
-    meta = {
-        "version": _FORMAT_VERSION,
-        "in_features": int(in_features),
-        "out_features": int(out_features),
-        "topology": _topology_meta(topology),
-    }
-    arrays = {f"param_{i}": p.data for i, p in enumerate(model.parameters())}
-    np.savez(path, meta=json.dumps(meta), **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return write_model_npz(model, topology, in_features, out_features, path)
 
 
 def load_model(path: Union[str, Path]) -> tuple[Sequential, AnyTopology, int, int]:
     """Rebuild a saved surrogate; returns (model, topology, in, out)."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        meta = json.loads(str(archive["meta"]))
-        version = meta.get("version")
-        if version == 1:
-            # version-1 files predate the CNN family and inline the MLP meta
-            topology = Topology(
-                hidden=tuple(meta["hidden"]),
-                activation=meta["activation"],
-                residual=meta["residual"],
-                sparse_input=meta["sparse_input"],
-            )
-        elif version == _FORMAT_VERSION:
-            topology = _topology_from_meta(meta["topology"])
-        else:
-            raise ValueError(f"unsupported model file version {version!r}")
-        model = build_model(meta["in_features"], meta["out_features"], topology)
-        params = list(model.parameters())
-        for i, p in enumerate(params):
-            stored = archive[f"param_{i}"]
-            if stored.shape != p.data.shape:
-                raise ValueError(
-                    f"parameter {i} shape mismatch: file {stored.shape} "
-                    f"vs model {p.data.shape}"
-                )
-            p.data = stored.astype(np.float64)
-    return model, topology, meta["in_features"], meta["out_features"]
+    return read_model_npz(path)
 
 
 # backwards-compatible aliases (the original MLP-only entry points)

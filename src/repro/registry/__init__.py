@@ -1,0 +1,70 @@
+"""Versioned model-artifact registry: the one persistence layer (§6.1).
+
+Public API::
+
+    from repro.registry import ModelRegistry
+
+    reg = ModelRegistry("artifacts/")
+    ref = package.publish(reg, "Blackscholes", metrics={"f_e": 0.02})
+    reg.resolve("Blackscholes").describe()
+    reg.verify("Blackscholes")          # SHA-256 every payload
+    reg.gc(keep=2)                      # prune old versions + stale tmp dirs
+
+Payload codecs live in :mod:`repro.registry.formats`; kind-specific
+publish/load helpers in :mod:`repro.registry.artifacts`; the
+``repro registry`` CLI in :mod:`repro.registry.cli`.
+"""
+
+from .store import (
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    ArtifactNotFoundError,
+    ArtifactRef,
+    IntegrityError,
+    ModelRegistry,
+    RegistryError,
+    VerifyResult,
+    atomic_directory,
+    file_digest,
+    read_manifest,
+    verify_directory,
+    write_manifest,
+)
+from .artifacts import (
+    KIND_AE_CACHE,
+    KIND_AUTOENCODER,
+    KIND_MODEL,
+    KIND_PACKAGE,
+    load_autoencoder_artifact,
+    load_model_artifact,
+    load_package,
+    publish_autoencoder,
+    publish_model,
+    publish_package,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SCHEMA_VERSION",
+    "ArtifactNotFoundError",
+    "ArtifactRef",
+    "IntegrityError",
+    "ModelRegistry",
+    "RegistryError",
+    "VerifyResult",
+    "atomic_directory",
+    "file_digest",
+    "read_manifest",
+    "verify_directory",
+    "write_manifest",
+    "KIND_AE_CACHE",
+    "KIND_AUTOENCODER",
+    "KIND_MODEL",
+    "KIND_PACKAGE",
+    "load_autoencoder_artifact",
+    "load_model_artifact",
+    "load_package",
+    "publish_autoencoder",
+    "publish_model",
+    "publish_package",
+]

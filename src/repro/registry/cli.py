@@ -1,0 +1,118 @@
+"""``repro registry`` — operate on a model-artifact registry from the shell.
+
+Four verbs against a registry root directory::
+
+    python -m repro registry list    /tmp/bs/registry
+    python -m repro registry inspect /tmp/bs/registry blackscholes --version 2
+    python -m repro registry verify  /tmp/bs/registry
+    python -m repro registry gc      /tmp/bs/registry --keep 2
+
+``list`` shows every artifact with its versions and recorded metrics;
+``inspect`` dumps one manifest; ``verify`` recomputes every digest and
+exits nonzero if any artifact's bytes no longer match its manifest;
+``gc`` prunes old versions and sweeps temp directories abandoned by
+killed publishers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .store import ArtifactNotFoundError, ModelRegistry, RegistryError
+
+__all__ = ["add_registry_parser", "cmd_registry"]
+
+
+def add_registry_parser(sub: argparse._SubParsersAction) -> None:
+    registry = sub.add_parser(
+        "registry", help="list / inspect / verify / gc a model-artifact registry"
+    )
+    rsub = registry.add_subparsers(dest="registry_command", required=True)
+
+    ls = rsub.add_parser("list", help="show every artifact and its versions")
+    ls.add_argument("root", help="registry root directory")
+
+    inspect = rsub.add_parser("inspect", help="print one artifact's manifest")
+    inspect.add_argument("root")
+    inspect.add_argument("name", help="artifact name")
+    inspect.add_argument(
+        "--version", type=int, default=None, help="version (default: latest)"
+    )
+
+    verify = rsub.add_parser(
+        "verify", help="recompute digests; nonzero exit on any mismatch"
+    )
+    verify.add_argument("root")
+    verify.add_argument("name", nargs="?", help="limit to one artifact name")
+    verify.add_argument(
+        "--version", type=int, default=None, help="limit to one version"
+    )
+
+    gc = rsub.add_parser("gc", help="prune old versions and publish temp dirs")
+    gc.add_argument("root")
+    gc.add_argument(
+        "--keep", type=int, default=1, help="versions to keep per artifact"
+    )
+
+
+def cmd_registry(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.root)
+    try:
+        if args.registry_command == "list":
+            return _cmd_list(registry)
+        if args.registry_command == "inspect":
+            return _cmd_inspect(registry, args)
+        if args.registry_command == "verify":
+            return _cmd_verify(registry, args)
+        if args.registry_command == "gc":
+            return _cmd_gc(registry, args)
+    except (RegistryError, ArtifactNotFoundError) as exc:
+        print(f"error: {exc}")
+        return 2
+    raise AssertionError(
+        f"unhandled registry command {args.registry_command!r}"
+    )  # pragma: no cover
+
+
+def _cmd_list(registry: ModelRegistry) -> int:
+    names = registry.names()
+    if not names:
+        print(f"registry {registry.root}: empty")
+        return 0
+    for name in names:
+        for version in registry.versions(name):
+            print(registry.resolve(name, version).describe())
+    return 0
+
+
+def _cmd_inspect(registry: ModelRegistry, args: argparse.Namespace) -> int:
+    ref = registry.resolve(args.name, args.version)
+    print(json.dumps(ref.manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_verify(registry: ModelRegistry, args: argparse.Namespace) -> int:
+    if args.name:
+        versions = (
+            [args.version] if args.version else registry.versions(args.name)
+        )
+        if not versions:
+            print(f"error: no artifact named {args.name!r} in {registry.root}")
+            return 2
+        results = [registry.verify(args.name, v) for v in versions]
+    else:
+        results = registry.verify_all()
+    for result in results:
+        print(result.format())
+    failed = sum(1 for r in results if not r.ok)
+    print(f"verified {len(results)} artifact(s), {failed} failed")
+    return 1 if failed else 0
+
+
+def _cmd_gc(registry: ModelRegistry, args: argparse.Namespace) -> int:
+    removed = registry.gc(keep=args.keep)
+    for path in removed:
+        print(f"removed {path}")
+    print(f"gc: {len(removed)} path(s) removed, keeping {args.keep} version(s)")
+    return 0

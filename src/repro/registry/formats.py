@@ -1,0 +1,235 @@
+"""Payload codecs for model artifacts — the one place that touches npz.
+
+Every byte of model state written to disk goes through this module: the
+surrogate ``.npz`` (topology meta + parameter arrays), the autoencoder
+``.npz``, and raw encoded-dataset arrays.  Higher layers
+(:mod:`repro.nn.serialize`, :class:`~repro.nas.package.SurrogatePackage`,
+:class:`~repro.nas.cache.AutoencoderCache`) are thin wrappers so the
+on-disk format has exactly one definition — and so CI can grep that no
+module outside ``repro/registry`` serializes model artifacts by hand.
+
+Formats are backward compatible: version-1 model files (MLP-only meta),
+version-2 files (topology families), autoencoder archives with or
+without an embedded meta record, and both historical parameter-key
+prefixes (``param_i`` and ``ae_param_i``) all load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from ..nn.cnn import AnyTopology, CNNTopology, build_model
+from ..nn.layers import Sequential
+from ..nn.mlp import Topology
+
+if TYPE_CHECKING:  # a module-level runtime import would be circular
+    from ..autoencoder.model import Autoencoder
+
+__all__ = [
+    "MODEL_FORMAT_VERSION",
+    "AUTOENCODER_FORMAT_VERSION",
+    "topology_to_meta",
+    "topology_from_meta",
+    "write_model_npz",
+    "read_model_npz",
+    "write_autoencoder_npz",
+    "read_autoencoder_npz",
+    "load_autoencoder_params",
+    "autoencoder_meta",
+    "write_array",
+    "read_array",
+]
+
+MODEL_FORMAT_VERSION = 2
+AUTOENCODER_FORMAT_VERSION = 1
+
+
+# -- topology metadata ---------------------------------------------------------
+
+
+def topology_to_meta(topology: AnyTopology) -> dict:
+    """JSON-safe description of either surrogate family (MLP or CNN)."""
+    if isinstance(topology, CNNTopology):
+        return {
+            "family": "cnn",
+            "channels": list(topology.channels),
+            "kernel_sizes": list(topology.kernel_sizes),
+            "pools": list(topology.pools),
+            "activation": topology.activation,
+            "pool_kind": topology.pool_kind,
+        }
+    return {
+        "family": "mlp",
+        "hidden": list(topology.hidden),
+        "activation": topology.activation,
+        "residual": topology.residual,
+        "sparse_input": topology.sparse_input,
+    }
+
+
+def topology_from_meta(meta: dict) -> AnyTopology:
+    if meta.get("family") == "cnn":
+        return CNNTopology(
+            channels=tuple(meta["channels"]),
+            kernel_sizes=tuple(meta["kernel_sizes"]),
+            pools=tuple(meta["pools"]),
+            activation=meta["activation"],
+            pool_kind=meta.get("pool_kind", "max"),
+        )
+    return Topology(
+        hidden=tuple(meta["hidden"]),
+        activation=meta["activation"],
+        residual=meta["residual"],
+        sparse_input=meta["sparse_input"],
+    )
+
+
+# -- surrogate models ----------------------------------------------------------
+
+
+def write_model_npz(
+    model: Sequential,
+    topology: AnyTopology,
+    in_features: int,
+    out_features: int,
+    path: Union[str, Path],
+) -> Path:
+    """Persist a surrogate built by :func:`repro.nn.cnn.build_model`."""
+    path = Path(path)
+    meta = {
+        "version": MODEL_FORMAT_VERSION,
+        "in_features": int(in_features),
+        "out_features": int(out_features),
+        "topology": topology_to_meta(topology),
+    }
+    arrays = {f"param_{i}": p.data for i, p in enumerate(model.parameters())}
+    np.savez(path, meta=json.dumps(meta), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def read_model_npz(
+    path: Union[str, Path],
+) -> tuple[Sequential, AnyTopology, int, int]:
+    """Rebuild a saved surrogate; returns (model, topology, in, out)."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        version = meta.get("version")
+        if version == 1:
+            # version-1 files predate the CNN family and inline the MLP meta
+            topology: AnyTopology = Topology(
+                hidden=tuple(meta["hidden"]),
+                activation=meta["activation"],
+                residual=meta["residual"],
+                sparse_input=meta["sparse_input"],
+            )
+        elif version == MODEL_FORMAT_VERSION:
+            topology = topology_from_meta(meta["topology"])
+        else:
+            raise ValueError(f"unsupported model file version {version!r}")
+        model = build_model(meta["in_features"], meta["out_features"], topology)
+        params = list(model.parameters())
+        for i, p in enumerate(params):
+            stored = archive[f"param_{i}"]
+            if stored.shape != p.data.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: file {stored.shape} "
+                    f"vs model {p.data.shape}"
+                )
+            p.data = stored.astype(np.float64)
+    return model, topology, meta["in_features"], meta["out_features"]
+
+
+# -- autoencoders ---------------------------------------------------------------
+
+
+def autoencoder_meta(ae: Autoencoder) -> dict:
+    """Constructor arguments needed to rebuild ``ae`` before loading params."""
+    return {
+        "input_dim": ae.input_dim,
+        "latent_dim": ae.latent_dim,
+        "depth": sum(1 for layer in ae.encoder if hasattr(layer, "weight")),
+        "activation": getattr(ae, "activation", "relu"),
+        "sparse_input": ae.sparse_input,
+    }
+
+
+def write_autoencoder_npz(
+    ae: Autoencoder,
+    path: Union[str, Path],
+    *,
+    sigma: Optional[float] = None,
+) -> Path:
+    """Persist an autoencoder (params + embedded rebuild meta) as one npz."""
+    path = Path(path)
+    meta = dict(autoencoder_meta(ae), version=AUTOENCODER_FORMAT_VERSION)
+    if sigma is not None:
+        meta["sigma"] = float(sigma)
+    arrays = {f"param_{i}": p.data for i, p in enumerate(ae.parameters())}
+    np.savez(path, meta=json.dumps(meta), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def read_autoencoder_npz(path: Union[str, Path]) -> tuple[Autoencoder, dict]:
+    """Rebuild a self-describing autoencoder archive; returns (ae, meta)."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "meta" not in archive:
+            raise ValueError(
+                f"{path} has no embedded meta record; legacy archives need "
+                "their constructor arguments supplied via "
+                "load_autoencoder_params()"
+            )
+        from ..autoencoder.model import Autoencoder
+
+        meta = json.loads(str(archive["meta"]))
+        ae = Autoencoder(
+            meta["input_dim"],
+            meta["latent_dim"],
+            depth=meta["depth"],
+            activation=meta.get("activation", "relu"),
+            sparse_input=meta.get("sparse_input", False),
+        )
+        _assign_params(ae, archive, cast=np.float64)
+    return ae, meta
+
+
+def load_autoencoder_params(
+    ae: Autoencoder,
+    path: Union[str, Path],
+    *,
+    cast: Optional[type] = np.float64,
+) -> Autoencoder:
+    """Load parameters into an already-constructed autoencoder.
+
+    Handles every historical archive: embedded-meta files, the cache
+    tier's ``param_i`` arrays, and the package format's ``ae_param_i``
+    arrays.  ``cast=None`` preserves the stored dtype (the cache relies
+    on this for bit-identical float32 round-trips).
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        _assign_params(ae, archive, cast=cast)
+    return ae
+
+
+def _assign_params(ae: Autoencoder, archive, *, cast: Optional[type]) -> None:
+    prefix = "ae_param" if any(k.startswith("ae_param_") for k in archive.files) else "param"
+    for i, p in enumerate(ae.parameters()):
+        stored = archive[f"{prefix}_{i}"]
+        p.data = stored.astype(cast) if cast is not None else stored
+
+
+# -- raw arrays ------------------------------------------------------------------
+
+
+def write_array(path: Union[str, Path], array: np.ndarray) -> Path:
+    """Persist one raw array payload (e.g. a cached encoded dataset)."""
+    path = Path(path)
+    np.save(path, array)
+    return path if path.suffix == ".npy" else path.with_suffix(path.suffix + ".npy")
+
+
+def read_array(path: Union[str, Path]) -> np.ndarray:
+    return np.load(Path(path), allow_pickle=False)

@@ -1,6 +1,11 @@
 """Online serving substrate: orchestrator, client, serving cost model (§6.3)."""
 
-from .orchestrator import InferenceRequest, Orchestrator, OrchestratorStopped
+from .orchestrator import (
+    InferenceRequest,
+    Orchestrator,
+    OrchestratorStopped,
+    UnknownModelError,
+)
 from .client import Client, InferenceFuture
 from .serving import (
     ONLINE_PHASES,
@@ -15,6 +20,7 @@ __all__ = [
     "InferenceRequest",
     "Orchestrator",
     "OrchestratorStopped",
+    "UnknownModelError",
     "Client",
     "InferenceFuture",
     "ONLINE_PHASES",

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..autoencoder.model import Autoencoder
 from ..nas.package import SurrogatePackage
+from ..registry.store import ModelRegistry
 from ..sparse import CSRMatrix
 from .orchestrator import InferenceRequest, Orchestrator
 
@@ -201,8 +202,19 @@ class Client:
 
     # -- models ----------------------------------------------------------------------
 
-    def set_model(self, name: str, package: SurrogatePackage) -> None:
+    def set_model(
+        self,
+        name: str,
+        package: SurrogatePackage,
+        *,
+        version: Optional[int] = None,
+        deploy: bool = True,
+    ) -> int:
         """Register an in-memory surrogate package under ``name``.
+
+        Each call registers one *version* (returned); ``deploy=True``
+        (default) makes it the serving version immediately, while
+        ``deploy=False`` stages it for a later :meth:`deploy_model`.
 
         Surrogate packages are row-wise by construction (``predict`` on a
         stacked ``(B, F)`` input returns ``B`` output rows), so they are
@@ -211,7 +223,9 @@ class Client:
         caller declares them ``batchable=True``.
         """
         self._packages[name] = package
-        self._orc.register_model(name, package.predict, batchable=True)
+        return self._orc.register_model(
+            name, package.predict, batchable=True, version=version, deploy=deploy
+        )
 
     def set_model_from_file(
         self,
@@ -219,16 +233,50 @@ class Client:
         path: str,
         backend: str = "TORCH",
         device: str = "GPU",
+        *,
+        version: Optional[int] = None,
+        deploy: bool = True,
     ) -> SurrogatePackage:
         """Load a saved surrogate package and register it (Listing 2 line 17).
 
-        ``backend`` and ``device`` are accepted for API parity; the package
-        always runs through :mod:`repro.nn`.
+        ``path`` may be a registry artifact directory or a legacy package
+        directory.  ``backend`` and ``device`` are accepted for API
+        parity; the package always runs through :mod:`repro.nn`.
         """
         del backend, device
         package = SurrogatePackage.load(path)
-        self.set_model(name, package)
+        self.set_model(name, package, version=version, deploy=deploy)
         return package
+
+    def set_model_from_registry(
+        self,
+        name: str,
+        registry: "ModelRegistry",
+        *,
+        artifact: Optional[str] = None,
+        artifact_version: Optional[int] = None,
+        deploy: bool = True,
+    ) -> SurrogatePackage:
+        """Resolve a package from a :class:`~repro.registry.ModelRegistry`.
+
+        Registers the registry artifact's version number as the serving
+        version, so what ``repro registry list`` shows and what the
+        orchestrator reports stay in step.  ``artifact`` defaults to
+        ``name``; ``artifact_version`` pins a registry version (latest
+        otherwise).
+        """
+        ref = registry.resolve(artifact or name, artifact_version)
+        package = SurrogatePackage.load(ref.path)
+        self.set_model(name, package, version=ref.version, deploy=deploy)
+        return package
+
+    def deploy_model(self, name: str, version: int) -> int:
+        """Hot-swap ``name`` to ``version`` (see :meth:`Orchestrator.deploy`)."""
+        return self._orc.deploy(name, version)
+
+    def rollback_model(self, name: str) -> int:
+        """Return ``name`` to its previously serving version."""
+        return self._orc.rollback(name)
 
     def _stage_inputs(
         self, inputs: Union[str, Sequence[str], np.ndarray]

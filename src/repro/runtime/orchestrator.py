@@ -23,11 +23,24 @@ run inside :func:`repro.nn.batch_invariant`, so batched outputs are
 bit-identical to per-request outputs regardless of how the queue happened
 to be sliced into batches.
 
+The model registry is **versioned**: ``register_model`` may hold several
+versions of one name, exactly one of which is *active* (serving).
+``deploy(name, version)`` hot-swaps the active version atomically and
+``rollback(name)`` returns to the previously active one.  Requests are
+pinned to the active version at *admission* (``submit``/``submit_many``),
+so in-flight and already-batched requests always finish on the version
+they were admitted under while new requests see the new version — a swap
+never mixes versions inside one vectorized forward.  Unknown model names
+raise :class:`UnknownModelError` (a ``KeyError`` naming the registered
+models), surfaced through ``InferenceFuture.result`` and
+``Client.run_model_batch`` like any other serving error.
+
 Telemetry: submit/serve/fail counters, a queue-depth gauge, a tensor-store
 size gauge, a per-model inference latency histogram, plus batch-size and
 batch-wait histograms for the micro-batcher — all on the process-global
-registry (:mod:`repro.obs`).  When telemetry is disabled the hot paths pay
-one attribute check.
+registry (:mod:`repro.obs`).  Deployments move the
+``repro_registry_active_version`` gauge and the swap/rollback counters.
+When telemetry is disabled the hot paths pay one attribute check.
 """
 
 from __future__ import annotations
@@ -46,7 +59,12 @@ import numpy as np
 from .. import obs
 from ..nn.tensor import batch_invariant as _batch_invariant_mode
 
-__all__ = ["Orchestrator", "InferenceRequest", "OrchestratorStopped"]
+__all__ = [
+    "Orchestrator",
+    "InferenceRequest",
+    "OrchestratorStopped",
+    "UnknownModelError",
+]
 
 #: batch-size histogram buckets: powers of two up to a deep GPU-style batch
 BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -56,26 +74,67 @@ class OrchestratorStopped(RuntimeError):
     """Raised to waiters whose request was still queued when stop() ran."""
 
 
+class UnknownModelError(KeyError):
+    """No servable model under the requested name.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` handlers
+    keep working, but carries the requested name and the names that *are*
+    registered so a typo is diagnosable from the message alone.
+    """
+
+    def __init__(self, model_name: str, registered: tuple[str, ...] = ()) -> None:
+        self.model_name = model_name
+        self.registered = tuple(sorted(registered))
+        if self.registered:
+            hint = "registered models: " + ", ".join(
+                repr(n) for n in self.registered
+            )
+        else:
+            hint = "no models are registered"
+        super().__init__(f"no model registered under {model_name!r} ({hint})")
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class _ModelVersion(NamedTuple):
+    """One immutable registered version of a model."""
+
+    predict: Callable[[np.ndarray], np.ndarray]
+    batchable: bool
+    version: int
+
+
+@dataclass
+class _ModelEntry:
+    """All versions of one model name plus its deployment pointers."""
+
+    versions: dict[int, _ModelVersion] = field(default_factory=dict)
+    active: Optional[int] = None
+    previous: Optional[int] = None
+
+
 @dataclass
 class InferenceRequest:
-    """One queued model invocation (server mode)."""
+    """One queued model invocation (server mode).
+
+    ``model`` is the version the request was admitted under — pinned by
+    ``submit``/``submit_many`` so a ``deploy`` between admission and
+    serving cannot change which weights answer this request.
+    """
 
     model_name: str
     input_keys: tuple[str, ...]
     output_keys: tuple[str, ...]
     done: threading.Event = field(default_factory=threading.Event)
     error: Optional[Exception] = None
-
-
-class _RegisteredModel(NamedTuple):
-    predict: Callable[[np.ndarray], np.ndarray]
-    batchable: bool
+    model: Optional[_ModelVersion] = None
 
 
 class _Group(NamedTuple):
     """A vectorizable run: requests plus their already-fetched input rows."""
 
-    model: _RegisteredModel
+    model: _ModelVersion
     requests: list[InferenceRequest]
     inputs: list[np.ndarray]
 
@@ -197,7 +256,7 @@ class Orchestrator:
         self.num_workers = int(num_workers)
         self.batch_invariant = bool(batch_invariant)
         self._tensors: dict[str, np.ndarray] = {}
-        self._models: dict[str, _RegisteredModel] = {}
+        self._models: dict[str, _ModelEntry] = {}
         self._lock = threading.RLock()
         self._queue = _RequestQueue()
         self._workers: list[threading.Thread] = []
@@ -248,6 +307,21 @@ class Orchestrator:
         self._m_stuck_workers = registry.gauge(
             "repro_orchestrator_stuck_workers",
             "Serving workers that failed to join within the stop() timeout",
+        )
+        self._m_active_version = registry.gauge(
+            "repro_registry_active_version",
+            "Version currently serving for each registered model",
+            labels=("model",),
+        )
+        self._m_swaps = registry.counter(
+            "repro_registry_swaps_total",
+            "Deployments that changed a model's active version",
+            labels=("model",),
+        )
+        self._m_rollbacks = registry.counter(
+            "repro_registry_rollbacks_total",
+            "Rollbacks to a model's previously active version",
+            labels=("model",),
         )
 
     # -- tensor store ---------------------------------------------------------
@@ -327,8 +401,17 @@ class Orchestrator:
         predict: Callable[[np.ndarray], np.ndarray],
         *,
         batchable: bool = False,
-    ) -> None:
+        version: Optional[int] = None,
+        deploy: bool = True,
+    ) -> int:
         """Register a callable model (RedisAI's ``AI.MODELSET`` analogue).
+
+        Each call registers one *version* of ``name`` (the next number by
+        default) and returns it.  With ``deploy=True`` (default) the new
+        version becomes active immediately — re-registering a name keeps
+        the historic hot-swap behaviour.  ``deploy=False`` stages the
+        version without serving it, for an explicit :meth:`deploy` later
+        (and :meth:`rollback` afterwards if it misbehaves).
 
         ``batchable`` declares that the callable is row-wise: for stacked
         1-D inputs ``X`` of shape ``(B, F)`` it returns ``B`` output rows
@@ -345,37 +428,141 @@ class Orchestrator:
         if not callable(predict):
             raise TypeError("model must be callable")
         with self._lock:
-            self._models[name] = _RegisteredModel(predict, bool(batchable))
+            entry = self._models.setdefault(name, _ModelEntry())
+            if version is None:
+                version = max(entry.versions, default=0) + 1
+            version = int(version)
+            if version < 1:
+                raise ValueError("model versions start at 1")
+            entry.versions[version] = _ModelVersion(predict, bool(batchable), version)
+            if deploy:
+                self._activate(name, entry, version)
+        return version
+
+    def deploy(self, name: str, version: int) -> int:
+        """Atomically make ``version`` the serving version of ``name``.
+
+        Requests admitted before the swap finish on their pinned version;
+        requests admitted after it see the new one.  Returns the deployed
+        version number.
+        """
+        with self._lock:
+            entry = self._entry_locked(name)
+            version = int(version)
+            if version not in entry.versions:
+                raise ValueError(
+                    f"model {name!r} has no version {version}; "
+                    f"available: {sorted(entry.versions)}"
+                )
+            self._activate(name, entry, version)
+        return version
+
+    def rollback(self, name: str) -> int:
+        """Swap ``name`` back to its previously active version.
+
+        The pointers exchange, so a second ``rollback`` undoes the first.
+        Returns the version now serving.
+        """
+        with self._lock:
+            entry = self._entry_locked(name)
+            if entry.previous is None:
+                raise ValueError(
+                    f"model {name!r} has no previous version to roll back to"
+                )
+            target = entry.previous
+            entry.previous, entry.active = entry.active, target
+            if self._telemetry.enabled:
+                self._m_active_version.set(target, model=name)
+                self._m_rollbacks.inc(model=name)
+        return target
+
+    def _activate(self, name: str, entry: _ModelEntry, version: int) -> None:
+        """Move the active pointer (caller holds ``self._lock``)."""
+        swapped = entry.active is not None and entry.active != version
+        if swapped:
+            entry.previous = entry.active
+        entry.active = version
+        if self._telemetry.enabled:
+            self._m_active_version.set(version, model=name)
+            if swapped:
+                self._m_swaps.inc(model=name)
+
+    def _entry_locked(self, name: str) -> _ModelEntry:
+        entry = self._models.get(name)
+        if entry is None or not entry.versions:
+            raise UnknownModelError(name, tuple(self._models))
+        return entry
+
+    def _resolve_locked(
+        self, name: str, version: Optional[int] = None
+    ) -> _ModelVersion:
+        """Active (or pinned-by-number) version of ``name``; caller holds lock."""
+        entry = self._entry_locked(name)
+        if version is None:
+            version = entry.active
+            if version is None:
+                raise UnknownModelError(name, tuple(self._models))
+        try:
+            return entry.versions[version]
+        except KeyError:
+            raise ValueError(
+                f"model {name!r} has no version {version}; "
+                f"available: {sorted(entry.versions)}"
+            ) from None
 
     def model_exists(self, name: str) -> bool:
         with self._lock:
             return name in self._models
 
+    def active_version(self, name: str) -> Optional[int]:
+        """Version currently serving for ``name`` (None if none deployed)."""
+        with self._lock:
+            self._entry_locked(name)
+            return self._models[name].active
+
+    def model_versions(self, name: str) -> list[int]:
+        """All registered versions of ``name``, ascending."""
+        with self._lock:
+            return sorted(self._entry_locked(name).versions)
+
     def run_model(
-        self, name: str, input_keys: tuple[str, ...], output_keys: tuple[str, ...]
+        self,
+        name: str,
+        input_keys: tuple[str, ...],
+        output_keys: tuple[str, ...],
+        *,
+        version: Optional[int] = None,
     ) -> None:
-        """Run a registered model on stored tensors, storing the outputs."""
+        """Run a registered model on stored tensors, storing the outputs.
+
+        Uses the active version unless ``version`` pins an explicit one.
+        """
         if not self._telemetry.enabled:
-            self._run_model_inner(name, input_keys, output_keys)
+            self._run_model_inner(name, input_keys, output_keys, version=version)
             return
         start = time.perf_counter()
-        self._run_model_inner(name, input_keys, output_keys)
+        self._run_model_inner(name, input_keys, output_keys, version=version)
         self._m_latency.observe(time.perf_counter() - start, model=name)
 
     def _run_model_inner(
-        self, name: str, input_keys: tuple[str, ...], output_keys: tuple[str, ...]
+        self,
+        name: str,
+        input_keys: tuple[str, ...],
+        output_keys: tuple[str, ...],
+        *,
+        version: Optional[int] = None,
+        pinned: Optional[_ModelVersion] = None,
     ) -> None:
         with self._lock:
-            try:
-                model = self._models[name].predict
-            except KeyError:
-                raise KeyError(f"no model registered under {name!r}") from None
+            model = pinned if pinned is not None else self._resolve_locked(
+                name, version
+            )
             inputs = [self.get_tensor(k) for k in input_keys]
         x = inputs[0] if len(inputs) == 1 else np.concatenate(
             [np.atleast_1d(v).ravel() for v in inputs]
         )
         with self._forward_mode():
-            y = np.asarray(model(x))
+            y = np.asarray(model.predict(x))
         if len(output_keys) != 1:
             raise ValueError("multi-output splitting is the client's job; pass one key")
         self.put_tensor(output_keys[0], y)
@@ -463,11 +650,28 @@ class Orchestrator:
                 self._m_failed.inc(abandoned)
             self._m_queue_depth.set(0)
 
+    def _pin_versions(self, requests: list[InferenceRequest]) -> None:
+        """Pin each request to the version active at admission.
+
+        Requests whose model is not (yet) registered or has no deployed
+        version stay unpinned and resolve at serve time, so the error —
+        :class:`UnknownModelError` if still absent — reaches the waiter
+        through the request instead of blowing up the submitter.
+        """
+        with self._lock:
+            for request in requests:
+                if request.model is not None:
+                    continue
+                entry = self._models.get(request.model_name)
+                if entry is not None and entry.active is not None:
+                    request.model = entry.versions[entry.active]
+
     def submit(self, request: InferenceRequest) -> InferenceRequest:
         """Queue an inference for the serving pool; wait on ``request.done``."""
         with self._state_lock:
             if not self._running:
                 raise RuntimeError("orchestrator not started; call start() first")
+            self._pin_versions([request])
             self._queue.put(request)
             if self._telemetry.enabled:
                 self._m_submitted.inc()
@@ -487,6 +691,7 @@ class Orchestrator:
         with self._state_lock:
             if not self._running:
                 raise RuntimeError("orchestrator not started; call start() first")
+            self._pin_versions(requests)
             self._queue.put_many(requests)
             if self._telemetry.enabled:
                 self._m_submitted.inc(len(requests))
@@ -538,12 +743,16 @@ class Orchestrator:
     ) -> list[Any]:
         """Split a drained batch into vectorizable groups.
 
-        Requests stack into one forward pass when they target the same
-        batchable model with a single 1-D input tensor of the same shape
-        and dtype; everything else is served on the per-request path.
-        Groups carry the model and input tensors fetched here, under one
-        lock acquisition — tensors are defensive copies, so a concurrent
-        ``delete_tensor`` cannot invalidate a group once formed.
+        Requests stack into one forward pass when they are pinned to the
+        same batchable model *version* with a single 1-D input tensor of
+        the same shape and dtype; everything else is served on the
+        per-request path.  Grouping on the pinned version means a batch
+        drained across a ``deploy`` splits cleanly — requests admitted
+        under v1 run v1's weights, requests admitted under v2 run v2's,
+        never one mixed forward.  Groups carry the model and input
+        tensors fetched here, under one lock acquisition — tensors are
+        defensive copies, so a concurrent ``delete_tensor`` cannot
+        invalidate a group once formed.
         """
         groups: dict[tuple, _Group] = {}
         ordered: list[Any] = []
@@ -551,7 +760,13 @@ class Orchestrator:
             for request in batch:
                 key: Optional[tuple] = None
                 if len(request.input_keys) == 1 and len(request.output_keys) == 1:
-                    model = self._models.get(request.model_name)
+                    model = request.model
+                    if model is None:
+                        # unpinned (enqueued before the model was deployed):
+                        # the version active now is the admission version
+                        entry = self._models.get(request.model_name)
+                        if entry is not None and entry.active is not None:
+                            model = entry.versions[entry.active]
                     tensor = self._tensors.get(request.input_keys[0])
                     if (
                         model is not None
@@ -559,7 +774,12 @@ class Orchestrator:
                         and tensor is not None
                         and tensor.ndim == 1
                     ):
-                        key = (request.model_name, tensor.shape, tensor.dtype.str)
+                        key = (
+                            request.model_name,
+                            model.version,
+                            tensor.shape,
+                            tensor.dtype.str,
+                        )
                 if key is None:
                     ordered.append(request)
                     continue
@@ -573,7 +793,24 @@ class Orchestrator:
 
     def _serve_one(self, request: InferenceRequest) -> None:
         try:
-            self.run_model(request.model_name, request.input_keys, request.output_keys)
+            if not self._telemetry.enabled:
+                self._run_model_inner(
+                    request.model_name,
+                    request.input_keys,
+                    request.output_keys,
+                    pinned=request.model,
+                )
+            else:
+                start = time.perf_counter()
+                self._run_model_inner(
+                    request.model_name,
+                    request.input_keys,
+                    request.output_keys,
+                    pinned=request.model,
+                )
+                self._m_latency.observe(
+                    time.perf_counter() - start, model=request.model_name
+                )
         except Exception as exc:  # noqa: BLE001 - surfaced to the waiter
             request.error = exc
             if self._telemetry.enabled:

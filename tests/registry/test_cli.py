@@ -1,0 +1,84 @@
+"""``repro registry`` CLI: list / inspect / verify / gc."""
+
+import json
+
+from repro.cli import main
+from repro.registry import ModelRegistry
+
+
+def write_payload(staged):
+    (staged / "blob.bin").write_bytes(b"cli payload")
+
+
+def publish_some(root, versions=2):
+    registry = ModelRegistry(root)
+    refs = [
+        registry.publish(
+            "demo", "nn-model", write_payload,
+            input_dim=4, output_dim=2, metrics={"f_e": 0.05},
+        )
+        for _ in range(versions)
+    ]
+    return registry, refs
+
+
+class TestList:
+    def test_empty(self, tmp_path, capsys):
+        assert main(["registry", "list", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_lists_every_version(self, tmp_path, capsys):
+        publish_some(tmp_path)
+        assert main(["registry", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo v1" in out and "demo v2" in out
+        assert "nn-model" in out and "f_e=0.05" in out
+
+
+class TestInspect:
+    def test_dumps_manifest_json(self, tmp_path, capsys):
+        _, refs = publish_some(tmp_path)
+        assert main(["registry", "inspect", str(tmp_path), "demo"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["version"] == 2  # latest by default
+        assert main(
+            ["registry", "inspect", str(tmp_path), "demo", "--version", "1"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["digest"] == refs[0].digest
+
+    def test_unknown_name_exits_2(self, tmp_path, capsys):
+        assert main(["registry", "inspect", str(tmp_path), "absent"]) == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_clean_registry_passes(self, tmp_path, capsys):
+        publish_some(tmp_path)
+        assert main(["registry", "verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo v1: OK" in out and "0 failed" in out
+
+    def test_flipped_byte_fails_the_run(self, tmp_path, capsys):
+        _, refs = publish_some(tmp_path)
+        blob = refs[1].payload_path("blob.bin")
+        raw = bytearray(blob.read_bytes())
+        raw[0] ^= 0xFF
+        blob.write_bytes(bytes(raw))
+        assert main(["registry", "verify", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "demo v2: FAILED" in out and "SHA-256 mismatch" in out
+        # scoping to the untouched version still passes
+        assert main(
+            ["registry", "verify", str(tmp_path), "demo", "--version", "1"]
+        ) == 0
+
+    def test_unknown_name_exits_2(self, tmp_path):
+        assert main(["registry", "verify", str(tmp_path), "absent"]) == 2
+
+
+class TestGc:
+    def test_prunes_old_versions(self, tmp_path, capsys):
+        registry, _ = publish_some(tmp_path, versions=3)
+        assert main(["registry", "gc", str(tmp_path), "--keep", "1"]) == 0
+        assert "2 path(s) removed" in capsys.readouterr().out
+        assert registry.versions("demo") == [3]
