@@ -9,7 +9,7 @@ its RMS so Eqn 3's scalar hit-rate test applies.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable
 
 import numpy as np
 

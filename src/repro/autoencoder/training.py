@@ -11,7 +11,6 @@ trading a second forward pass for not storing interior activations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

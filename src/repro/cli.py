@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-crossval", action="store_true",
         help="for app targets: skip the dynamic trace cross-validation",
     )
+    lint.add_argument(
+        "--select", action="append", default=[], metavar="CODE",
+        help="only report rules matching this code prefix (repeatable; "
+        "e.g. --select CC gates just the concurrency rules)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=[], metavar="CODE",
+        help="drop rules matching this code prefix (repeatable)",
+    )
     lint.add_argument("--seed", type=int, default=0)
 
     trace = sub.add_parser("trace", help="run the extractor on an app's region")
@@ -93,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--quality-loss", type=float, default=0.10)
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--out", help="directory for the package + checkpoint")
+    build.add_argument(
+        "--preflight-concurrency", choices=("off", "warn", "error"),
+        default="off",
+        help="also lint the serving runtime's lock discipline (CC rules) "
+        "before building",
+    )
     _add_search_args(build)
     _add_telemetry_args(build)
 
@@ -236,6 +251,7 @@ def _config(args: argparse.Namespace) -> AutoHPCnetConfig:
         trial_workers=getattr(args, "trial_workers", None),
         prune_trials=getattr(args, "prune_trials", False),
         ae_cache=not getattr(args, "no_ae_cache", False),
+        preflight_concurrency=getattr(args, "preflight_concurrency", "off"),
         seed=args.seed,
     )
 
@@ -272,6 +288,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         report = lint_module(args.target)
 
+    if args.select or args.ignore:
+        report = report.filter(select=args.select, ignore=args.ignore)
     if args.fmt == "json":
         print(report.format_json())
     else:

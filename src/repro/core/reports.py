@@ -7,7 +7,7 @@ phase breakdowns).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from ..perf.metrics import harmonic_mean
 from .evaluation import EvaluationRow

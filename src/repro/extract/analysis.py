@@ -10,7 +10,6 @@ array" rule of §3.1).
 from __future__ import annotations
 
 import ast
-from typing import Iterable
 
 from .events import StmtInfo
 

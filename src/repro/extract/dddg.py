@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import builtins
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 import networkx as nx

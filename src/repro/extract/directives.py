@@ -17,9 +17,8 @@ Example::
 from __future__ import annotations
 
 import ast
-import functools
 import textwrap
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 __all__ = ["code_region", "RegionSpec", "get_region_spec"]

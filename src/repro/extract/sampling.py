@@ -16,7 +16,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..sparse import COOMatrix, CSCMatrix, CSRMatrix, CSRMatrix as _CSR
+from ..sparse import COOMatrix, CSCMatrix, CSRMatrix
 from .features import FeatureSchema
 
 __all__ = ["Perturbation", "perturb_value", "returned_names", "SampleGenerator"]

@@ -83,7 +83,7 @@ class AutoencoderCache:
         self.directory = Path(directory) / "ae_cache" if directory else None
         self.enabled = enabled
         self._registry = ModelRegistry(self.directory) if self.directory else None
-        self._memory: dict[str, CachedEncoding] = {}
+        self._memory: dict[str, CachedEncoding] = {}  # cc: guarded-by(_lock)
         self._lock = threading.Lock()
 
     # -- keying ---------------------------------------------------------------

@@ -20,7 +20,6 @@ import numpy as np
 
 from ..autoencoder.model import Autoencoder
 from ..nn.cnn import AnyTopology, build_model
-from ..nn.mlp import Topology
 from ..nn.train import EpochCallback, TrainConfig, train_model
 from ..perf.counting import nn_inference_cost
 from ..perf.devices import DeviceModel, TESLA_V100_NN

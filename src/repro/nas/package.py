@@ -25,7 +25,6 @@ import numpy as np
 from ..autoencoder.model import Autoencoder
 from ..nn.layers import Sequential
 from ..nn.cnn import AnyTopology
-from ..nn.mlp import Topology
 from ..registry import formats
 from ..registry.store import ArtifactRef, ModelRegistry, atomic_directory, write_manifest
 from ..nn.tensor import Tensor, no_grad

@@ -12,7 +12,7 @@ directly in compressed form, so sparse HPC inputs never get densified.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Union
+from typing import Iterator, Sequence, Union
 
 import numpy as np
 

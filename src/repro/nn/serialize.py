@@ -16,11 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Union
 
-from ..registry.formats import (
-    MODEL_FORMAT_VERSION as _FORMAT_VERSION,  # noqa: F401 - legacy name
-    read_model_npz,
-    write_model_npz,
-)
+from ..registry.formats import read_model_npz, write_model_npz
 from .cnn import AnyTopology
 from .layers import Sequential
 

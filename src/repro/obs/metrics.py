@@ -90,7 +90,7 @@ class Counter(_Metric):
 
     def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
         super().__init__(name, help, labels)
-        self._values: dict[tuple[str, ...], float] = {}
+        self._values: dict[tuple[str, ...], float] = {}  # cc: guarded-by(_lock)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         if amount < 0:
@@ -136,7 +136,7 @@ class Gauge(_Metric):
 
     def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
         super().__init__(name, help, labels)
-        self._values: dict[tuple[str, ...], float] = {}
+        self._values: dict[tuple[str, ...], float] = {}  # cc: guarded-by(_lock)
 
     def set(self, value: float, **labels: object) -> None:
         key = _label_key(self.label_names, labels)
@@ -203,9 +203,9 @@ class Histogram(_Metric):
         if any(not math.isfinite(b) for b in bounds):
             raise ValueError("bucket bounds must be finite (the +Inf bucket is implicit)")
         self.buckets = bounds
-        self._states: dict[tuple[str, ...], _HistogramState] = {}
+        self._states: dict[tuple[str, ...], _HistogramState] = {}  # cc: guarded-by(_lock)
 
-    def _state(self, key: tuple[str, ...]) -> _HistogramState:
+    def _state(self, key: tuple[str, ...]) -> _HistogramState:  # cc: requires(_lock)
         state = self._states.get(key)
         if state is None:
             state = self._states.setdefault(key, _HistogramState(len(self.buckets)))
@@ -310,7 +310,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[str, _Metric] = {}
+        self._metrics: dict[str, _Metric] = {}  # cc: guarded-by(_lock)
 
     def _get_or_create(self, cls, name: str, help: str, labels: Sequence[str], **kwargs):
         with self._lock:

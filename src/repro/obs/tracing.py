@@ -54,9 +54,11 @@ class Tracer:
     """Records span trees; the current span is context-local."""
 
     def __init__(self) -> None:
-        self.epoch = time.perf_counter()
+        # exporters read the epoch bare (a float snapshot is coherent);
+        # reset() rewrites it under the lock
+        self.epoch = time.perf_counter()  # cc: guarded-by(_lock, atomic-reads)
         self._lock = threading.Lock()
-        self._finished: list[Span] = []
+        self._finished: list[Span] = []   # cc: guarded-by(_lock)
         self._ids = itertools.count(1)
         self._current: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
             f"repro_span_{id(self)}", default=None
@@ -118,9 +120,11 @@ class Tracer:
         return [s for s in self.finished_spans() if s.name == name]
 
     def reset(self) -> None:
+        # one critical section: an exporter racing reset() must not see
+        # the cleared span list paired with the old epoch
         with self._lock:
             self._finished.clear()
-        self.epoch = time.perf_counter()
+            self.epoch = time.perf_counter()
 
     # -- export -----------------------------------------------------------------
 

@@ -9,7 +9,7 @@ both computes its numerical answer *and* meters itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "FlopCounter",

@@ -75,8 +75,9 @@ class _LatchedDone:
     __slots__ = ("_latch", "_flag")
 
     def __init__(self, latch: _BatchLatch) -> None:
-        self._latch = latch
-        self._flag = False
+        self._latch = latch            # cc: type(_BatchLatch)
+        # bare reads see a GIL-atomic bool; the Event provides ordering
+        self._flag = False             # cc: guarded-by(_latch._lock, atomic-reads)
 
     def set(self) -> None:
         latch = self._latch
@@ -118,13 +119,15 @@ class InferenceFuture:
         value: Optional[np.ndarray] = None,
         error: Optional[Exception] = None,
     ) -> None:
-        self._orc = orchestrator
+        self._orc = orchestrator       # cc: type(Orchestrator)
         self._out_key = out_key
         self._scratch_keys = scratch_keys
-        self._request = request
-        self._value = value
-        self._error = error
-        self._resolved = request is None
+        self._request = request        # cc: type(InferenceRequest)
+        # the done-Event wait in result() orders every bare read after
+        # the resolving write, so snapshot reads are safe
+        self._value = value            # cc: guarded-by(_resolve_lock, atomic-reads)
+        self._error = error            # cc: guarded-by(_resolve_lock, atomic-reads)
+        self._resolved = request is None  # cc: guarded-by(_resolve_lock, atomic-reads)
         self._resolve_lock = threading.Lock()
         if self._resolved:
             self._cleanup()

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -39,8 +39,8 @@ class GuardStats:
     shared across threads never loses counts.
     """
 
-    invocations: int = 0
-    fallbacks: int = 0
+    invocations: int = 0               # cc: guarded-by(_lock)
+    fallbacks: int = 0                 # cc: guarded-by(_lock)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -54,7 +54,12 @@ class GuardStats:
 
     @property
     def fallback_rate(self) -> float:
-        return self.fallbacks / self.invocations if self.invocations else 0.0
+        # snapshot both counters under the lock: reading them bare can
+        # pair a fresh fallbacks with a stale invocations mid-record
+        with self._lock:
+            if not self.invocations:
+                return 0.0
+            return self.fallbacks / self.invocations
 
     @property
     def surrogate_rate(self) -> float:

@@ -151,7 +151,7 @@ class _RequestQueue:
     """
 
     def __init__(self) -> None:
-        self._items: "deque[Optional[InferenceRequest]]" = deque()
+        self._items: "deque[Optional[InferenceRequest]]" = deque()  # cc: guarded-by(_cond)
         self._cond = threading.Condition()
 
     def put(self, item: Optional[InferenceRequest]) -> None:
@@ -171,7 +171,11 @@ class _RequestQueue:
             return self._items.popleft()
 
     def qsize(self) -> int:
-        return len(self._items)
+        # len() of a deque is GIL-atomic, but the value would be stale by
+        # the time a caller acts on it; taking the condition keeps qsize
+        # ordered after any put/drain it races with
+        with self._cond:
+            return len(self._items)
 
     def get_batch(
         self, max_items: int, max_wait: float
@@ -255,12 +259,14 @@ class Orchestrator:
         self.max_wait_ms = float(max_wait_ms)
         self.num_workers = int(num_workers)
         self.batch_invariant = bool(batch_invariant)
-        self._tensors: dict[str, np.ndarray] = {}
-        self._models: dict[str, _ModelEntry] = {}
+        self._tensors: dict[str, np.ndarray] = {}  # cc: guarded-by(_lock)
+        self._models: dict[str, _ModelEntry] = {}  # cc: guarded-by(_lock)
         self._lock = threading.RLock()
         self._queue = _RequestQueue()
-        self._workers: list[threading.Thread] = []
-        self._running = False
+        self._workers: list[threading.Thread] = []  # cc: guarded-by(_state_lock)
+        # bare reads (is_running, the worker loop) see a GIL-atomic bool;
+        # transitions are serialized by _state_lock
+        self._running = False          # cc: guarded-by(_state_lock, atomic-reads)
         # serializes start/stop/submit state transitions so no request can
         # slip into the queue after stop() has drained it
         self._state_lock = threading.Lock()
@@ -476,7 +482,7 @@ class Orchestrator:
                 self._m_rollbacks.inc(model=name)
         return target
 
-    def _activate(self, name: str, entry: _ModelEntry, version: int) -> None:
+    def _activate(self, name: str, entry: _ModelEntry, version: int) -> None:  # cc: requires(_lock)
         """Move the active pointer (caller holds ``self._lock``)."""
         swapped = entry.active is not None and entry.active != version
         if swapped:
@@ -487,13 +493,13 @@ class Orchestrator:
             if swapped:
                 self._m_swaps.inc(model=name)
 
-    def _entry_locked(self, name: str) -> _ModelEntry:
+    def _entry_locked(self, name: str) -> _ModelEntry:  # cc: requires(_lock)
         entry = self._models.get(name)
         if entry is None or not entry.versions:
             raise UnknownModelError(name, tuple(self._models))
         return entry
 
-    def _resolve_locked(
+    def _resolve_locked(  # cc: requires(_lock)
         self, name: str, version: Optional[int] = None
     ) -> _ModelVersion:
         """Active (or pinned-by-number) version of ``name``; caller holds lock."""
@@ -593,8 +599,11 @@ class Orchestrator:
             ]
             for worker in self._workers:
                 worker.start()
+            # snapshot under the lock: a concurrent stop() swaps
+            # self._workers out, and iterating it bare races that swap
+            workers = list(self._workers)
         if block:  # pragma: no cover - interactive convenience
-            for worker in list(self._workers):
+            for worker in workers:
                 worker.join()
 
     def stop(self, join_timeout: float = 5.0) -> None:

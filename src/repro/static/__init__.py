@@ -32,6 +32,7 @@ from .inference import (
 from .rules import RULES, run_rules
 from .linter import (
     discover_regions,
+    lint_directory,
     lint_module,
     lint_path,
     lint_region_fn,
@@ -39,10 +40,19 @@ from .linter import (
     resolve_target,
 )
 from .crossval import CrossValidation, cross_validate
+from .concurrency import (
+    CC_RULES,
+    LockOrderCrossValidation,
+    LockOrderGraph,
+    cross_validate_lock_orders,
+    lint_concurrency,
+    lock_order_graph,
+)
 from .preflight import (
     PREFLIGHT_MODES,
     PreflightError,
     PreflightWarning,
+    preflight_concurrency,
     preflight_region,
 )
 
@@ -50,8 +60,11 @@ __all__ = [
     "Diagnostic", "LintReport", "Severity",
     "RegionMeta", "StaticRegionReport", "infer_function", "infer_region_fn",
     "RULES", "run_rules",
-    "discover_regions", "lint_module", "lint_path", "lint_region_fn",
-    "lint_source", "resolve_target",
+    "discover_regions", "lint_directory", "lint_module", "lint_path",
+    "lint_region_fn", "lint_source", "resolve_target",
     "CrossValidation", "cross_validate",
-    "PREFLIGHT_MODES", "PreflightError", "PreflightWarning", "preflight_region",
+    "CC_RULES", "LockOrderCrossValidation", "LockOrderGraph",
+    "cross_validate_lock_orders", "lint_concurrency", "lock_order_graph",
+    "PREFLIGHT_MODES", "PreflightError", "PreflightWarning",
+    "preflight_concurrency", "preflight_region",
 ]

@@ -1,0 +1,51 @@
+"""Concurrency static analysis for the serving stack (CC rules).
+
+Three analyses, in the spirit of Clang's thread-safety analysis, run
+purely on the AST (nothing is imported):
+
+* **guarded-by inference** (CC1xx) — which lock protects which instance
+  field, from ``# cc: guarded-by`` annotations or from the dominant
+  lock observed at write sites; accesses outside the guard are flagged;
+* **lock-order graph** (CC2xx) — a whole-package graph of which locks
+  are acquired while which are held, across method calls; cycles are
+  potential deadlocks, non-reentrant re-acquisition is a self-deadlock;
+* **condvar lints** (CC3xx) — ``wait()`` outside a predicate loop,
+  wait/notify without the condition held, inline timeout arithmetic.
+
+The static graph cross-validates against acquisition orders recorded at
+runtime by :mod:`repro.obs.locks` (CC4xx), mirroring how the static
+region I/O is checked against the dynamic DDDG.
+"""
+
+from .analyze import AnnotationIssue, PackageAnalysis, analyze_sources
+from .crossval import LockOrderCrossValidation, cross_validate_lock_orders
+from .graph import EdgeSite, LockOrderGraph, Reentry, build_graph
+from .linter import (
+    analyze_target,
+    collect_sources,
+    lint_concurrency,
+    lint_concurrency_source,
+    lock_order_graph,
+)
+from .model import parse_pragmas
+from .rules import CC_RULES, check_package
+
+__all__ = [
+    "AnnotationIssue",
+    "PackageAnalysis",
+    "analyze_sources",
+    "LockOrderCrossValidation",
+    "cross_validate_lock_orders",
+    "EdgeSite",
+    "LockOrderGraph",
+    "Reentry",
+    "build_graph",
+    "analyze_target",
+    "collect_sources",
+    "lint_concurrency",
+    "lint_concurrency_source",
+    "lock_order_graph",
+    "parse_pragmas",
+    "CC_RULES",
+    "check_package",
+]

@@ -1,0 +1,234 @@
+"""Whole-package lock-acquisition graph and deadlock detection.
+
+Nodes are lock identities (``DeclaringClass.attr``); a directed edge
+``A -> B`` means some code path acquires ``B`` while holding ``A``.
+Edges come from two places:
+
+* **intra-method** — a ``with self._b:`` lexically inside ``with
+  self._a:``;
+* **interprocedural** — a call made while holding ``A`` to a method
+  that (transitively) acquires ``B``.  Transitive acquisition sets are
+  computed as a worklist fixpoint over the call graph, so mutual
+  recursion converges.
+
+A cycle in this graph is a potential deadlock (two threads taking the
+cycle's locks in different positions can block each other forever) and
+is reported as CC201, one diagnostic per strongly connected component.
+Re-acquiring a *non-reentrant* lock already held — lexically or through
+a call chain — self-deadlocks a single thread and is reported as CC202;
+reentrant primitives (``RLock``, default ``Condition``) are exempt.
+
+The edge set is also the static half of the lock-order cross-validation
+(:mod:`~.crossval`): edges observed at runtime by
+:class:`repro.obs.locks.LockOrderRecorder` must be a subset of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .analyze import PackageAnalysis
+from .model import MethodSummary, QLock
+
+__all__ = ["EdgeSite", "Reentry", "LockOrderGraph", "build_graph"]
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """One code location contributing a lock-order edge."""
+
+    cls: str
+    method: str
+    file: str
+    line: int
+    via: Optional[str] = None      # "Class.method" when interprocedural
+
+
+@dataclass(frozen=True)
+class Reentry:
+    """A non-reentrant lock (possibly) re-acquired while held."""
+
+    lock: QLock
+    site: EdgeSite
+
+
+@dataclass
+class LockOrderGraph:
+    """All lock-order edges with their witnessing sites."""
+
+    edges: dict[tuple[str, str], list[EdgeSite]] = field(default_factory=dict)
+    nodes: set[str] = field(default_factory=set)
+
+    def add_edge(self, held: str, acquired: str, site: EdgeSite) -> None:
+        self.nodes.update((held, acquired))
+        self.edges.setdefault((held, acquired), []).append(site)
+
+    def edge_set(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self.edges)
+
+    def successors(self, node: str) -> list[str]:
+        return [b for (a, b) in self.edges if a == node]
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Strongly connected components with more than one node.
+
+        Iterative Tarjan; nodes within an SCC are returned in sorted
+        order so diagnostics are deterministic.
+        """
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[tuple[str, ...]] = []
+        adjacency: dict[str, list[str]] = {}
+        for (a, b) in self.edges:
+            adjacency.setdefault(a, []).append(b)
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_i = work.pop()
+                if child_i == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = adjacency.get(node, [])
+                advanced = False
+                for i in range(child_i, len(children)):
+                    child = children[i]
+                    if child not in index:
+                        work.append((node, i + 1))
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                if low[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sccs
+
+    def cycle_sites(self, component: tuple[str, ...]) -> list[EdgeSite]:
+        """One witnessing site per intra-component edge (for messages)."""
+        members = set(component)
+        sites = []
+        for (a, b), witnesses in sorted(self.edges.items()):
+            if a in members and b in members:
+                sites.append(witnesses[0])
+        return sites
+
+
+def _callee_key(
+    analysis: PackageAnalysis, cls: str, method: str
+) -> Optional[tuple[str, str]]:
+    """(declaring class, method) for a call target, or None if unknown."""
+    summary = analysis.summary_for(cls, method)
+    if summary is None:
+        return None
+    return (summary.cls, summary.method)
+
+
+def _reachable_locks(
+    analysis: PackageAnalysis,
+) -> dict[tuple[str, str], frozenset[QLock]]:
+    """Fixpoint: every lock each (class, method) may transitively acquire."""
+    direct: dict[tuple[str, str], set[QLock]] = {}
+    callees: dict[tuple[str, str], set[tuple[str, str]]] = {}
+    for summary in analysis.summaries:
+        key = (summary.cls, summary.method)
+        direct[key] = {acq.lock for acq in summary.acquisitions}
+        targets = set()
+        for call in summary.calls:
+            callee = _callee_key(analysis, call.target_class, call.method)
+            if callee is not None and callee != key:
+                targets.add(callee)
+        callees[key] = targets
+
+    reach = {key: set(locks) for key, locks in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, targets in callees.items():
+            acc = reach[key]
+            before = len(acc)
+            for callee in targets:
+                acc |= reach.get(callee, set())
+            if len(acc) != before:
+                changed = True
+    return {key: frozenset(locks) for key, locks in reach.items()}
+
+
+def _site(summary: MethodSummary, file: str, line: int,
+          via: Optional[str] = None) -> EdgeSite:
+    return EdgeSite(cls=summary.cls, method=summary.method, file=file,
+                    line=line, via=via)
+
+
+def build_graph(
+    analysis: PackageAnalysis,
+) -> tuple[LockOrderGraph, list[Reentry]]:
+    """The package lock-order graph plus CC202 re-entry witnesses."""
+    graph = LockOrderGraph()
+    reentries: list[Reentry] = []
+    reach = _reachable_locks(analysis)
+    reentry_seen: set[tuple[str, str, str, int]] = set()
+
+    def note_reentry(lock: QLock, site: EdgeSite) -> None:
+        key = (lock.name, site.cls, site.method, site.line)
+        if key not in reentry_seen:
+            reentry_seen.add(key)
+            reentries.append(Reentry(lock=lock, site=site))
+
+    for summary in analysis.summaries:
+        cls = analysis.index.get(summary.cls)
+        file = cls.module if cls is not None else "<unknown>"
+        for decl in (analysis.index.resolved_locks(cls) if cls else {}).values():
+            graph.nodes.add(decl.name)
+
+        for acq in summary.acquisitions:
+            held_names = {h.name for h in acq.held}
+            if acq.lock.name in held_names:
+                if not acq.lock.reentrant:
+                    note_reentry(acq.lock, _site(summary, file, acq.line))
+                continue
+            graph.nodes.add(acq.lock.name)
+            for held in dict.fromkeys(acq.held):
+                graph.add_edge(held.name, acq.lock.name,
+                               _site(summary, file, acq.line))
+
+        for call in summary.calls:
+            if not call.held:
+                continue
+            callee = _callee_key(analysis, call.target_class, call.method)
+            if callee is None:
+                continue
+            via = f"{callee[0]}.{callee[1]}"
+            held_names = {h.name for h in call.held}
+            for lock in sorted(reach.get(callee, frozenset()),
+                               key=lambda q: q.name):
+                if lock.name in held_names:
+                    if not lock.reentrant:
+                        note_reentry(lock, _site(summary, file, call.line,
+                                                 via=via))
+                    continue
+                for held in dict.fromkeys(call.held):
+                    graph.add_edge(held.name, lock.name,
+                                   _site(summary, file, call.line, via=via))
+    return graph, reentries

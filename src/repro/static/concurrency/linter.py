@@ -1,0 +1,107 @@
+"""Concurrency lint driver: files or whole packages -> :class:`LintReport`.
+
+Unlike the per-file SF linter, the CC rules are *whole-package*: the
+lock-order graph and ``requires`` contracts only make sense when every
+class in the package is indexed together, so :func:`lint_concurrency`
+accepts a directory and analyzes all ``*.py`` files under it as one
+unit.  Single files still work (the package is just that file).
+
+``# cc: ignore(CCxxx)`` pragmas suppress matching diagnostics on their
+line.  They are honored here for downstream users, but ``src/repro``
+itself must not contain any — the self-hosting test enforces that the
+shipped code passes the analyzer on discipline alone.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from ..diagnostics import Diagnostic, LintReport
+from .analyze import PackageAnalysis, analyze_sources
+from .graph import LockOrderGraph, build_graph
+from .rules import check_package
+
+__all__ = [
+    "collect_sources",
+    "analyze_target",
+    "lint_concurrency",
+    "lint_concurrency_source",
+    "lock_order_graph",
+]
+
+
+def collect_sources(target: str) -> list[tuple[str, str]]:
+    """``[(filename, source), ...]`` for a file or directory target."""
+    if os.path.isdir(target):
+        paths = []
+        for root, dirs, files in os.walk(target):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            paths.extend(
+                os.path.join(root, f) for f in sorted(files)
+                if f.endswith(".py")
+            )
+    else:
+        paths = [target]
+    sources = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources.append((path, handle.read()))
+        except OSError:
+            continue
+    return sources
+
+
+def analyze_target(
+    target: str,
+) -> tuple[PackageAnalysis, LockOrderGraph, list]:
+    analysis = analyze_sources(collect_sources(target))
+    graph, reentries = build_graph(analysis)
+    return analysis, graph, reentries
+
+
+def _suppressed(diag: Diagnostic, analysis: PackageAnalysis) -> bool:
+    if diag.file is None:
+        return False
+    codes = analysis.ignores.get(diag.file, {}).get(diag.line)
+    if codes is None:
+        return False
+    return any(diag.rule == code or (code == "CC" and diag.rule.startswith("CC"))
+               for code in codes)
+
+
+def _report(
+    target: str,
+    analysis: PackageAnalysis,
+    diagnostics: Iterable[Diagnostic],
+) -> LintReport:
+    report = LintReport(target=target)
+    ordered = sorted(
+        (d for d in diagnostics if not _suppressed(d, analysis)),
+        key=lambda d: (d.file or "", d.line, d.rule),
+    )
+    report.extend(ordered)
+    return report
+
+
+def lint_concurrency(target: str) -> LintReport:
+    """Run every CC rule over a file or package directory."""
+    analysis, graph, reentries = analyze_target(target)
+    return _report(target, analysis, check_package(analysis, graph, reentries))
+
+
+def lint_concurrency_source(
+    source: str, filename: str = "<string>"
+) -> LintReport:
+    """Run the CC rules over one in-memory module (for tests/tools)."""
+    analysis = analyze_sources([(filename, source)])
+    graph, reentries = build_graph(analysis)
+    return _report(filename, analysis,
+                   check_package(analysis, graph, reentries))
+
+
+def lock_order_graph(target: str) -> LockOrderGraph:
+    """Just the static lock-order graph for a file or package directory."""
+    _, graph, _ = analyze_target(target)
+    return graph

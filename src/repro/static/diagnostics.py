@@ -81,6 +81,31 @@ class LintReport:
     def extend(self, diags: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diags)
 
+    def filter(
+        self,
+        select: Sequence[str] = (),
+        ignore: Sequence[str] = (),
+    ) -> "LintReport":
+        """A copy keeping only rules matching ``select`` minus ``ignore``.
+
+        Codes are prefix-matched case-insensitively, so ``CC`` selects
+        every concurrency rule and ``CC1`` just the guarded-by family.
+        An empty ``select`` keeps everything.
+        """
+        selects = tuple(code.upper() for code in select)
+        ignores = tuple(code.upper() for code in ignore)
+
+        def keep(diag: Diagnostic) -> bool:
+            if selects and not diag.rule.upper().startswith(selects):
+                return False
+            return not (ignores and diag.rule.upper().startswith(ignores))
+
+        return LintReport(
+            target=self.target,
+            regions=self.regions,
+            diagnostics=[d for d in self.diagnostics if keep(d)],
+        )
+
     def at_least(self, severity: Severity) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity >= severity]
 

@@ -22,6 +22,7 @@ import importlib.util
 import os
 from typing import Optional
 
+from .concurrency.linter import collect_sources, lint_concurrency_source
 from .diagnostics import Diagnostic, LintReport, Severity
 from .inference import (
     RegionMeta,
@@ -29,12 +30,13 @@ from .inference import (
     infer_function,
     region_function_ast,
 )
-from .rules import RULES, run_rules
+from .rules import run_rules
 
 __all__ = [
     "discover_regions",
     "lint_source",
     "lint_path",
+    "lint_directory",
     "lint_region_fn",
     "lint_module",
     "resolve_target",
@@ -122,8 +124,11 @@ def _lint_one(
     return report, run_rules(func, meta, report, filename)
 
 
-def lint_source(source: str, filename: str = "<string>") -> LintReport:
-    """Pure-AST lint of a module's source text."""
+def lint_source(
+    source: str, filename: str = "<string>", *, concurrency: bool = True
+) -> LintReport:
+    """Pure-AST lint of a module's source text (SF rules plus, unless
+    disabled, the single-file concurrency CC rules)."""
     report = LintReport(target=filename)
     try:
         tree = ast.parse(source)
@@ -174,6 +179,8 @@ def lint_source(source: str, filename: str = "<string>") -> LintReport:
                 file=filename,
             )
         )
+    if concurrency:
+        report.extend(lint_concurrency_source(source, filename).diagnostics)
     return report
 
 
@@ -182,6 +189,26 @@ def lint_path(path: str) -> LintReport:
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     return lint_source(source, filename=path)
+
+
+def lint_directory(target: str) -> LintReport:
+    """Lint every ``*.py`` under a directory as one package.
+
+    SF rules run per file (the per-file "no regions" info is dropped —
+    most modules of a package rightly have none); CC rules run once over
+    the whole package so lock-order edges cross file boundaries.
+    """
+    from .concurrency.linter import lint_concurrency
+
+    report = LintReport(target=target)
+    names: list[str] = []
+    for path, source in collect_sources(target):
+        sub = lint_source(source, filename=path, concurrency=False)
+        names.extend(sub.regions)
+        report.extend(d for d in sub.diagnostics if d.rule != "SF001")
+    report.regions = tuple(names)
+    report.extend(lint_concurrency(target).diagnostics)
+    return report
 
 
 def lint_region_fn(fn) -> tuple[StaticRegionReport, list[Diagnostic]]:
@@ -220,7 +247,9 @@ def resolve_target(target: str) -> Optional[str]:
 
 
 def lint_module(target: str) -> LintReport:
-    """Lint a file path or dotted module name; never imports the target."""
+    """Lint a file, directory, or dotted module name; never imports it."""
+    if os.path.isdir(target):
+        return lint_directory(target)
     path = resolve_target(target)
     if path is None:
         report = LintReport(target=target)

@@ -37,7 +37,15 @@ SF205     error     unsupported construct (exec/eval/compile, dynamic
                     attribute access via [gs]etattr, globals()/locals(),
                     import inside the region, yield/await)
 SF206     warning   nested function/lambda closes over region-local state
+SF301     warning   static-only input (cross-validation, crossval.py)
+SF302     error     dynamic-only input (cross-validation)
+SF303     warning   static-only output (cross-validation)
+SF304     error     dynamic-only output (cross-validation)
 ========  ========  =====================================================
+
+Concurrency rules (CC1xx guarded-by, CC2xx lock order, CC3xx condvars,
+CC4xx lock-order cross-validation) are catalogued in
+:mod:`repro.static.concurrency.rules` and merged into :data:`RULES`.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ import builtins
 from typing import Iterator, Optional
 
 from ..extract.liveness import live_in
+from .concurrency.rules import CC_RULES
 from .diagnostics import Diagnostic, Severity
 from .inference import RegionMeta, StaticRegionReport, function_params
 
@@ -69,7 +78,12 @@ RULES: dict[str, tuple[Severity, str]] = {
     "SF204": (Severity.ERROR, "mutation of input argument not declared live_after"),
     "SF205": (Severity.ERROR, "unsupported construct in region"),
     "SF206": (Severity.WARNING, "closure over region-local state"),
+    "SF301": (Severity.WARNING, "static-only input (cross-validation)"),
+    "SF302": (Severity.ERROR, "dynamic-only input (cross-validation)"),
+    "SF303": (Severity.WARNING, "static-only output (cross-validation)"),
+    "SF304": (Severity.ERROR, "dynamic-only output (cross-validation)"),
 }
+RULES.update(CC_RULES)
 
 # call-name denylists (matched against the dotted source text of the callee)
 _NONDET_PREFIXES = (

@@ -1,0 +1,204 @@
+"""Tracked locks: order recording, wrappers, instrumentation, histograms."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.locks import (
+    LockOrderRecorder,
+    TrackedCondition,
+    TrackedLock,
+    instrument_object,
+    tracked_class_name,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+class TestRecorder:
+    def test_nested_acquire_records_edge(self):
+        rec = LockOrderRecorder()
+        rec.on_acquire("A")
+        rec.on_acquire("B")
+        rec.on_release("B")
+        rec.on_release("A")
+        assert rec.edges() == {("A", "B"): 1}
+
+    def test_counts_accumulate(self):
+        rec = LockOrderRecorder()
+        for _ in range(3):
+            rec.on_acquire("A")
+            rec.on_acquire("B")
+            rec.on_release("B")
+            rec.on_release("A")
+        assert rec.edges()[("A", "B")] == 3
+
+    def test_reentrant_reacquire_is_not_a_self_edge(self):
+        rec = LockOrderRecorder()
+        rec.on_acquire("A")
+        rec.on_acquire("A")      # RLock-style re-entry
+        rec.on_release("A")
+        rec.on_release("A")
+        assert rec.edges() == {}
+
+    def test_held_is_per_thread(self):
+        rec = LockOrderRecorder()
+        rec.on_acquire("A")
+        seen = {}
+
+        def other():
+            seen["held"] = rec.held()
+            rec.on_acquire("B")      # no A on this thread: no edge
+            rec.on_release("B")
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert seen["held"] == ()
+        assert rec.edges() == {}
+        assert rec.held() == ("A",)
+        rec.on_release("A")
+
+    def test_reset_clears_edges(self):
+        rec = LockOrderRecorder()
+        rec.on_acquire("A")
+        rec.on_acquire("B")
+        rec.reset()
+        assert rec.edges() == {}
+
+
+class TestTrackedLock:
+    def test_context_manager_records_order(self):
+        rec = LockOrderRecorder()
+        a = TrackedLock(threading.Lock(), "X._a", recorder=rec)
+        b = TrackedLock(threading.Lock(), "X._b", recorder=rec)
+        with a:
+            with b:
+                pass
+        assert rec.edges() == {("X._a", "X._b"): 1}
+
+    def test_acquire_release_protocol(self):
+        rec = LockOrderRecorder()
+        lock = TrackedLock(threading.Lock(), "X._a", recorder=rec)
+        assert lock.acquire()
+        assert lock.locked()
+        assert rec.held() == ("X._a",)
+        lock.release()
+        assert not lock.locked()
+        assert rec.held() == ()
+
+    def test_nonblocking_failure_records_nothing(self):
+        rec = LockOrderRecorder()
+        inner = threading.Lock()
+        inner.acquire()
+        lock = TrackedLock(inner, "X._a", recorder=rec)
+        assert not lock.acquire(blocking=False)
+        assert rec.held() == ()
+        inner.release()
+
+    def test_wait_and_held_histograms_observed(self):
+        lock = TrackedLock(threading.Lock(), "X._a", recorder=LockOrderRecorder())
+        with lock:
+            pass
+        registry = obs.get_registry()
+        wait = registry.histogram("repro_lock_wait_seconds", labels=("lock",))
+        held = registry.histogram("repro_lock_held_seconds", labels=("lock",))
+        assert wait.count(lock="X._a") == 1
+        assert held.count(lock="X._a") == 1
+
+    def test_histograms_skipped_when_disabled(self):
+        obs.configure(enabled=False)
+        lock = TrackedLock(threading.Lock(), "X._a", recorder=LockOrderRecorder())
+        with lock:
+            pass
+        registry = obs.get_registry()
+        wait = registry.histogram("repro_lock_wait_seconds", labels=("lock",))
+        assert wait.count(lock="X._a") == 0
+
+
+class TestTrackedCondition:
+    def test_wait_notify_roundtrip(self):
+        rec = LockOrderRecorder()
+        cond = TrackedCondition(threading.Condition(), "Q._cond", recorder=rec)
+        ready = []
+
+        def consumer():
+            with cond:
+                while not ready:
+                    cond.wait(timeout=5.0)
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        with cond:
+            ready.append(1)
+            cond.notify()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        # wait time lands in the wait histogram alongside acquire time
+        wait = obs.get_registry().histogram(
+            "repro_lock_wait_seconds", labels=("lock",)
+        )
+        assert wait.count(lock="Q._cond") >= 3  # 2 acquires + 1 wait
+
+    def test_wait_for_predicate(self):
+        cond = TrackedCondition(
+            threading.Condition(), "Q._cond", recorder=LockOrderRecorder()
+        )
+        items = [1]
+        with cond:
+            assert cond.wait_for(lambda: items, timeout=1.0)
+
+
+class TestInstrumentObject:
+    class Sample:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._rlock = threading.RLock()
+            self._cond = threading.Condition()
+            self.data = []
+
+    def test_wraps_all_lock_attributes(self):
+        obj = self.Sample()
+        wrapped = instrument_object(obj, recorder=LockOrderRecorder())
+        assert wrapped == {
+            "_lock": "Sample._lock",
+            "_rlock": "Sample._rlock",
+            "_cond": "Sample._cond",
+        }
+        assert isinstance(obj._lock, TrackedLock)
+        assert isinstance(obj._rlock, TrackedLock)
+        assert isinstance(obj._cond, TrackedCondition)
+        assert obj.data == []  # non-lock attributes untouched
+
+    def test_attrs_filter_and_idempotence(self):
+        obj = self.Sample()
+        rec = LockOrderRecorder()
+        assert instrument_object(obj, ["_lock"], recorder=rec) == {
+            "_lock": "Sample._lock"
+        }
+        assert not isinstance(obj._cond, TrackedCondition)
+        # second pass skips the already-wrapped attribute
+        assert instrument_object(obj, ["_lock"], recorder=rec) == {}
+
+    def test_names_match_static_identity_convention(self):
+        obj = self.Sample()
+        assert tracked_class_name(obj) == "Sample"
+        wrapped = instrument_object(
+            obj, ["_cond"], recorder=LockOrderRecorder(), prefix="_RequestQueue"
+        )
+        assert wrapped == {"_cond": "_RequestQueue._cond"}
+
+    def test_wrapped_locks_record_through_given_recorder(self):
+        obj = self.Sample()
+        rec = LockOrderRecorder()
+        instrument_object(obj, recorder=rec)
+        with obj._lock:
+            with obj._cond:
+                pass
+        assert rec.edges() == {("Sample._lock", "Sample._cond"): 1}

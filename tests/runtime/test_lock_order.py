@@ -1,0 +1,212 @@
+"""Dynamic lock-order recording cross-validated against the static graph,
+plus regressions for the races the CC analyzer caught in the serving stack."""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.locks import LockOrderRecorder, TrackedCondition, instrument_object
+from repro.runtime import InferenceRequest, Orchestrator
+from repro.runtime.guard import GuardStats
+from repro.runtime.orchestrator import _RequestQueue
+from repro.static import cross_validate_lock_orders, lock_order_graph
+
+PACKAGE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src", "repro"
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+@pytest.fixture(scope="module")
+def static_graph():
+    return lock_order_graph(PACKAGE_DIR)
+
+
+class TestLockOrderCrossValidation:
+    def test_recorded_serving_edges_subset_of_static_graph(self, static_graph):
+        """Every lock nesting real traffic exercises must be a static edge."""
+        recorder = LockOrderRecorder()
+        orc = Orchestrator(max_batch_size=4, max_wait_ms=5.0, num_workers=2)
+        instrument_object(orc, recorder=recorder)
+        instrument_object(orc._queue, recorder=recorder)
+        orc.register_model("double", lambda x: np.asarray(x) * 2.0)
+        orc.start()
+        try:
+            requests = []
+            for i in range(6):
+                orc.put_tensor(f"in{i}", np.full(3, float(i)))
+                requests.append(
+                    InferenceRequest("double", (f"in{i}",), (f"out{i}",))
+                )
+            orc.submit(requests[0])
+            orc.submit_many(requests[1:])
+            for req in requests:
+                assert req.done.wait(timeout=10.0)
+                assert req.error is None
+        finally:
+            orc.stop()
+
+        recorded = recorder.edges()
+        assert recorded, "traffic should nest at least one lock pair"
+        xval = cross_validate_lock_orders(static_graph, recorded)
+        assert xval.agrees, xval.summary()
+        # the submit path's nesting is the edge we specifically modeled
+        assert ("Orchestrator._state_lock", "_RequestQueue._cond") in recorded
+
+    def test_static_graph_is_acyclic(self, static_graph):
+        assert static_graph.cycles() == []
+
+
+class TestQsizeRegression:
+    def test_qsize_acquires_the_condition(self):
+        # regression: qsize() used to read len(self._items) bare; taking
+        # the condition shows up as one held-histogram observation
+        q = _RequestQueue()
+        instrument_object(q, recorder=LockOrderRecorder())
+        assert isinstance(q._cond, TrackedCondition)
+        held = obs.get_registry().histogram(
+            "repro_lock_held_seconds", labels=("lock",)
+        )
+        before = held.count(lock="_RequestQueue._cond")
+        assert q.qsize() == 0
+        assert held.count(lock="_RequestQueue._cond") == before + 1
+
+
+class TestGetBatchTimeoutEdges:
+    def test_spurious_wakeups_do_not_extend_the_deadline(self):
+        # regression shape: the wait must recompute remaining time from
+        # one fixed deadline, not restart max_wait per wakeup
+        q = _RequestQueue()
+        q.put(InferenceRequest("m", ("a",), ("b",)))
+        result = {}
+
+        def drain():
+            start = time.monotonic()
+            batch, waited = q.get_batch(max_items=8, max_wait=0.3)
+            result["elapsed"] = time.monotonic() - start
+            result["batch"] = batch
+            result["waited"] = waited
+
+        t = threading.Thread(target=drain)
+        t.start()
+        deadline = time.monotonic() + 2.0
+        while not result and time.monotonic() < deadline:
+            with q._cond:           # spurious wakeup: notify, no item
+                q._cond.notify_all()
+            time.sleep(0.02)
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert len(result["batch"]) == 1
+        # ~15 spurious wakeups: a per-wakeup restart would take >= 2s
+        assert result["elapsed"] < 1.0
+        assert 0.0 < result["waited"] < 1.0
+
+    def test_zero_wait_drains_without_blocking(self):
+        q = _RequestQueue()
+        for i in range(3):
+            q.put(InferenceRequest("m", (f"a{i}",), (f"b{i}",)))
+        start = time.monotonic()
+        batch, waited = q.get_batch(max_items=8, max_wait=0.0)
+        assert len(batch) == 3
+        assert time.monotonic() - start < 0.1
+        assert waited < 0.1
+
+    def test_deep_queue_never_touches_the_clock(self):
+        q = _RequestQueue()
+        for i in range(8):
+            q.put(InferenceRequest("m", (f"a{i}",), (f"b{i}",)))
+        batch, waited = q.get_batch(max_items=4, max_wait=10.0)
+        assert len(batch) == 4
+        assert waited == 0.0
+
+    def test_sentinel_mid_drain_is_pushed_back(self):
+        q = _RequestQueue()
+        req = InferenceRequest("m", ("a",), ("b",))
+        q.put(req)
+        q.put(None)
+        batch, _ = q.get_batch(max_items=8, max_wait=0.0)
+        assert batch == [req]
+        # the sentinel is back at the head for the next worker
+        assert q.get_batch(max_items=8, max_wait=0.0) == (None, 0.0)
+
+    def test_one_sentinel_wakes_each_blocked_worker(self):
+        q = _RequestQueue()
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(q.get_batch(4, 0.1))
+            )
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)        # let all three block in wait()
+        for _ in threads:
+            q.put(None)
+        for t in threads:
+            t.join(timeout=5.0)
+            assert not t.is_alive()
+        assert results == [(None, 0.0)] * 3
+
+
+class TestStartStopRegression:
+    def test_blocking_start_survives_concurrent_stop(self):
+        # regression: start(block=True) used to iterate self._workers
+        # after dropping the state lock, racing stop()'s swap-to-empty
+        orc = Orchestrator(num_workers=2)
+        blocker = threading.Thread(target=orc.start, kwargs={"block": True})
+        blocker.start()
+        time.sleep(0.05)
+        orc.stop()
+        blocker.join(timeout=5.0)
+        assert not blocker.is_alive()
+        assert not orc.is_running
+
+
+class TestGuardStatsRegression:
+    def test_fallback_rate_never_tears(self):
+        # regression: fallback_rate read both counters bare; sampling it
+        # mid-record could pair a fresh numerator with a stale denominator
+        stats = GuardStats()
+        stop = threading.Event()
+        samples = []
+
+        def reader():
+            while not stop.is_set():
+                samples.append(stats.fallback_rate)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for _ in range(2000):
+            stats.record(fallback=True)
+        stop.set()
+        t.join(timeout=5.0)
+        # every record is a fallback: a coherent snapshot is exactly 1.0
+        # (or 0.0 before the first record) at every instant
+        assert all(s in (0.0, 1.0) for s in samples)
+        assert stats.fallback_rate == 1.0
+
+
+class TestTracerResetRegression:
+    def test_reset_swaps_epoch_and_spans_together(self):
+        # regression: reset() cleared _finished under the lock but wrote
+        # epoch outside it; both now move in one critical section
+        tracer = obs.TELEMETRY.tracer
+        with tracer.span("work"):
+            pass
+        assert tracer.finished_spans()
+        old_epoch = tracer.epoch
+        time.sleep(0.002)
+        tracer.reset()
+        assert tracer.finished_spans() == []
+        assert tracer.epoch > old_epoch

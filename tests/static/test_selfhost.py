@@ -11,9 +11,10 @@ import os
 import pytest
 
 from repro.apps import ALL_APPLICATIONS
-from repro.static import Severity, lint_path, lint_region_fn
+from repro.static import Severity, lint_concurrency, lint_path, lint_region_fn
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+PACKAGE_DIR = os.path.join(REPO_ROOT, "src", "repro")
 APP_FILES = sorted(glob.glob(os.path.join(REPO_ROOT, "src", "repro", "apps", "*.py")))
 EXAMPLE_FILES = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.py")))
 
@@ -40,3 +41,34 @@ def test_region_fn_lints_clean(app_cls):
     # the region's declared outputs are all statically derivable
     assert static_report.outputs
     assert static_report.inputs
+
+
+class TestConcurrencySelfhost:
+    """The serving stack must pass its own lock analyzer — on discipline
+    alone, with zero ``# cc: ignore`` escapes."""
+
+    def test_package_is_cc_clean(self):
+        report = lint_concurrency(PACKAGE_DIR)
+        noisy = report.at_least(Severity.INFO)
+        assert not noisy, "\n".join(d.format() for d in noisy)
+
+    def test_no_suppressions_anywhere_in_package(self):
+        # tokenize-level check: docstrings *documenting* the pragma are
+        # fine, an actual `# cc: ignore(...)` comment is not
+        from repro.static.concurrency import analyze_target
+
+        analysis, _, _ = analyze_target(PACKAGE_DIR)
+        offenders = [
+            f"{path}:{line}"
+            for path, lines in sorted(analysis.ignores.items())
+            for line in sorted(lines)
+        ]
+        assert not offenders, offenders
+
+    def test_static_graph_covers_serving_stack(self):
+        # the edges the runtime crossval test exercises must exist statically
+        from repro.static import lock_order_graph
+
+        edges = lock_order_graph(PACKAGE_DIR).edge_set()
+        assert ("Orchestrator._state_lock", "_RequestQueue._cond") in edges
+        assert ("Orchestrator._state_lock", "Orchestrator._lock") in edges
