@@ -1,0 +1,153 @@
+"""Compiled-plan inference benchmark: trace-and-compile vs interpreted.
+
+The ISSUE-7 acceptance bar: on a realistic MLP surrogate (encoder +
+surrogate chain), the compiled plan must serve both single-row and
+batch-32 inference strictly faster than the interpreted
+``SurrogatePackage.predict`` path — while staying bit-identical under
+``batch_invariant()``.  The speedup comes purely from partial
+evaluation: no ``Tensor`` wrappers, no autograd bookkeeping, fused
+Dense/activation steps, and preallocated scratch — the float ops are
+unchanged, which is what makes the bit-identity assertion possible.
+
+Results are written to ``BENCH_infer.json`` (override with
+``REPRO_INFER_BENCH_JSON``).
+
+Environment knobs (the CI smoke job runs the defaults):
+
+* ``REPRO_INFER_BENCH_MIN_SPEEDUP`` — assertion threshold (default 1.0,
+  i.e. compiled must be strictly better)
+* ``REPRO_INFER_BENCH_ITERS``       — timed iterations per measurement
+  (default 300)
+
+Run standalone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_compile_speedup.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.autoencoder.model import Autoencoder
+from repro.compile import compile_package
+from repro.nas.package import SurrogatePackage
+from repro.nn.cnn import build_model
+from repro.nn.mlp import Topology
+from repro.nn.tensor import batch_invariant
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_INFER_BENCH_MIN_SPEEDUP", "1.0"))
+ITERS = int(os.environ.get("REPRO_INFER_BENCH_ITERS", "300"))
+JSON_PATH = os.environ.get("REPRO_INFER_BENCH_JSON", "BENCH_infer.json")
+
+#: paper-shaped serving chain: 64 raw features -> 16 latent -> (64, 32) MLP
+DIN, LATENT, DOUT = 64, 16, 8
+HIDDEN = (64, 32)
+BATCH = 32
+#: best-of-N repetitions per configuration to absorb scheduler noise
+TRIALS = 5
+
+
+@pytest.fixture(scope="module")
+def package():
+    rng = np.random.default_rng(11)
+    topology = Topology(hidden=HIDDEN, activation="relu")
+    model = build_model(LATENT, DOUT, topology)
+    for p in model.parameters():
+        p.data = rng.standard_normal(p.data.shape) * 0.1
+    ae = Autoencoder(DIN, LATENT, depth=1)
+    for p in ae.parameters():
+        p.data = rng.standard_normal(p.data.shape) * 0.1
+    return SurrogatePackage(
+        model=model, topology=topology, input_dim=DIN, output_dim=DOUT,
+        autoencoder=ae,
+    )
+
+
+def best_latency(fn, x) -> float:
+    """Best-of-TRIALS mean seconds per call over ITERS timed iterations."""
+    fn(x)  # warm scratch buffers and any lazy state before the clock
+    best = float("inf")
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        for _ in range(ITERS):
+            fn(x)
+        best = min(best, (time.perf_counter() - start) / ITERS)
+    return best
+
+
+def interpreted(package):
+    def run(x):
+        with batch_invariant():
+            return package.predict(x)
+
+    return run
+
+
+class TestCompiledInference:
+    def test_compiled_beats_interpreted_and_is_bit_identical(self, package):
+        plan = compile_package(package, batch_invariant=True)
+        single = np.random.default_rng(3).standard_normal(DIN)
+        batch = np.random.default_rng(4).standard_normal((BATCH, DIN))
+
+        # correctness first: byte-identical outputs on both shapes
+        with batch_invariant():
+            np.testing.assert_array_equal(plan.predict(single), package.predict(single))
+            np.testing.assert_array_equal(plan.predict(batch), package.predict(batch))
+
+        baseline = interpreted(package)
+        t_single_interp = best_latency(baseline, single)
+        t_single_plan = best_latency(plan.predict, single)
+        t_batch_interp = best_latency(baseline, batch)
+        t_batch_plan = best_latency(plan.predict, batch)
+
+        speedup_single = t_single_interp / t_single_plan
+        speedup_batch = t_batch_interp / t_batch_plan
+        print(
+            f"\nsingle-row: interpreted {t_single_interp * 1e6:.1f}us | "
+            f"compiled {t_single_plan * 1e6:.1f}us | {speedup_single:.2f}x"
+        )
+        print(
+            f"batch-{BATCH}:   interpreted {t_batch_interp * 1e6:.1f}us | "
+            f"compiled {t_batch_plan * 1e6:.1f}us | {speedup_batch:.2f}x"
+        )
+
+        report = {
+            "input_dim": DIN,
+            "latent_dim": LATENT,
+            "hidden": list(HIDDEN),
+            "output_dim": DOUT,
+            "batch": BATCH,
+            "iters": ITERS,
+            "trials": TRIALS,
+            "min_speedup": MIN_SPEEDUP,
+            "single_row": {
+                "interpreted_s": t_single_interp,
+                "compiled_s": t_single_plan,
+                "speedup": speedup_single,
+            },
+            "batch_32": {
+                "interpreted_s": t_batch_interp,
+                "compiled_s": t_batch_plan,
+                "speedup": speedup_batch,
+            },
+            "bit_identical": True,
+            "plan_steps": plan.num_steps(),
+        }
+        with open(JSON_PATH, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {JSON_PATH}")
+
+        assert speedup_single > MIN_SPEEDUP, (
+            f"compiled single-row inference only {speedup_single:.2f}x the "
+            f"interpreted path (required > {MIN_SPEEDUP}x)"
+        )
+        assert speedup_batch > MIN_SPEEDUP, (
+            f"compiled batch-{BATCH} inference only {speedup_batch:.2f}x the "
+            f"interpreted path (required > {MIN_SPEEDUP}x)"
+        )

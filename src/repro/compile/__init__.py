@@ -1,0 +1,33 @@
+"""Trace-and-compile inference for the surrogate serving hot path.
+
+JAX-style trace -> specialize -> cache, scaled to this repo's NumPy
+stack: :func:`compile_package` partially evaluates a surrogate package
+into a flat :class:`CompiledPlan` (weights folded, Dense/activation
+fused, scratch preallocated) and :class:`PlanCache` persists plans
+across restarts, content-addressed by registry digest + specialization
+key.  The orchestrator consults both transparently and falls back to
+the interpreted path on :class:`UntraceableModelError`.
+"""
+
+from .cache import PlanCache, package_digest, plan_key, warm_plan_cache
+from .plan import (
+    PLAN_SCHEMA_VERSION,
+    CompiledPlan,
+    UntraceableModelError,
+    compile_package,
+    plan_from_payload,
+    plan_payload,
+)
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "CompiledPlan",
+    "UntraceableModelError",
+    "compile_package",
+    "plan_payload",
+    "plan_from_payload",
+    "PlanCache",
+    "package_digest",
+    "plan_key",
+    "warm_plan_cache",
+]

@@ -1,0 +1,391 @@
+"""Plan IR + compiler: partial evaluation of a surrogate forward pass.
+
+The serving hot path interprets the autograd layer graph on every
+micro-batch: each ``Dense`` builds ``Tensor`` wrappers, allocates an
+output for the matmul, another for the bias add, and each ``Activation``
+allocates again.  None of that bookkeeping depends on the input — only
+on the *specialization key* ``(model, version, input shape, dtype,
+batch_invariant)`` — so it can all be done once, ahead of time.
+
+``compile_package`` traces a :class:`~repro.nas.package.SurrogatePackage`
+through the declarative ``trace_spec`` hooks on :mod:`repro.nn.layers`
+and partially evaluates the module tree into a :class:`CompiledPlan`: a
+flat list of steps with the weights and biases captured as plain
+``ndarray`` constants, each adjacent Dense/Activation pair fused into a
+single gemm step, and scratch buffers preallocated per thread and
+reused across calls.  Only the autograd/Python overhead is compiled
+away — **every floating-point operation runs in the exact order the
+interpreted path runs it**, so under :func:`repro.nn.batch_invariant`
+the compiled outputs are bit-identical to ``package.predict``:
+
+* ``x @ W`` executes as the same ``np.einsum("ij,jk->ik")`` (invariant
+  mode) or BLAS ``matmul`` (fast mode), merely writing into a
+  preallocated ``out`` instead of allocating;
+* ``+ bias`` is the same broadcast add, in place;
+* activations replay the exact expressions of
+  :class:`repro.nn.tensor.Tensor` (e.g. sigmoid's clip/negate/exp/add/
+  divide chain) element-wise in place.
+
+No algebraic rewrites (no ``W1 @ W2`` folding) are performed — those
+would change summation orders and break the bit-identity guarantee the
+micro-batching server is built on.
+
+A module that returns ``None`` from ``trace_spec`` (the CNN family, CSR
+sparse paths) raises :class:`UntraceableModelError`; the orchestrator
+catches it and keeps serving that model on the interpreted path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "UntraceableModelError",
+    "CompiledPlan",
+    "compile_package",
+    "plan_payload",
+    "plan_from_payload",
+]
+
+#: bump when the step semantics or payload layout change — the schema
+#: version is folded into every cache key, so old persisted plans are
+#: invalidated for free instead of misinterpreted
+PLAN_SCHEMA_VERSION = 1
+
+#: matches the default of :meth:`repro.nn.tensor.Tensor.leaky_relu`
+_LEAKY_SLOPE = 0.01
+
+
+class UntraceableModelError(TypeError):
+    """The module tree holds a layer with no ``trace_spec`` (CNNs, etc.)."""
+
+
+def _act_inplace(kind: str, out: np.ndarray) -> None:
+    """Apply an activation in place, replaying the Tensor op expressions."""
+    if kind == "relu":
+        np.multiply(out, out > 0, out=out)
+    elif kind == "tanh":
+        np.tanh(out, out=out)
+    elif kind == "sigmoid":
+        # 1 / (1 + exp(-clip(x))) with the same clip bounds as Tensor.sigmoid
+        np.clip(out, -60.0, 60.0, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.divide(1.0, out, out=out)
+    elif kind == "leaky_relu":
+        np.multiply(out, np.where(out > 0, 1.0, _LEAKY_SLOPE), out=out)
+    # identity: nothing to do
+
+
+class _GemmStep:
+    """Fused ``y = act(x @ W + b)`` with weights folded as constants.
+
+    The fusion removes three intermediate allocations per layer pair but
+    keeps the float ops verbatim: einsum/matmul into ``out``, in-place
+    broadcast bias add, in-place activation.
+    """
+
+    __slots__ = ("weight", "bias", "act", "out_dim")
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray, act: str = "identity") -> None:
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.bias = np.ascontiguousarray(bias, dtype=np.float64)
+        self.act = act
+        self.out_dim = int(self.weight.shape[1])
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        if invariant:
+            # fixed per-element reduction order: rows are independent of
+            # batch size, exactly like the interpreted batch_invariant path
+            np.einsum("ij,jk->ik", x, self.weight, out=out)
+        else:
+            np.matmul(x, self.weight, out=out)
+        out += self.bias
+        _act_inplace(self.act, out)
+
+
+class _ActStep:
+    """A standalone activation (no preceding Dense to fuse into)."""
+
+    __slots__ = ("act", "out_dim")
+
+    def __init__(self, act: str, out_dim: int) -> None:
+        self.act = act
+        self.out_dim = int(out_dim)
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        if self.act == "relu":
+            np.multiply(x, x > 0, out=out)
+        elif self.act == "tanh":
+            np.tanh(x, out=out)
+        elif self.act == "sigmoid":
+            np.clip(x, -60.0, 60.0, out=out)
+            np.negative(out, out=out)
+            np.exp(out, out=out)
+            out += 1.0
+            np.divide(1.0, out, out=out)
+        elif self.act == "leaky_relu":
+            np.multiply(x, np.where(x > 0, 1.0, _LEAKY_SLOPE), out=out)
+        else:
+            np.copyto(out, x)
+
+
+class _ResidualStep:
+    """``y = inner(x) + x`` with the inner chain compiled recursively.
+
+    The inner steps write their final result straight into ``out`` and
+    the skip connection is added in place — the same elementwise add the
+    interpreted ``Residual.forward`` performs.
+    """
+
+    __slots__ = ("steps", "out_dim", "_tls")
+
+    def __init__(self, steps: list, out_dim: int) -> None:
+        self.steps = list(steps)
+        self.out_dim = int(out_dim)
+        self._tls = threading.local()
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        if not self.steps:
+            np.add(x, x, out=out)  # Residual(identity): inner(x) + x == 2x
+            return
+        _run_steps(self.steps, x, out, invariant, self._tls)
+        out += x
+
+
+def _scratch_buffers(tls: threading.local, steps: list, batch: int) -> list:
+    """Per-thread intermediate buffers, regrown when a deeper batch arrives.
+
+    Buffers are thread-local so concurrent serving workers never share a
+    scratch array — the executor takes no lock on the hot path.
+    """
+    bufs = getattr(tls, "bufs", None)
+    if bufs is None or any(b.shape[0] < batch for b in bufs):
+        capacity = max(batch, 32)
+        bufs = [np.empty((capacity, step.out_dim)) for step in steps[:-1]]
+        tls.bufs = bufs
+    return bufs
+
+
+def _run_steps(
+    steps: list,
+    x: np.ndarray,
+    out: np.ndarray,
+    invariant: bool,
+    tls: threading.local,
+) -> None:
+    """Run a step chain: intermediates into scratch, the last into ``out``."""
+    batch = x.shape[0]
+    bufs = _scratch_buffers(tls, steps, batch)
+    cur = x
+    last = len(steps) - 1
+    for i, step in enumerate(steps):
+        target = out if i == last else bufs[i][:batch]
+        step.run(cur, target, invariant)
+        cur = target
+
+
+class CompiledPlan:
+    """A specialized, flat executable form of one surrogate package.
+
+    ``predict`` replicates the :meth:`SurrogatePackage.predict` contract
+    exactly — 1-D input is one sample returning ``(output_dim,)``, 2-D
+    input is a stacked batch, wrong feature counts raise ``ValueError``
+    — so the orchestrator can substitute a plan for the package without
+    any caller noticing (except in the latency histograms).
+
+    The plan is specialized on ``batch_invariant`` at compile time; it
+    does not consult the thread-local mode at run time.  The returned
+    output array is freshly allocated per call (never a view of the
+    plan's scratch), so callers may keep or mutate it freely.
+    """
+
+    def __init__(
+        self,
+        steps: list,
+        *,
+        input_dim: int,
+        output_dim: int,
+        batch_invariant: bool = True,
+    ) -> None:
+        self.steps = list(steps)
+        self.input_dim = int(input_dim)
+        self.output_dim = int(output_dim)
+        self.batch_invariant = bool(batch_invariant)
+        self._tls = threading.local()
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        single = x.ndim == 1
+        if x.shape[-1] != self.input_dim:
+            raise ValueError(
+                f"surrogate expects {self.input_dim} input features, "
+                f"got input of shape {x.shape}"
+            )
+        x2 = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float64)
+        if not self.steps:
+            out = x2.copy()
+        else:
+            out = np.empty((x2.shape[0], self.output_dim))
+            _run_steps(self.steps, x2, out, self.batch_invariant, self._tls)
+        return out[0] if single else out
+
+    __call__ = predict
+
+    def num_steps(self) -> int:
+        """Flat step count (residual inners included), for introspection."""
+
+        def count(steps: list) -> int:
+            total = 0
+            for step in steps:
+                total += 1
+                if isinstance(step, _ResidualStep):
+                    total += count(step.steps)
+            return total
+
+        return count(self.steps)
+
+
+# -- tracing ---------------------------------------------------------------
+
+
+def _flatten_spec(module) -> list:
+    """Lower a module tree to a flat op list via its ``trace_spec`` hooks."""
+    spec = module.trace_spec() if hasattr(module, "trace_spec") else None
+    if spec is None:
+        raise UntraceableModelError(
+            f"{type(module).__name__} declares no trace_spec; "
+            "this model serves on the interpreted path"
+        )
+    kind = spec[0]
+    if kind == "sequential":
+        ops: list = []
+        for child in spec[1]:
+            ops.extend(_flatten_spec(child))
+        return ops
+    if kind == "residual":
+        return [("residual", _flatten_spec(spec[1]))]
+    if kind in ("dense", "activation"):
+        return [spec]
+    raise UntraceableModelError(f"unknown trace spec kind {kind!r}")
+
+
+def _build_steps(ops: list, in_dim: int) -> list:
+    """Partial evaluation: fold constants, fuse Dense+Activation pairs."""
+    steps: list = []
+    dim = in_dim
+    i = 0
+    while i < len(ops):
+        op = ops[i]
+        if op[0] == "dense":
+            act = "identity"
+            if i + 1 < len(ops) and ops[i + 1][0] == "activation":
+                act = ops[i + 1][1]
+                i += 1
+            step = _GemmStep(op[1], op[2], act)
+            steps.append(step)
+            dim = step.out_dim
+        elif op[0] == "activation":
+            steps.append(_ActStep(op[1], dim))
+        else:  # residual (the only other kind _flatten_spec emits)
+            steps.append(_ResidualStep(_build_steps(op[1], dim), dim))
+        i += 1
+    return steps
+
+
+def compile_package(package, *, batch_invariant: bool = True) -> CompiledPlan:
+    """Trace and partially evaluate a surrogate package into a plan.
+
+    The optional autoencoder's encoder is traced first (dense batches
+    run it through the same Dense/Activation layers), then the
+    surrogate model; the whole chain compiles into one flat plan.
+    Raises :class:`UntraceableModelError` for module trees that expose
+    no ``trace_spec`` (e.g. the CNN family).
+    """
+    ops: list = []
+    if package.autoencoder is not None:
+        ops.extend(_flatten_spec(package.autoencoder.encoder))
+    ops.extend(_flatten_spec(package.model))
+    steps = _build_steps(ops, package.input_dim)
+    return CompiledPlan(
+        steps,
+        input_dim=package.input_dim,
+        output_dim=package.output_dim,
+        batch_invariant=batch_invariant,
+    )
+
+
+# -- persistence payload ----------------------------------------------------
+
+
+def plan_payload(plan: CompiledPlan) -> tuple[dict, dict]:
+    """Lower a plan to ``(json-safe meta, arrays)`` for the npz codec."""
+    arrays: dict[str, np.ndarray] = {}
+
+    def encode(steps: list, prefix: str) -> list:
+        encoded = []
+        for i, step in enumerate(steps):
+            tag = f"{prefix}{i}"
+            if isinstance(step, _GemmStep):
+                arrays[f"w_{tag}"] = step.weight
+                arrays[f"b_{tag}"] = step.bias
+                encoded.append({"kind": "gemm", "act": step.act, "id": tag})
+            elif isinstance(step, _ActStep):
+                encoded.append({"kind": "act", "act": step.act, "dim": step.out_dim})
+            else:
+                encoded.append(
+                    {
+                        "kind": "residual",
+                        "dim": step.out_dim,
+                        "steps": encode(step.steps, tag + "_"),
+                    }
+                )
+        return encoded
+
+    meta = {
+        "schema": PLAN_SCHEMA_VERSION,
+        "input_dim": plan.input_dim,
+        "output_dim": plan.output_dim,
+        "batch_invariant": plan.batch_invariant,
+        "steps": encode(plan.steps, "s"),
+    }
+    return meta, arrays
+
+
+def plan_from_payload(meta: dict, arrays: dict) -> CompiledPlan:
+    """Rebuild a plan from a persisted payload (float64 arrays round-trip
+    exactly through npz, so a disk hit is bit-identical to the plan it
+    memoizes)."""
+    if meta.get("schema") != PLAN_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported plan schema {meta.get('schema')!r} "
+            f"(this build executes schema {PLAN_SCHEMA_VERSION})"
+        )
+
+    def decode(specs: list) -> list:
+        steps: list = []
+        for spec in specs:
+            if spec["kind"] == "gemm":
+                steps.append(
+                    _GemmStep(
+                        arrays[f"w_{spec['id']}"],
+                        arrays[f"b_{spec['id']}"],
+                        spec["act"],
+                    )
+                )
+            elif spec["kind"] == "act":
+                steps.append(_ActStep(spec["act"], spec["dim"]))
+            else:
+                steps.append(_ResidualStep(decode(spec["steps"]), spec["dim"]))
+        return steps
+
+    return CompiledPlan(
+        decode(meta["steps"]),
+        input_dim=meta["input_dim"],
+        output_dim=meta["output_dim"],
+        batch_invariant=meta["batch_invariant"],
+    )

@@ -34,7 +34,6 @@ Hits and misses are counted in ``repro.obs`` as
 
 from __future__ import annotations
 
-import hashlib
 import json
 import threading
 from dataclasses import dataclass
@@ -45,21 +44,12 @@ import numpy as np
 
 from .. import obs
 from ..autoencoder.model import Autoencoder
+from ..core.digest import content_key, fingerprint_array
 from ..registry import formats
 from ..registry.artifacts import KIND_AE_CACHE
 from ..registry.store import ArtifactNotFoundError, ModelRegistry, RegistryError
 
 __all__ = ["CachedEncoding", "AutoencoderCache", "fingerprint_array"]
-
-
-def fingerprint_array(a: np.ndarray) -> str:
-    """SHA-256 digest of an array's dtype, shape and contents."""
-    a = np.ascontiguousarray(a)
-    h = hashlib.sha256()
-    h.update(str(a.dtype).encode())
-    h.update(str(a.shape).encode())
-    h.update(a.tobytes())
-    return h.hexdigest()
 
 
 @dataclass
@@ -102,7 +92,7 @@ class AutoencoderCache:
         seed: int,
     ) -> str:
         """Content address of one training run (data + config + seed)."""
-        payload = json.dumps(
+        return content_key(
             {
                 "data": fingerprint_array(x),
                 "k": int(k),
@@ -113,10 +103,8 @@ class AutoencoderCache:
                 "lr": float(lr),
                 "encoding_loss": float(encoding_loss),
                 "seed": int(seed),
-            },
-            sort_keys=True,
+            }
         )
-        return hashlib.sha256(payload.encode()).hexdigest()
 
     # -- lookup ----------------------------------------------------------------
 

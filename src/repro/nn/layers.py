@@ -12,7 +12,7 @@ directly in compressed form, so sparse HPC inputs never get densified.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -69,6 +69,23 @@ class Module:
         """Output feature dimension given an input feature dimension."""
         return input_dim
 
+    def trace_spec(self) -> Optional[tuple]:
+        """Declarative forward description for the plan compiler.
+
+        The compiler (:mod:`repro.compile`) partially evaluates a module
+        tree into a flat execution plan by consuming these specs instead
+        of importing layer classes — the nn layer stays the single owner
+        of its forward semantics, and a layer that returns ``None`` is
+        simply untraceable (the serving path falls back to interpreting
+        it).  Spec forms::
+
+            ("dense", weight_ndarray, bias_ndarray)   # y = x @ W + b
+            ("activation", kind)                      # elementwise by name
+            ("residual", inner_module)                # y = inner(x) + x
+            ("sequential", [module, ...])             # composition
+        """
+        return None
+
 
 class Dense(Module):
     """Fully connected layer: ``y = x @ W + b``."""
@@ -111,6 +128,9 @@ class Dense(Module):
                 f"Dense expected {self.in_features} input features, got {input_dim}"
             )
         return self.out_features
+
+    def trace_spec(self) -> tuple:
+        return ("dense", self.weight.data, self.bias.data)
 
 
 class SparseDense(Module):
@@ -180,6 +200,11 @@ class SparseDense(Module):
             )
         return self.out_features
 
+    def trace_spec(self) -> tuple:
+        # the compiled path only ever sees dense row batches (CSR inputs
+        # stay on the interpreted path), where forward is exactly Dense
+        return ("dense", self.weight.data, self.bias.data)
+
 
 class Activation(Module):
     """Element-wise nonlinearity selected by name."""
@@ -207,6 +232,9 @@ class Activation(Module):
             return 0
         return batch * self._dim if self._dim else 0
 
+    def trace_spec(self) -> tuple:
+        return ("activation", self.kind)
+
 
 class Residual(Module):
     """Residual connection around an inner module (same in/out width).
@@ -230,6 +258,9 @@ class Residual(Module):
         if out != input_dim:
             raise ValueError("Residual requires matching in/out dimensions")
         return out
+
+    def trace_spec(self) -> tuple:
+        return ("residual", self.inner)
 
 
 class Sequential(Module):
@@ -260,3 +291,6 @@ class Sequential(Module):
 
     def __len__(self) -> int:
         return len(self.layers)
+
+    def trace_spec(self) -> tuple:
+        return ("sequential", list(self.layers))

@@ -212,6 +212,7 @@ class Client:
         *,
         version: Optional[int] = None,
         deploy: bool = True,
+        digest: Optional[str] = None,
     ) -> int:
         """Register an in-memory surrogate package under ``name``.
 
@@ -223,11 +224,21 @@ class Client:
         stacked ``(B, F)`` input returns ``B`` output rows), so they are
         opted into micro-batched serving; raw callables registered through
         :meth:`Orchestrator.register_model` stay per-request unless the
-        caller declares them ``batchable=True``.
+        caller declares them ``batchable=True``.  Passing the package
+        itself (not just its bound ``predict``) is what lets the
+        orchestrator trace-and-compile it; ``digest`` carries the registry
+        artifact digest so compiled plans are content-addressed without
+        rehashing the parameters.
         """
         self._packages[name] = package
         return self._orc.register_model(
-            name, package.predict, batchable=True, version=version, deploy=deploy
+            name,
+            package.predict,
+            batchable=True,
+            version=version,
+            deploy=deploy,
+            package=package,
+            digest=digest,
         )
 
     def set_model_from_file(
@@ -270,7 +281,9 @@ class Client:
         """
         ref = registry.resolve(artifact or name, artifact_version)
         package = SurrogatePackage.load(ref.path)
-        self.set_model(name, package, version=ref.version, deploy=deploy)
+        self.set_model(
+            name, package, version=ref.version, deploy=deploy, digest=ref.digest
+        )
         return package
 
     def deploy_model(self, name: str, version: int) -> int:

@@ -52,11 +52,13 @@ import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, NamedTuple, Optional
+from pathlib import Path
+from typing import Any, Callable, NamedTuple, Optional, Union
 
 import numpy as np
 
 from .. import obs
+from ..compile import PlanCache, compile_package, package_digest
 from ..nn.tensor import batch_invariant as _batch_invariant_mode
 
 __all__ = [
@@ -68,6 +70,10 @@ __all__ = [
 
 #: batch-size histogram buckets: powers of two up to a deep GPU-style batch
 BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: resolution-map marker for models the plan compiler cannot trace, so
+#: the fallback decision is made once per specialization key, not per call
+_UNTRACEABLE = object()
 
 
 class OrchestratorStopped(RuntimeError):
@@ -98,11 +104,20 @@ class UnknownModelError(KeyError):
 
 
 class _ModelVersion(NamedTuple):
-    """One immutable registered version of a model."""
+    """One immutable registered version of a model.
+
+    ``package``/``digest`` are optional compilation metadata: when the
+    registered callable is a surrogate package's ``predict``, the package
+    itself (and, for registry-loaded models, its artifact digest) ride
+    along so the serving path can trace-and-compile it.  Raw callables
+    leave both ``None`` and always serve interpreted.
+    """
 
     predict: Callable[[np.ndarray], np.ndarray]
     batchable: bool
     version: int
+    package: Optional[Any] = None
+    digest: Optional[str] = None
 
 
 @dataclass
@@ -237,6 +252,16 @@ class Orchestrator:
       matter how requests were batched (default).  Turn off to let large
       models keep BLAS ``gemm`` speed at the cost of last-ulp
       reproducibility across batch sizes.
+    * ``compile_plans`` — trace-and-compile surrogate packages into flat
+      :class:`~repro.compile.CompiledPlan` execution plans per
+      specialization key (model, version, input shape, dtype,
+      batch-invariance) and serve through them; plan outputs are
+      bit-identical to the interpreted forward.  Models the compiler
+      cannot trace fall back to the interpreted path transparently.
+    * ``plan_cache_dir`` — persist compiled plans under
+      ``<dir>/plan_cache/`` so restarts reuse them (content-addressed;
+      see :class:`repro.compile.PlanCache`).  ``None`` keeps the plan
+      cache in-memory only.
     """
 
     def __init__(
@@ -247,6 +272,8 @@ class Orchestrator:
         max_wait_ms: float = 2.0,
         num_workers: int = 1,
         batch_invariant: bool = True,
+        compile_plans: bool = True,
+        plan_cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -259,9 +286,17 @@ class Orchestrator:
         self.max_wait_ms = float(max_wait_ms)
         self.num_workers = int(num_workers)
         self.batch_invariant = bool(batch_invariant)
+        self.compile_plans = bool(compile_plans)
         self._tensors: dict[str, np.ndarray] = {}  # cc: guarded-by(_lock)
         self._models: dict[str, _ModelEntry] = {}  # cc: guarded-by(_lock)
         self._lock = threading.RLock()
+        self._plan_cache = PlanCache(plan_cache_dir, enabled=self.compile_plans)
+        # fast resolution map: (name, version, row shape, dtype) -> plan or
+        # the untraceable sentinel.  Keyed by pinned version, so deploy/
+        # rollback invalidation is automatic — a swapped-in version simply
+        # resolves its own entry.
+        self._plans: dict[tuple, Any] = {}  # cc: guarded-by(_plan_lock)
+        self._plan_lock = threading.Lock()
         self._queue = _RequestQueue()
         self._workers: list[threading.Thread] = []  # cc: guarded-by(_state_lock)
         # bare reads (is_running, the worker loop) see a GIL-atomic bool;
@@ -328,6 +363,23 @@ class Orchestrator:
             "repro_registry_rollbacks_total",
             "Rollbacks to a model's previously active version",
             labels=("model",),
+        )
+        self._m_plans_built = registry.counter(
+            "repro_compile_plans_built_total",
+            "Serving plans built by tracing (missed every cache tier)",
+        )
+        self._m_plan_build = registry.histogram(
+            "repro_compile_plan_build_seconds",
+            "Seconds spent tracing + partial-evaluating one serving plan",
+        )
+        self._m_plan_exec = registry.histogram(
+            "repro_compile_plan_exec_seconds",
+            "Wall-clock seconds of forwards served by a compiled plan",
+            labels=("model",),
+        )
+        self._m_untraceable = registry.counter(
+            "repro_compile_untraceable_total",
+            "Specializations that fell back to the interpreted path",
         )
 
     # -- tensor store ---------------------------------------------------------
@@ -409,6 +461,8 @@ class Orchestrator:
         batchable: bool = False,
         version: Optional[int] = None,
         deploy: bool = True,
+        package: Optional[Any] = None,
+        digest: Optional[str] = None,
     ) -> int:
         """Register a callable model (RedisAI's ``AI.MODELSET`` analogue).
 
@@ -430,6 +484,12 @@ class Orchestrator:
         whole stack — would silently produce wrong per-request results if
         batched by default.  Raw callables stay on the per-request path
         unless the caller declares them row-wise.
+
+        ``package`` (a :class:`~repro.nas.package.SurrogatePackage`) opts
+        the version into trace-and-compile serving; ``digest`` supplies
+        its registry artifact digest so persisted plans are keyed by
+        exactly the bytes that were deployed (computed from the package
+        parameters when absent).
         """
         if not callable(predict):
             raise TypeError("model must be callable")
@@ -440,7 +500,9 @@ class Orchestrator:
             version = int(version)
             if version < 1:
                 raise ValueError("model versions start at 1")
-            entry.versions[version] = _ModelVersion(predict, bool(batchable), version)
+            entry.versions[version] = _ModelVersion(
+                predict, bool(batchable), version, package, digest
+            )
             if deploy:
                 self._activate(name, entry, version)
         return version
@@ -547,8 +609,13 @@ class Orchestrator:
             self._run_model_inner(name, input_keys, output_keys, version=version)
             return
         start = time.perf_counter()
-        self._run_model_inner(name, input_keys, output_keys, version=version)
-        self._m_latency.observe(time.perf_counter() - start, model=name)
+        compiled = self._run_model_inner(
+            name, input_keys, output_keys, version=version
+        )
+        elapsed = time.perf_counter() - start
+        self._m_latency.observe(elapsed, model=name)
+        if compiled:
+            self._m_plan_exec.observe(elapsed, model=name)
 
     def _run_model_inner(
         self,
@@ -558,7 +625,8 @@ class Orchestrator:
         *,
         version: Optional[int] = None,
         pinned: Optional[_ModelVersion] = None,
-    ) -> None:
+    ) -> bool:
+        """Serve one request; returns True when a compiled plan ran it."""
         with self._lock:
             model = pinned if pinned is not None else self._resolve_locked(
                 name, version
@@ -567,17 +635,76 @@ class Orchestrator:
         x = inputs[0] if len(inputs) == 1 else np.concatenate(
             [np.atleast_1d(v).ravel() for v in inputs]
         )
-        with self._forward_mode():
-            y = np.asarray(model.predict(x))
+        # the specialization key uses the per-request row shape — the same
+        # key the micro-batcher groups on — so single and batched serving
+        # of one model share one plan
+        plan = self._plan_for(name, model, x.shape[-1:], x.dtype.str)
+        if plan is not None:
+            y = np.asarray(plan.predict(x))
+        else:
+            with self._forward_mode():
+                y = np.asarray(model.predict(x))
         if len(output_keys) != 1:
             raise ValueError("multi-output splitting is the client's job; pass one key")
         self.put_tensor(output_keys[0], y)
+        return plan is not None
 
     def _forward_mode(self):
         """Context every model forward runs under (see ``batch_invariant``)."""
         if self.batch_invariant:
             return _batch_invariant_mode()
         return contextlib.nullcontext()
+
+    # -- compiled serving plans ---------------------------------------------------
+
+    def _plan_for(self, name: str, model: _ModelVersion, shape, dtype: str):
+        """Compiled plan for one specialization key, or None (interpreted).
+
+        Resolution is a dict lookup on the hot path; compilation (or a
+        plan-cache load) happens outside every lock on first sight of a
+        key.  Two workers racing the same cold key may both compile —
+        the plans are bit-identical, ``setdefault`` keeps one, and the
+        loser's work is discarded (a benign race, never a wrong answer).
+        """
+        if not self.compile_plans or model.package is None:
+            return None
+        map_key = (name, model.version, tuple(shape), dtype)
+        with self._plan_lock:
+            resolved = self._plans.get(map_key)
+        if resolved is None:
+            plan = self._build_plan(model, shape, dtype)
+            with self._plan_lock:
+                resolved = self._plans.setdefault(
+                    map_key, _UNTRACEABLE if plan is None else plan
+                )
+        return None if resolved is _UNTRACEABLE else resolved
+
+    def _build_plan(self, model: _ModelVersion, shape, dtype: str):
+        """Fetch from the plan cache or trace-and-compile (None: fall back)."""
+        try:
+            digest = model.digest or package_digest(model.package)
+            key = self._plan_cache.key(
+                digest,
+                input_shape=shape,
+                dtype=dtype,
+                batch_invariant=self.batch_invariant,
+            )
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                return plan
+            start = time.perf_counter()
+            plan = compile_package(
+                model.package, batch_invariant=self.batch_invariant
+            )
+        except Exception:  # noqa: BLE001 - any compile failure means: interpret
+            if self._telemetry.enabled:
+                self._m_untraceable.inc()
+            return None
+        if self._telemetry.enabled:
+            self._m_plan_build.observe(time.perf_counter() - start)
+            self._m_plans_built.inc()
+        self._plan_cache.put(key, plan)
+        return plan
 
     # -- server mode -----------------------------------------------------------------
 
@@ -811,15 +938,16 @@ class Orchestrator:
                 )
             else:
                 start = time.perf_counter()
-                self._run_model_inner(
+                compiled = self._run_model_inner(
                     request.model_name,
                     request.input_keys,
                     request.output_keys,
                     pinned=request.model,
                 )
-                self._m_latency.observe(
-                    time.perf_counter() - start, model=request.model_name
-                )
+                elapsed = time.perf_counter() - start
+                self._m_latency.observe(elapsed, model=request.model_name)
+                if compiled:
+                    self._m_plan_exec.observe(elapsed, model=request.model_name)
         except Exception as exc:  # noqa: BLE001 - surfaced to the waiter
             request.error = exc
             if self._telemetry.enabled:
@@ -835,10 +963,18 @@ class Orchestrator:
         requests = group.requests
         name = requests[0].model_name
         stacked = np.stack(group.inputs)
+        # the group key fixes (model, version, row shape, dtype), which is
+        # exactly a plan specialization key — one lookup covers the batch
+        plan = self._plan_for(
+            name, group.model, group.inputs[0].shape, group.inputs[0].dtype.str
+        )
         start = time.perf_counter()
         try:
-            with self._forward_mode():
-                output = np.asarray(group.model.predict(stacked))
+            if plan is not None:
+                output = np.asarray(plan.predict(stacked))
+            else:
+                with self._forward_mode():
+                    output = np.asarray(group.model.predict(stacked))
             if output.ndim < 1 or output.shape[0] != len(requests):
                 raise ValueError(
                     f"model {name!r} returned shape {output.shape} for a "
@@ -870,6 +1006,8 @@ class Orchestrator:
             self._m_latency.observe(elapsed, model=name)
             self._m_served.inc(len(requests))
             self._m_batched_rows.inc(len(requests))
+            if plan is not None:
+                self._m_plan_exec.observe(elapsed, model=name)
 
     def __enter__(self) -> "Orchestrator":
         self.start()

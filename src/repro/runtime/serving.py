@@ -125,6 +125,7 @@ def measure_serving_throughput(
     batch_invariant: bool = True,
     model_name: str = "surrogate",
     timeout: float = 120.0,
+    compile_plans: bool = True,
 ) -> ThroughputResult:
     """Requests/sec of the orchestrator serving path for one configuration.
 
@@ -136,6 +137,8 @@ def measure_serving_throughput(
     batching speedup is judged against.  ``timeout`` bounds the wait for
     the whole request set (a wedged model forward raises
     :class:`TimeoutError` instead of hanging the benchmark).
+    ``compile_plans=False`` pins the interpreted forward path (the
+    baseline ``repro serve --no-compile`` measures against).
     """
     rows = np.atleast_2d(np.asarray(rows))
     orchestrator = Orchestrator(
@@ -143,6 +146,7 @@ def measure_serving_throughput(
         max_wait_ms=max_wait_ms,
         num_workers=num_workers,
         batch_invariant=batch_invariant,
+        compile_plans=compile_plans,
     )
     client = Client(orchestrator)
     client.set_model(model_name, package)

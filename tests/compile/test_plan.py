@@ -1,0 +1,223 @@
+"""Bit-identity of compiled plans against the interpreted forward path.
+
+The compiler's whole contract is "same floats, less Python": under
+``batch_invariant()`` a plan's outputs must be *byte-identical* to
+``SurrogatePackage.predict`` for every layer kind, batch size, and
+payload round-trip.  ``np.testing.assert_array_equal`` (exact equality,
+no tolerance) is deliberate throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder.model import Autoencoder
+from repro.compile import (
+    UntraceableModelError,
+    compile_package,
+    plan_from_payload,
+    plan_payload,
+)
+from repro.nas.package import SurrogatePackage
+from repro.nn.cnn import CNNTopology, build_model
+from repro.nn.mlp import Topology
+from repro.nn.tensor import batch_invariant
+
+ACTIVATIONS = ("relu", "tanh", "sigmoid", "leaky_relu")
+BATCHES = (1, 3, 32, 57)
+
+
+def make_package(
+    rng,
+    *,
+    input_dim=6,
+    output_dim=2,
+    hidden=(16, 8),
+    activation="relu",
+    residual=False,
+    sparse_input=False,
+    latent_dim=None,
+):
+    """A small package with randomized (non-degenerate) weights."""
+    topology = Topology(
+        hidden=hidden,
+        activation=activation,
+        residual=residual,
+        sparse_input=sparse_input,
+    )
+    model_in = latent_dim if latent_dim is not None else input_dim
+    model = build_model(model_in, output_dim, topology)
+    for p in model.parameters():
+        p.data = rng.standard_normal(p.data.shape)
+    ae = None
+    if latent_dim is not None:
+        ae = Autoencoder(input_dim, latent_dim, depth=1)
+        for p in ae.parameters():
+            p.data = rng.standard_normal(p.data.shape)
+    return SurrogatePackage(
+        model=model,
+        topology=topology,
+        input_dim=input_dim,
+        output_dim=output_dim,
+        autoencoder=ae,
+    )
+
+
+def assert_bit_identical(package, plan, x):
+    with batch_invariant():
+        ref = package.predict(x)
+    np.testing.assert_array_equal(plan.predict(x), ref)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("activation", ACTIVATIONS)
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_every_activation_batched(self, rng, activation, batch):
+        package = make_package(rng, activation=activation)
+        plan = compile_package(package)
+        assert_bit_identical(package, plan, rng.standard_normal((batch, 6)))
+
+    @pytest.mark.parametrize("activation", ACTIVATIONS)
+    def test_every_activation_single_row(self, rng, activation):
+        package = make_package(rng, activation=activation)
+        plan = compile_package(package)
+        x = rng.standard_normal(6)
+        assert_bit_identical(package, plan, x)
+        assert plan.predict(x).shape == (2,)
+
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_residual_topology(self, rng, batch):
+        package = make_package(rng, hidden=(8, 8, 8), residual=True)
+        plan = compile_package(package)
+        assert_bit_identical(package, plan, rng.standard_normal((batch, 6)))
+
+    def test_sparse_input_topology_dense_batch(self, rng):
+        # SparseDense first layers trace like Dense; the compiled path only
+        # ever sees the orchestrator's dense row batches
+        package = make_package(rng, sparse_input=True)
+        plan = compile_package(package)
+        assert_bit_identical(package, plan, rng.standard_normal((5, 6)))
+
+    @pytest.mark.parametrize("batch", (1, 32))
+    def test_autoencoder_chain(self, rng, batch):
+        package = make_package(rng, input_dim=10, latent_dim=4)
+        plan = compile_package(package)
+        assert plan.input_dim == 10
+        assert_bit_identical(package, plan, rng.standard_normal((batch, 10)))
+
+    def test_float32_input(self, rng):
+        package = make_package(rng)
+        plan = compile_package(package)
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        assert_bit_identical(package, plan, x)
+
+    def test_payload_round_trip_is_bit_identical(self, rng):
+        package = make_package(
+            rng, hidden=(8, 8), activation="sigmoid", residual=True
+        )
+        plan = compile_package(package)
+        reloaded = plan_from_payload(*plan_payload(plan))
+        x = rng.standard_normal((7, 6))
+        np.testing.assert_array_equal(reloaded.predict(x), plan.predict(x))
+        assert reloaded.num_steps() == plan.num_steps()
+        assert reloaded.batch_invariant == plan.batch_invariant
+
+    def test_blas_mode_plan_matches_blas_interpreter(self, rng):
+        # without batch_invariant only allclose is promised (BLAS gemm may
+        # reassociate), but the plan must still track the fast interpreter
+        package = make_package(rng, hidden=(32, 16))
+        plan = compile_package(package, batch_invariant=False)
+        x = rng.standard_normal((16, 6))
+        np.testing.assert_allclose(
+            plan.predict(x), package.predict(x), rtol=1e-12, atol=1e-12
+        )
+
+    def test_batch_result_matches_row_results(self, rng):
+        # the invariant-mode plan inherits the interpreter's batch
+        # invariance: row i of a batch equals serving row i alone
+        package = make_package(rng, activation="tanh")
+        plan = compile_package(package)
+        rows = rng.standard_normal((9, 6))
+        batched = plan.predict(rows)
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(plan.predict(row), batched[i])
+
+
+class TestPlanSemantics:
+    def test_fusion_flattens_dense_activation_pairs(self, rng):
+        package = make_package(rng, hidden=(16, 8))
+        plan = compile_package(package)
+        # 3 Dense layers, each fused with its activation (last has none)
+        assert plan.num_steps() == 3
+
+    def test_wrong_feature_count_matches_package_error(self, rng):
+        package = make_package(rng)
+        plan = compile_package(package)
+        bad = rng.standard_normal((3, 5))
+        with pytest.raises(ValueError, match="expects 6 input features"):
+            package.predict(bad)
+        with pytest.raises(ValueError, match="expects 6 input features"):
+            plan.predict(bad)
+
+    def test_output_is_fresh_per_call(self, rng):
+        package = make_package(rng)
+        plan = compile_package(package)
+        x = rng.standard_normal((3, 6))
+        first = plan.predict(x)
+        keep = first.copy()
+        second = plan.predict(x)
+        assert first is not second
+        second[:] = 0.0
+        np.testing.assert_array_equal(first, keep)
+
+    def test_cnn_family_is_untraceable(self, rng):
+        topology = CNNTopology(
+            channels=(4,), kernel_sizes=(3,), pools=(1,), activation="relu"
+        )
+        model = build_model(8, 2, topology)
+        package = SurrogatePackage(
+            model=model, topology=topology, input_dim=8, output_dim=2
+        )
+        with pytest.raises(UntraceableModelError):
+            compile_package(package)
+
+    def test_plan_ignores_runtime_thread_mode(self, rng):
+        # specialization is fixed at compile time: an invariant plan keeps
+        # its einsum reduction order even when called outside the context
+        package = make_package(rng)
+        plan = compile_package(package, batch_invariant=True)
+        x = rng.standard_normal((4, 6))
+        inside = None
+        with batch_invariant():
+            inside = plan.predict(x)
+        np.testing.assert_array_equal(plan.predict(x), inside)
+
+    def test_callable_alias(self, rng):
+        package = make_package(rng)
+        plan = compile_package(package)
+        x = rng.standard_normal((2, 6))
+        np.testing.assert_array_equal(plan(x), plan.predict(x))
+
+    def test_threaded_execution_is_race_free(self, rng):
+        # scratch buffers are thread-local: concurrent predict() calls on
+        # one plan must not corrupt each other
+        import threading
+
+        package = make_package(rng, hidden=(16, 16, 8))
+        plan = compile_package(package)
+        rows = rng.standard_normal((64, 6))
+        with batch_invariant():
+            expected = package.predict(rows)
+        failures = []
+
+        def worker():
+            for _ in range(20):
+                got = plan.predict(rows)
+                if not np.array_equal(got, expected):
+                    failures.append(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures

@@ -1,0 +1,195 @@
+"""Compiled plans in the serving path: identity, staleness, fallback.
+
+The orchestrator must be allowed to substitute a :class:`CompiledPlan`
+for any package forward without observable effect (other than speed):
+bit-identical outputs under ``batch_invariant``, correct plan selection
+across deploy/rollback, interpreted fallback for anything untraceable,
+and zero rebuilds when a warm on-disk cache is present.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.nn.tensor import batch_invariant
+from repro.registry.store import ModelRegistry
+from repro.runtime import Client, Orchestrator
+
+from ..compile.test_plan import make_package
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+def reference(package, x):
+    with batch_invariant():
+        return package.predict(x)
+
+
+class TestCompiledIdentity:
+    def test_direct_run_model_is_bit_identical(self, rng):
+        package = make_package(rng)
+        orc = Orchestrator()
+        Client(orc).set_model("m", package)
+        x = rng.standard_normal(6)
+        orc.put_tensor("in", x)
+        orc.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(package, x))
+        assert len(orc._plans) == 1  # the plan actually served it
+
+    def test_pooled_micro_batches_are_bit_identical(self, rng):
+        package = make_package(rng, activation="tanh", hidden=(16, 8))
+        orc = Orchestrator(max_batch_size=16, num_workers=2)
+        client = Client(orc)
+        client.set_model("m", package)
+        rows = rng.standard_normal((48, 6))
+        with orc:
+            outs = client.run_model_batch(
+                "m", list(rows), [f"o{i}" for i in range(48)]
+            )
+        expected = reference(package, rows)
+        for got, want in zip(outs, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_compiled_and_interpreted_orchestrators_agree(self, rng):
+        package = make_package(rng, residual=True, hidden=(8, 8))
+        x = rng.standard_normal((5, 6))
+        results = []
+        for compile_plans in (True, False):
+            orc = Orchestrator(compile_plans=compile_plans)
+            Client(orc).set_model("m", package)
+            orc.put_tensor("in", x)
+            orc.run_model("m", ("in",), ("out",))
+            results.append(orc.get_tensor("out"))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_no_compile_builds_no_plans(self, rng):
+        package = make_package(rng)
+        orc = Orchestrator(compile_plans=False)
+        Client(orc).set_model("m", package)
+        orc.put_tensor("in", rng.standard_normal(6))
+        orc.run_model("m", ("in",), ("out",))
+        assert orc._plans == {}
+
+
+class TestPlanStaleness:
+    def test_deploy_switches_to_the_new_versions_plan(self, rng):
+        v1_pkg = make_package(rng)
+        v2_pkg = make_package(np.random.default_rng(7))
+        orc = Orchestrator()
+        client = Client(orc)
+        client.set_model("m", v1_pkg)
+        v2 = client.set_model("m", v2_pkg, deploy=False)
+        x = rng.standard_normal(6)
+        orc.put_tensor("in", x)
+
+        orc.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(v1_pkg, x))
+        client.deploy_model("m", v2)
+        orc.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(v2_pkg, x))
+        client.rollback_model("m")
+        orc.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(v1_pkg, x))
+        # version is part of the plan map key: both plans coexist, neither
+        # is ever served stale
+        assert len(orc._plans) == 2
+
+    def test_pinned_version_uses_its_own_plan(self, rng):
+        v1_pkg = make_package(rng)
+        v2_pkg = make_package(np.random.default_rng(7))
+        orc = Orchestrator()
+        client = Client(orc)
+        client.set_model("m", v1_pkg)
+        client.set_model("m", v2_pkg)
+        x = rng.standard_normal(6)
+        orc.put_tensor("in", x)
+        orc.run_model("m", ("in",), ("out",), version=1)
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(v1_pkg, x))
+
+
+class TestFallback:
+    def test_raw_callable_serves_interpreted(self, rng):
+        orc = Orchestrator()
+        orc.register_model("raw", lambda x: np.asarray(x) * 3.0)
+        orc.put_tensor("in", np.ones(4))
+        orc.run_model("raw", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), np.full(4, 3.0))
+        assert orc._plans == {}  # no package, not even a sentinel entry
+
+    def test_untraceable_package_falls_back_without_failing(self, rng):
+        class OpaquePackage:
+            """predict works; everything the tracer needs is missing."""
+
+            def predict(self, x):
+                return np.asarray(x) * 2.0
+
+        orc = Orchestrator()
+        orc.register_model("m", OpaquePackage().predict, package=OpaquePackage())
+        orc.put_tensor("in", np.ones(3))
+        orc.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), np.full(3, 2.0))
+        registry = obs.get_registry()
+        assert registry.get("repro_compile_untraceable_total").total() == 1
+        # the negative result is memoized: serving again compiles nothing
+        orc.run_model("m", ("in",), ("out",))
+        assert registry.get("repro_compile_untraceable_total").total() == 1
+
+
+class TestPersistentCache:
+    def test_restart_with_warm_disk_cache_rebuilds_nothing(self, rng, tmp_path):
+        package = make_package(rng)
+        x = rng.standard_normal(6)
+
+        orc1 = Orchestrator(plan_cache_dir=tmp_path)
+        Client(orc1).set_model("m", package)
+        orc1.put_tensor("in", x)
+        orc1.run_model("m", ("in",), ("out",))
+        first = orc1.get_tensor("out")
+        assert obs.get_registry().get("repro_compile_plans_built_total").total() == 1
+
+        # "restart": fresh orchestrator + fresh metrics, same cache dir
+        obs.configure(enabled=True, reset=True)
+        orc2 = Orchestrator(plan_cache_dir=tmp_path)
+        Client(orc2).set_model("m", package)
+        orc2.put_tensor("in", x)
+        orc2.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc2.get_tensor("out"), first)
+        registry = obs.get_registry()
+        built = registry.get("repro_compile_plans_built_total")
+        assert built is None or built.total() == 0
+        assert (
+            registry.get("repro_compile_cache_hits_total").value(tier="disk") == 1
+        )
+
+    def test_registry_digest_flows_through_client(self, rng, tmp_path):
+        package = make_package(rng)
+        registry = ModelRegistry(tmp_path / "registry")
+        ref = package.publish(registry, "app")
+        orc = Orchestrator(plan_cache_dir=tmp_path)
+        client = Client(orc)
+        client.set_model_from_registry("app", registry)
+        x = rng.standard_normal(6)
+        orc.put_tensor("in", x)
+        orc.run_model("app", ("in",), ("out",))
+        np.testing.assert_array_equal(
+            orc.get_tensor("out"), reference(package, x)
+        )
+        with orc._lock:
+            model = orc._resolve_locked("app", None)
+        assert model.digest == ref.digest
+
+    def test_telemetry_names_are_exposed(self, rng):
+        package = make_package(rng)
+        orc = Orchestrator()
+        Client(orc).set_model("m", package)
+        orc.put_tensor("in", rng.standard_normal(6))
+        orc.run_model("m", ("in",), ("out",))
+        registry = obs.get_registry()
+        assert registry.get("repro_compile_plans_built_total").total() == 1
+        assert registry.get("repro_compile_plan_build_seconds").count() == 1
+        assert registry.get("repro_compile_plan_exec_seconds").count(model="m") == 1
