@@ -15,6 +15,7 @@ annotating a region.  This CLI exposes the same verbs::
     python -m repro serve Blackscholes --max-batch-size 32 --baseline
     python -m repro serve Blackscholes --hot-swap
     python -m repro serve Blackscholes --no-compile --baseline
+    python -m repro serve Blackscholes --processes 4
     python -m repro telemetry --app Blackscholes --format prometheus
     python -m repro registry list /tmp/bs/registry
     python -m repro registry verify /tmp/bs/registry
@@ -173,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=1, help="serving threads in the pool"
+    )
+    serve.add_argument(
+        "--processes", type=int, default=0,
+        help="serve from N sharded worker processes (consistent-hash model "
+        "placement, shared-memory tensor transport) instead of the thread "
+        "pool; 0 keeps threads",
     )
     serve.add_argument(
         "--no-batch-invariant", action="store_true",
@@ -437,6 +444,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_invariant=not args.no_batch_invariant,
         model_name=app.name,
         compile_plans=not args.no_compile,
+        num_processes=args.processes,
     )
     print(result.format())
     # snapshot the batching histograms before the baseline run pollutes

@@ -31,6 +31,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .merge import MetricsDeltaTracker, apply_metrics_delta
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -38,6 +39,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsDeltaTracker",
+    "apply_metrics_delta",
     "DEFAULT_LATENCY_BUCKETS",
     "Span",
     "Tracer",

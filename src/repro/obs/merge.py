@@ -1,0 +1,130 @@
+"""Cross-process metric merging for the sharded serving runtime.
+
+Worker processes each hold their own process-global
+:class:`~repro.obs.metrics.MetricsRegistry`; the serving front-end needs
+one coherent view.  Shipping full snapshots would double-count on every
+publish, so workers ship *deltas*:
+
+* :class:`MetricsDeltaTracker` (worker side) diffs the registry against
+  the state it last shipped and emits only what moved — counters as
+  per-series increments, histograms as per-bucket increments.  The
+  payload is a plain dict of str/int/float, safe to pickle through a
+  control pipe or result queue.
+* :func:`apply_metrics_delta` (front-end side) replays a delta into the
+  receiving registry, creating instruments on first sight with the
+  shipped help text, label names, and bucket bounds.  Because workers
+  reuse the same metric names as the in-process serving path
+  (``repro_orchestrator_served_total`` and friends), merged totals read
+  exactly like single-process totals.
+
+Gauges are deliberately *not* merged: a worker-local gauge (its own
+queue depth, its own tensor-store size) has no meaningful sum, and the
+front-end owns the fleet-level gauges (``repro_shard_queue_depth``,
+``repro_shm_segments``) directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = ["MetricsDeltaTracker", "apply_metrics_delta"]
+
+
+class MetricsDeltaTracker:
+    """Diffs a registry against the last shipped state (single-threaded).
+
+    One tracker belongs to one worker's publish loop; it is not itself
+    thread-safe (the underlying metric reads are).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._counters: dict[str, dict[tuple[str, ...], float]] = {}
+        self._histograms: dict[
+            str, dict[tuple[str, ...], tuple[list[int], float, int]]
+        ] = {}
+
+    def delta(self) -> Optional[dict]:
+        """Everything that moved since the previous ``delta()`` call.
+
+        Returns ``None`` when nothing moved, so idle workers ship
+        nothing.
+        """
+        counters: list[dict] = []
+        histograms: list[dict] = []
+        for name in self._registry.names():
+            metric = self._registry.get(name)
+            if isinstance(metric, Counter):
+                raw = metric.raw_series()
+                prev = self._counters.get(name, {})
+                series = [
+                    {"key": list(key), "value": value - prev.get(key, 0.0)}
+                    for key, value in sorted(raw.items())
+                    if value != prev.get(key, 0.0)
+                ]
+                if series:
+                    counters.append(
+                        {
+                            "name": name,
+                            "help": metric.help,
+                            "labels": list(metric.label_names),
+                            "series": series,
+                        }
+                    )
+                self._counters[name] = raw
+            elif isinstance(metric, Histogram):
+                raw = metric.raw_series()
+                prev_h = self._histograms.get(name, {})
+                series = []
+                for key, (buckets, total, count) in sorted(raw.items()):
+                    old = prev_h.get(key)
+                    if old is not None and old[2] == count:
+                        continue
+                    old_buckets = old[0] if old else [0] * len(buckets)
+                    series.append(
+                        {
+                            "key": list(key),
+                            "buckets": [
+                                b - o for b, o in zip(buckets, old_buckets)
+                            ],
+                            "sum": total - (old[1] if old else 0.0),
+                            "count": count - (old[2] if old else 0),
+                        }
+                    )
+                if series:
+                    histograms.append(
+                        {
+                            "name": name,
+                            "help": metric.help,
+                            "labels": list(metric.label_names),
+                            "bounds": list(metric.buckets),
+                            "series": series,
+                        }
+                    )
+                self._histograms[name] = raw
+        if not counters and not histograms:
+            return None
+        return {"counters": counters, "histograms": histograms}
+
+
+def apply_metrics_delta(registry: MetricsRegistry, delta: dict) -> None:
+    """Replay one worker delta into ``registry`` (front-end side)."""
+    for entry in delta.get("counters", ()):
+        counter = registry.counter(
+            entry["name"], entry.get("help", ""), tuple(entry.get("labels", ()))
+        )
+        for series in entry["series"]:
+            counter.inc_series(series["key"], series["value"])
+    for entry in delta.get("histograms", ()):
+        histogram = registry.histogram(
+            entry["name"],
+            entry.get("help", ""),
+            tuple(entry.get("labels", ())),
+            buckets=entry.get("bounds"),
+        )
+        for series in entry["series"]:
+            histogram.merge_series(
+                series["key"], series["buckets"], series["sum"], series["count"]
+            )

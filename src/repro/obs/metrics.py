@@ -109,6 +109,27 @@ class Counter(_Metric):
         with self._lock:
             return sum(self._values.values()) if self._values else 0.0
 
+    def raw_series(self) -> dict[tuple[str, ...], float]:
+        """Snapshot of every label key's value (cross-process merge source)."""
+        with self._lock:
+            return dict(self._values)
+
+    def inc_series(self, key: Sequence[str], amount: float) -> None:
+        """Add ``amount`` to one label key given positionally.
+
+        The merge path (:mod:`repro.obs.merge`) replays worker-process
+        deltas whose label keys arrive as tuples, not keyword arguments.
+        """
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"expected {len(self.label_names)} label values, got {len(key)}"
+            )
+        if amount < 0:
+            raise ValueError("counters only go up")
+        k = tuple(str(v) for v in key)
+        with self._lock:
+            self._values[k] = self._values.get(k, 0.0) + amount
+
     def expose(self) -> list[str]:
         lines = self._header()
         with self._lock:
@@ -268,6 +289,44 @@ class Histogram(_Metric):
     def percentiles(self, **labels: object) -> dict[str, float]:
         """The operator's trio: p50/p90/p99 of the observed distribution."""
         return {f"p{int(q * 100)}": self.quantile(q, **labels) for q in (0.5, 0.9, 0.99)}
+
+    def raw_series(self) -> dict[tuple[str, ...], tuple[list[int], float, int]]:
+        """Per-key ``(bucket_counts, sum, count)`` snapshot (for merging)."""
+        with self._lock:
+            return {
+                key: (list(state.bucket_counts), state.sum, state.count)
+                for key, state in self._states.items()
+            }
+
+    def merge_series(
+        self,
+        key: Sequence[str],
+        bucket_counts: Sequence[int],
+        sum_delta: float,
+        count_delta: int,
+    ) -> None:
+        """Fold another histogram's per-bucket deltas into this one.
+
+        The caller must have identical bucket bounds — the merge path
+        creates the receiving histogram from the shipped bounds, so a
+        mismatch means two processes defined one metric differently.
+        """
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"expected {len(self.label_names)} label values, got {len(key)}"
+            )
+        if len(bucket_counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"expected {len(self.buckets) + 1} bucket counts, "
+                f"got {len(bucket_counts)}"
+            )
+        k = tuple(str(v) for v in key)
+        with self._lock:
+            state = self._state(k)
+            for i, delta in enumerate(bucket_counts):
+                state.bucket_counts[i] += int(delta)
+            state.sum += float(sum_delta)
+            state.count += int(count_delta)
 
     def expose(self) -> list[str]:
         lines = self._header()

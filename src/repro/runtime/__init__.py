@@ -10,10 +10,14 @@ from .client import Client, InferenceFuture
 from .serving import (
     ONLINE_PHASES,
     OnlineCostModel,
+    QPSResult,
     ServingSession,
     ThroughputResult,
     measure_serving_throughput,
+    measure_sustained_qps,
 )
+from .sharding import OverloadError, ProcessShardPool, RowsResult, ShardRing
+from .shm_store import SegmentAttachments, ShmHandle, ShmTensorStore
 from .guard import GuardStats, GuardedSurrogate, bounds_validator, default_validator, residual_validator
 
 __all__ = [
@@ -25,9 +29,18 @@ __all__ = [
     "InferenceFuture",
     "ONLINE_PHASES",
     "OnlineCostModel",
+    "QPSResult",
     "ServingSession",
     "ThroughputResult",
     "measure_serving_throughput",
+    "measure_sustained_qps",
+    "OverloadError",
+    "ProcessShardPool",
+    "RowsResult",
+    "ShardRing",
+    "SegmentAttachments",
+    "ShmHandle",
+    "ShmTensorStore",
     "GuardStats",
     "GuardedSurrogate",
     "bounds_validator",

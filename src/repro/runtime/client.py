@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -165,8 +166,8 @@ class InferenceFuture:
         return self._value
 
     def _cleanup(self) -> None:
-        for key in self._scratch_keys:
-            self._orc.delete_tensor(key)
+        if self._scratch_keys:
+            self._orc.delete_tensors(list(self._scratch_keys))
 
 
 class Client:
@@ -335,8 +336,8 @@ class Client:
                 self._orc.run_model(name, in_keys, out_keys)
             return self.get_tensor(out_keys[0])
         finally:
-            for key in scratch:
-                self._orc.delete_tensor(key)
+            if scratch:
+                self._orc.delete_tensors(list(scratch))
 
     def run_model_async(
         self,
@@ -369,37 +370,82 @@ class Client:
 
     def run_model_batch(
         self,
-        name: str,
+        name: Union[str, Sequence[str]],
         inputs: Sequence[Union[str, Sequence[str], np.ndarray]],
-        outputs: Sequence[Union[str, Sequence[str]]],
+        outputs: Optional[Sequence[Union[str, Sequence[str]]]] = None,
         *,
         timeout: Optional[float] = None,
     ) -> list[np.ndarray]:
         """Submit many inferences at once and gather the outputs in order.
 
-        Pipelining the whole list before the first wait is what lets the
-        serving pool drain the requests into large micro-batches.
-        ``timeout`` bounds the wait for the *whole* batch to finish;
+        ``name`` may be one model name for the whole list or one name per
+        request (mixed multi-model traffic).  ``outputs`` may be omitted:
+        results are returned (in input order) without the caller naming
+        store keys.  ``timeout`` bounds the wait for the *whole* batch;
         :class:`TimeoutError` is raised if it elapses first (the scratch
         inputs are still cleaned up).
+
+        With ``num_processes > 0`` and raw-array inputs and no explicit
+        output keys, requests take the sharded **bulk path**: rows are
+        grouped by (model, shape, dtype), each group crosses the process
+        boundary as one shared-memory block, and the owning shard runs
+        one vectorized compiled-plan forward per group — bit-identical to
+        the thread path for ``batch_invariant()`` models, with none of
+        the per-request store/queue/event bookkeeping.  Admission may
+        raise :class:`~repro.runtime.sharding.OverloadError` here.
+
+        Pipelining the whole list before the first wait is what lets the
+        serving pool drain the requests into large micro-batches.
         """
-        if len(inputs) != len(outputs):
+        names = [name] * len(inputs) if isinstance(name, str) else list(name)
+        if len(names) != len(inputs):
+            raise ValueError(
+                f"got {len(inputs)} inputs but {len(names)} model names"
+            )
+        if outputs is not None and len(inputs) != len(outputs):
             raise ValueError(
                 f"got {len(inputs)} inputs but {len(outputs)} outputs"
             )
         if not inputs:
             return []
-        if not self._orc.is_running:
-            futures = [
-                self.run_model_async(name, x, out)
-                for x, out in zip(inputs, outputs)
+        if (
+            outputs is None
+            and self._orc.is_running
+            and getattr(self._orc, "num_processes", 0) > 0
+            and all(isinstance(x, np.ndarray) and x.ndim == 1 for x in inputs)
+        ):
+            return self._run_rows_grouped(names, inputs, timeout)
+        scratch_outs: list[str] = []
+        if outputs is None:
+            outputs = [
+                f"__scratch_out_{next(_SCRATCH_IDS)}__" for _ in inputs
             ]
-            return [future.result(timeout) for future in futures]
-        # bulk path: stage everything, enqueue in one submit_many call, and
-        # only then start waiting — the serving pool sees a deep queue and
-        # drains it into full micro-batches.  Requests share one completion
-        # latch and outputs are gathered under one store lock, so the
-        # per-request client overhead stays far below the serving cost.
+            scratch_outs = list(outputs)
+        try:
+            if not self._orc.is_running:
+                futures = [
+                    self.run_model_async(n, x, out)
+                    for n, x, out in zip(names, inputs, outputs)
+                ]
+                return [future.result(timeout) for future in futures]
+            return self._run_batch_store(names, inputs, outputs, timeout)
+        finally:
+            if scratch_outs:
+                self._orc.delete_tensors(scratch_outs)
+
+    def _run_batch_store(
+        self,
+        names: list[str],
+        inputs: Sequence[Union[str, Sequence[str], np.ndarray]],
+        outputs: Sequence[Union[str, Sequence[str]]],
+        timeout: Optional[float],
+    ) -> list[np.ndarray]:
+        """Store-keyed bulk path: stage, submit_many, gather in order.
+
+        Requests share one completion latch and outputs are gathered
+        under one store lock, so the per-request client overhead stays
+        far below the serving cost.
+        """
         staged = [self._stage_inputs(x) for x in inputs]
         out_keys_list = [
             (out,) if isinstance(out, str) else tuple(out) for out in outputs
@@ -407,27 +453,65 @@ class Client:
         latch = _BatchLatch(len(inputs))
         requests = [
             InferenceRequest(
-                model_name=name,
+                model_name=n,
                 input_keys=in_keys,
                 output_keys=out_keys,
                 done=_LatchedDone(latch),
             )
-            for (in_keys, _), out_keys in zip(staged, out_keys_list)
+            for n, (in_keys, _), out_keys in zip(names, staged, out_keys_list)
         ]
         scratch_keys = [key for _, scratch in staged for key in scratch]
         try:
             self._orc.submit_many(requests)
             if not latch.wait(timeout):
                 raise TimeoutError(
-                    f"{len(requests)} batched inferences for model {name!r} "
-                    f"did not complete within {timeout}s"
+                    f"{len(requests)} batched inferences did not complete "
+                    f"within {timeout}s"
                 )
             for request in requests:
                 if request.error is not None:
                     raise request.error
+            # outputs are views of stored arrays: the arrays stay alive
+            # through the views even if the keys are deleted afterwards
             return self._orc.get_tensors([keys[0] for keys in out_keys_list])
         finally:
             self._orc.delete_tensors(scratch_keys)
+
+    def _run_rows_grouped(
+        self,
+        names: list[str],
+        inputs: Sequence[np.ndarray],
+        timeout: Optional[float],
+    ) -> list[np.ndarray]:
+        """Sharded bulk path: group rows, fan groups out, gather, reorder.
+
+        Groups dispatch pmap-style — every group is in flight before the
+        first gather — so shards with different models work concurrently.
+        The whole burst crosses to the pool in one call
+        (:meth:`Orchestrator.run_rows_many`), which coalesces all groups
+        bound for one shard into a single wire message.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for i, (n, x) in enumerate(zip(names, inputs)):
+            groups.setdefault((n, x.shape, x.dtype.str), []).append(i)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        index_blocks = list(groups.values())
+        stacked_groups = [
+            (n, np.stack([inputs[i] for i in idxs]))
+            for (n, _, _), idxs in groups.items()
+        ]
+        rows_results = self._orc.run_rows_many(stacked_groups)
+        results: list[Optional[np.ndarray]] = [None] * len(inputs)
+        for idxs, rows_result in zip(index_blocks, rows_results):
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            block = rows_result.result(remaining)
+            for j, i in enumerate(idxs):
+                results[i] = block[j]
+        return results
 
     # -- online feature reduction ---------------------------------------------------------
 

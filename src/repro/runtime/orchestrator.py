@@ -46,6 +46,7 @@ When telemetry is disabled the hot paths pay one attribute check.
 from __future__ import annotations
 
 import contextlib
+import pickle
 import queue
 import threading
 import time
@@ -262,6 +263,15 @@ class Orchestrator:
       ``<dir>/plan_cache/`` so restarts reuse them (content-addressed;
       see :class:`repro.compile.PlanCache`).  ``None`` keeps the plan
       cache in-memory only.
+    * ``num_processes`` — ``> 0`` switches the serving pool from threads
+      to worker *processes*: models shard across a consistent-hash ring
+      (:class:`~repro.runtime.sharding.ProcessShardPool`), tensors cross
+      the boundary through pooled shared-memory segments, and admission
+      control bounds each shard queue at ``max_queue_depth`` rows with
+      backpressure up to ``admission_timeout_ms`` before load-shedding a
+      typed :class:`~repro.runtime.sharding.OverloadError`.  Models must
+      be picklable in this mode (surrogate packages are).  ``0`` keeps
+      the in-process thread pool (default).
     """
 
     def __init__(
@@ -274,6 +284,10 @@ class Orchestrator:
         batch_invariant: bool = True,
         compile_plans: bool = True,
         plan_cache_dir: Optional[Union[str, Path]] = None,
+        num_processes: int = 0,
+        max_queue_depth: int = 512,
+        admission_timeout_ms: float = 50.0,
+        start_method: str = "spawn",
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -281,12 +295,30 @@ class Orchestrator:
             raise ValueError("max_wait_ms must be >= 0")
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if num_processes < 0:
+            raise ValueError("num_processes must be >= 0")
         self.port = int(port)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
         self.num_workers = int(num_workers)
         self.batch_invariant = bool(batch_invariant)
         self.compile_plans = bool(compile_plans)
+        self.num_processes = int(num_processes)
+        self._pool = None
+        if self.num_processes:
+            # deferred import: sharding pulls in procworker, which this
+            # module must not depend on at import time
+            from .sharding import ProcessShardPool
+
+            self._pool = ProcessShardPool(
+                self.num_processes,
+                max_queue_depth=max_queue_depth,
+                admission_timeout_ms=admission_timeout_ms,
+                start_method=start_method,
+                batch_invariant=self.batch_invariant,
+                compile_plans=self.compile_plans,
+                plan_cache_dir=str(plan_cache_dir) if plan_cache_dir else None,
+            )
         self._tensors: dict[str, np.ndarray] = {}  # cc: guarded-by(_lock)
         self._models: dict[str, _ModelEntry] = {}  # cc: guarded-by(_lock)
         self._lock = threading.RLock()
@@ -493,6 +525,19 @@ class Orchestrator:
         """
         if not callable(predict):
             raise TypeError("model must be callable")
+        blob: Optional[bytes] = None
+        if self._pool is not None:
+            # pickle BEFORE registering locally so an unservable model
+            # fails cleanly instead of leaving front-end/worker split-brain
+            target = package if package is not None else predict
+            try:
+                blob = pickle.dumps(target)
+            except Exception as exc:
+                raise TypeError(
+                    f"model {name!r} cannot serve with num_processes > 0: "
+                    f"it does not pickle ({exc}); register a module-level "
+                    "callable or a surrogate package"
+                ) from exc
         with self._lock:
             entry = self._models.setdefault(name, _ModelEntry())
             if version is None:
@@ -505,6 +550,11 @@ class Orchestrator:
             )
             if deploy:
                 self._activate(name, entry, version)
+        if blob is not None:
+            # every version ships to its ring-assigned shard at register
+            # time, so deploy()/rollback() stay pure front-end pointer
+            # flips — the worker already holds whatever gets activated
+            self._pool.register(name, version, blob, bool(batchable), digest)
         return version
 
     def deploy(self, name: str, version: int) -> int:
@@ -631,7 +681,14 @@ class Orchestrator:
             model = pinned if pinned is not None else self._resolve_locked(
                 name, version
             )
-            inputs = [self.get_tensor(k) for k in input_keys]
+            # bulk fetch under the one already-held lock: going through
+            # get_tensor would re-acquire the RLock once per key
+            try:
+                inputs = [self._tensors[k] for k in input_keys]
+            except KeyError as exc:
+                raise KeyError(
+                    f"no tensor stored under key {exc.args[0]!r}"
+                ) from None
         x = inputs[0] if len(inputs) == 1 else np.concatenate(
             [np.atleast_1d(v).ravel() for v in inputs]
         )
@@ -679,6 +736,22 @@ class Orchestrator:
                 )
         return None if resolved is _UNTRACEABLE else resolved
 
+    def _plan_resolved(self, name: str, model: _ModelVersion, tensor) -> bool:
+        """True when this exact specialization already resolved to a plan.
+
+        A pure dict probe — never compiles — so the micro-batcher can ask
+        it while holding ``_lock`` (lock order ``_lock`` → ``_plan_lock``;
+        plan building never takes ``_lock``, so the order is acyclic).
+        The first request for a cold key serves per-request and resolves
+        the plan; every later burst groups on it.
+        """
+        if not self.compile_plans or model.package is None:
+            return False
+        key = (name, model.version, tensor.shape, tensor.dtype.str)
+        with self._plan_lock:
+            resolved = self._plans.get(key)
+        return resolved is not None and resolved is not _UNTRACEABLE
+
     def _build_plan(self, model: _ModelVersion, shape, dtype: str):
         """Fetch from the plan cache or trace-and-compile (None: fall back)."""
         try:
@@ -717,6 +790,13 @@ class Orchestrator:
         with self._state_lock:
             if self._running:
                 return
+            if self._pool is not None:
+                # process mode: admission + dispatch happen inline in
+                # submit(); the pool's collector threads complete requests
+                self._pool.start()
+                self._running = True
+                self._workers = []
+                return
             self._running = True
             self._workers = [
                 threading.Thread(
@@ -751,6 +831,8 @@ class Orchestrator:
             workers, self._workers = self._workers, []
             for _ in workers:
                 self._queue.put(None)
+        if self._pool is not None:
+            self._pool.stop(join_timeout)
         stuck = 0
         for worker in workers:
             worker.join(timeout=join_timeout)
@@ -808,10 +890,16 @@ class Orchestrator:
             if not self._running:
                 raise RuntimeError("orchestrator not started; call start() first")
             self._pin_versions([request])
-            self._queue.put(request)
             if self._telemetry.enabled:
                 self._m_submitted.inc()
-                self._m_queue_depth.set(self._queue.qsize())
+            if self._pool is None:
+                self._queue.put(request)
+                if self._telemetry.enabled:
+                    self._m_queue_depth.set(self._queue.qsize())
+                return request
+        # process mode: dispatch outside the state lock — admission may
+        # block (backpressure) and must not serialize unrelated submitters
+        self._dispatch_process(request)
         return request
 
     def submit_many(
@@ -828,11 +916,145 @@ class Orchestrator:
             if not self._running:
                 raise RuntimeError("orchestrator not started; call start() first")
             self._pin_versions(requests)
-            self._queue.put_many(requests)
             if self._telemetry.enabled:
                 self._m_submitted.inc(len(requests))
-                self._m_queue_depth.set(self._queue.qsize())
+            if self._pool is None:
+                self._queue.put_many(requests)
+                if self._telemetry.enabled:
+                    self._m_queue_depth.set(self._queue.qsize())
+                return requests
+        for request in requests:
+            self._dispatch_process(request)
         return requests
+
+    # -- process-mode dispatch -----------------------------------------------------
+
+    def _dispatch_process(self, request: InferenceRequest) -> None:
+        """Admit one store-backed request into the shard pool.
+
+        Failures — unknown model, missing input key, admission shed
+        (:class:`~repro.runtime.sharding.OverloadError`) — land on
+        ``request.error`` and signal ``request.done``, surfacing through
+        ``InferenceFuture.result`` exactly like thread-mode errors.
+        """
+        try:
+            model = request.model
+            if model is None:
+                with self._lock:
+                    model = self._resolve_locked(request.model_name)
+                request.model = model
+            if len(request.output_keys) != 1:
+                raise ValueError(
+                    "multi-output splitting is the client's job; pass one key"
+                )
+            with self._lock:
+                try:
+                    inputs = [self._tensors[k] for k in request.input_keys]
+                except KeyError as exc:
+                    raise KeyError(
+                        f"no tensor stored under key {exc.args[0]!r}"
+                    ) from None
+            x = inputs[0] if len(inputs) == 1 else np.concatenate(
+                [np.atleast_1d(v).ravel() for v in inputs]
+            )
+
+            def on_done(output, error, request=request):
+                if error is None:
+                    self.put_tensor(request.output_keys[0], output)
+                else:
+                    request.error = error
+                    # worker-side failures are already counted in the
+                    # worker's merged delta; only front-end-originated
+                    # abandons are counted here
+                    if self._telemetry.enabled and isinstance(
+                        error, OrchestratorStopped
+                    ):
+                        self._m_failed.inc()
+                request.done.set()
+
+            self._pool.dispatch_one(
+                request.model_name, model.version, x, on_done
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced to the waiter
+            request.error = exc
+            request.done.set()
+            if self._telemetry.enabled:
+                self._m_failed.inc()
+
+    def run_rows_async(
+        self, name: str, rows: np.ndarray, *, version: Optional[int] = None
+    ):
+        """Bulk vectorized dispatch of stacked input rows (process mode).
+
+        ``rows`` is a ``(B, F)`` block of same-shape inputs for one model;
+        the whole block crosses the process boundary as a handful of
+        shared-memory chunks and runs as vectorized forwards on the
+        owning shard — no per-row store keys, events, or queue slots.
+        Returns a :class:`~repro.runtime.sharding.RowsResult`; may raise
+        :class:`~repro.runtime.sharding.OverloadError` on admission.
+        """
+        if self._pool is None:
+            raise RuntimeError("run_rows requires num_processes > 0")
+        if not self._running:
+            raise RuntimeError("orchestrator not started; call start() first")
+        with self._lock:
+            model = self._resolve_locked(name, version)
+        stacked = np.atleast_2d(np.asarray(rows))
+        stacked = self._coerce(stacked)
+        if self._telemetry.enabled:
+            self._m_submitted.inc(stacked.shape[0])
+        return self._pool.dispatch_rows(name, model.version, stacked)
+
+    def run_rows(
+        self,
+        name: str,
+        rows: np.ndarray,
+        *,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Blocking :meth:`run_rows_async`: returns the stacked output rows."""
+        return self.run_rows_async(name, rows, version=version).result(timeout)
+
+    def run_rows_many(self, groups) -> list:
+        """Dispatch several ``(name, stacked_rows)`` blocks in one pool call.
+
+        The burst-coalescing bulk path: every block lands on its owning
+        shard with one wire message *per shard*, not per block
+        (:meth:`~repro.runtime.sharding.ProcessShardPool.dispatch_groups`).
+        Per-group failures — unknown model, admission shed — fail that
+        group's :class:`~repro.runtime.sharding.RowsResult` instead of
+        raising, so one hot model cannot block the rest of the burst.
+        Returns one result per group, in order.
+        """
+        from .sharding import RowsResult  # deferred: see start()
+
+        if self._pool is None:
+            raise RuntimeError("run_rows_many requires num_processes > 0")
+        if not self._running:
+            raise RuntimeError("orchestrator not started; call start() first")
+        results: list = [None] * len(groups)
+        staged: list[tuple[str, int, np.ndarray]] = []
+        order: list[int] = []
+        total_rows = 0
+        for i, (name, rows) in enumerate(groups):
+            try:
+                with self._lock:
+                    model = self._resolve_locked(name)
+            except Exception as exc:  # noqa: BLE001 - fail this group only
+                failed = RowsResult(1)
+                failed._fail_rest(exc, 1)
+                results[i] = failed
+                continue
+            stacked = self._coerce(np.atleast_2d(np.asarray(rows)))
+            total_rows += int(stacked.shape[0])
+            staged.append((name, model.version, stacked))
+            order.append(i)
+        if self._telemetry.enabled and total_rows:
+            self._m_submitted.inc(total_rows)
+        for i, result in zip(order, self._pool.dispatch_groups(staged)):
+            results[i] = result
+        return results
 
     # -- serving pool internals -------------------------------------------------------
 
@@ -880,9 +1102,14 @@ class Orchestrator:
         """Split a drained batch into vectorizable groups.
 
         Requests stack into one forward pass when they are pinned to the
-        same batchable model *version* with a single 1-D input tensor of
-        the same shape and dtype; everything else is served on the
-        per-request path.  Grouping on the pinned version means a batch
+        same model *version* with a single 1-D input tensor of the same
+        shape and dtype, and that model either declared itself row-wise
+        (``batchable=True``) or already has a compiled plan resolved for
+        exactly this specialization key — compiled plans are row-wise by
+        construction and bit-identical across batch slicings under
+        ``batch_invariant()``, so stacking them is always safe.
+        Everything else is served on the per-request path.  Grouping on
+        the pinned version means a batch
         drained across a ``deploy`` splits cleanly — requests admitted
         under v1 run v1's weights, requests admitted under v2 run v2's,
         never one mixed forward.  Groups carry the model and input
@@ -906,9 +1133,12 @@ class Orchestrator:
                     tensor = self._tensors.get(request.input_keys[0])
                     if (
                         model is not None
-                        and model.batchable
                         and tensor is not None
                         and tensor.ndim == 1
+                        and (
+                            model.batchable
+                            or self._plan_resolved(request.model_name, model, tensor)
+                        )
                     ):
                         key = (
                             request.model_name,
@@ -968,6 +1198,12 @@ class Orchestrator:
         plan = self._plan_for(
             name, group.model, group.inputs[0].shape, group.inputs[0].dtype.str
         )
+        if plan is None and not group.model.batchable:
+            # grouped on a resolved plan that has since been invalidated:
+            # a model never declared row-wise must not see a stacked input
+            for request in requests:
+                self._serve_one(request)
+            return
         start = time.perf_counter()
         try:
             if plan is not None:

@@ -15,9 +15,10 @@ both simulated and measured splits.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +37,8 @@ __all__ = [
     "ONLINE_PHASES",
     "ThroughputResult",
     "measure_serving_throughput",
+    "QPSResult",
+    "measure_sustained_qps",
 ]
 
 ONLINE_PHASES = ("fetch_input", "encode", "load_model", "run_model")
@@ -101,17 +104,22 @@ class ThroughputResult:
     seconds: float
     max_batch_size: int
     num_workers: int
+    num_processes: int = 0
 
     @property
     def requests_per_sec(self) -> float:
         return self.requests / self.seconds if self.seconds > 0 else float("inf")
 
     def format(self) -> str:
+        pool = (
+            f"processes={self.num_processes}"
+            if self.num_processes
+            else f"workers={self.num_workers}"
+        )
         return (
             f"{self.requests} requests in {self.seconds:.3f}s = "
             f"{self.requests_per_sec:,.0f} req/s "
-            f"(max_batch_size={self.max_batch_size}, "
-            f"workers={self.num_workers})"
+            f"(max_batch_size={self.max_batch_size}, {pool})"
         )
 
 
@@ -126,6 +134,7 @@ def measure_serving_throughput(
     model_name: str = "surrogate",
     timeout: float = 120.0,
     compile_plans: bool = True,
+    num_processes: int = 0,
 ) -> ThroughputResult:
     """Requests/sec of the orchestrator serving path for one configuration.
 
@@ -139,6 +148,8 @@ def measure_serving_throughput(
     :class:`TimeoutError` instead of hanging the benchmark).
     ``compile_plans=False`` pins the interpreted forward path (the
     baseline ``repro serve --no-compile`` measures against).
+    ``num_processes > 0`` measures the sharded multi-process pool
+    instead of the thread pool.
     """
     rows = np.atleast_2d(np.asarray(rows))
     orchestrator = Orchestrator(
@@ -147,6 +158,7 @@ def measure_serving_throughput(
         num_workers=num_workers,
         batch_invariant=batch_invariant,
         compile_plans=compile_plans,
+        num_processes=num_processes,
     )
     client = Client(orchestrator)
     client.set_model(model_name, package)
@@ -163,6 +175,106 @@ def measure_serving_throughput(
         seconds=elapsed,
         max_batch_size=max_batch_size,
         num_workers=num_workers,
+        num_processes=num_processes,
+    )
+
+
+@dataclass(frozen=True)
+class QPSResult:
+    """Outcome of one sustained-QPS measurement under mixed traffic."""
+
+    mode: str
+    num_processes: int
+    requests: int
+    seconds: float
+    p50_ms: float
+    p99_ms: float
+    output_digest: str
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else float("inf")
+
+    def format(self) -> str:
+        pool = f"{self.num_processes} processes" if self.num_processes else "threads"
+        return (
+            f"{self.qps:,.0f} req/s sustained over {self.seconds:.2f}s "
+            f"({pool}; burst p50 {self.p50_ms:.2f}ms, p99 {self.p99_ms:.2f}ms)"
+        )
+
+
+def measure_sustained_qps(
+    packages: dict[str, SurrogatePackage],
+    traffic: Sequence[tuple[str, np.ndarray]],
+    *,
+    num_processes: int = 0,
+    duration_s: float = 2.0,
+    burst: int = 64,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    num_workers: int = 4,
+    batch_invariant: bool = True,
+    max_queue_depth: int = 512,
+    timeout: float = 60.0,
+) -> QPSResult:
+    """Sustained QPS + burst latency percentiles under mixed-model traffic.
+
+    ``traffic`` is a fixed request mix — ``(model_name, input_row)``
+    pairs cycled for ``duration_s`` seconds in bursts of ``burst``
+    requests through :meth:`Client.run_model_batch` (per-request names,
+    results returned directly).  ``num_processes=0`` measures the
+    thread-pool baseline; ``> 0`` the sharded process pool — both through
+    the identical client API, so the comparison isolates the serving
+    runtime.
+
+    One full pass over ``traffic`` runs before the clock starts: it
+    warms every compiled plan AND hashes the outputs into
+    ``output_digest``, so two measurements over the same traffic can
+    assert bit-identity across serving modes (``batch_invariant``
+    models must produce byte-equal outputs in thread and process mode).
+    """
+    orchestrator = Orchestrator(
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        num_workers=num_workers,
+        batch_invariant=batch_invariant,
+        num_processes=num_processes,
+        max_queue_depth=max_queue_depth,
+    )
+    client = Client(orchestrator)
+    for model_name, package in packages.items():
+        client.set_model(model_name, package)
+    names = [n for n, _ in traffic]
+    rows = [np.asarray(r) for _, r in traffic]
+    n = len(traffic)
+    with orchestrator:
+        probe = client.run_model_batch(names, rows, timeout=timeout)
+        digest = hashlib.sha256()
+        for out in probe:
+            digest.update(np.ascontiguousarray(out).tobytes())
+        served = 0
+        latencies = []
+        offset = 0
+        start = time.perf_counter()
+        while time.perf_counter() - start < duration_s:
+            idx = [(offset + j) % n for j in range(burst)]
+            burst_names = [names[i] for i in idx]
+            burst_rows = [rows[i] for i in idx]
+            t0 = time.perf_counter()
+            client.run_model_batch(burst_names, burst_rows, timeout=timeout)
+            latencies.append((time.perf_counter() - t0) * 1e3)
+            served += burst
+            offset = (offset + burst) % n
+        elapsed = time.perf_counter() - start
+    lat = np.asarray(latencies)
+    return QPSResult(
+        mode="processes" if num_processes else "threads",
+        num_processes=num_processes,
+        requests=served,
+        seconds=elapsed,
+        p50_ms=float(np.percentile(lat, 50)),
+        p99_ms=float(np.percentile(lat, 99)),
+        output_digest=digest.hexdigest(),
     )
 
 

@@ -1,0 +1,649 @@
+"""Front-end for multi-process sharded serving: ring, admission, dispatch.
+
+:class:`ProcessShardPool` splits the serving runtime into an admission
+layer (this process) and N worker *processes*
+(:func:`~repro.runtime.procworker.worker_main`), one per shard of a
+consistent-hash ring.  Every registered ``(name, version)`` lives on
+exactly one shard — :class:`ShardRing` hashes the pair over virtual
+nodes, so two versions of one model may serve from different processes,
+and ``deploy``/``rollback`` stay *front-end pointer flips*: requests are
+pinned to a version number at admission and dispatched to that version's
+shard explicitly, so a hot-swap never reroutes an admitted request.
+
+Admission control is per shard: a depth counter bounded by
+``max_queue_depth``, counted in *rows*.  A full shard exerts
+**backpressure** (the submitter blocks up to ``admission_timeout_ms``
+waiting for the queue to drain) and then **load-sheds** with a typed
+:class:`OverloadError` — the caller sees a clean typed failure instead
+of an unbounded queue.  ``repro_overload_total`` counts sheds;
+``repro_shard_queue_depth{shard}`` tracks depth.
+
+Tensors cross the process boundary through pooled shared-memory
+segments (:mod:`~repro.runtime.shm_store`): the front-end owns the
+input-side pool, each worker owns its output-side pool, and read-out
+output segments ride back to their worker *piggybacked on the next
+request message* — recycling costs zero extra pipe writes.  One
+collector thread per shard gathers results, resolves waiters, stashes
+segments for recycling, and merges worker metric deltas into this
+process's registry (:func:`repro.obs.apply_metrics_delta`).
+
+The data channels are raw ``Pipe`` connections, not ``mp.Queue``:
+a queue ``put`` hands the message to a feeder *thread* that must win
+the GIL before anything hits the wire — under serving load that hop
+roughly doubles round-trip latency and stops grouped dispatches from
+pipelining.  A ``Connection.send`` pickles and writes in the calling
+thread, so the worker can be reading the request before ``dispatch``
+returns.  Sends are serialized per shard with a lock (submitters race);
+each receive side has exactly one reader thread.
+
+The bulk path is what makes sharded serving fast on any core count: a
+block of same-(model, shape, dtype) rows travels as ONE vectorized
+forward (:meth:`ProcessShardPool.dispatch_rows`) — per-request
+bookkeeping (event, store keys, queue slot) never happens — and a
+mixed-model burst coalesces further
+(:meth:`ProcessShardPool.dispatch_groups`): every group bound for one
+shard shares a single ``("many", ...)`` request and a single
+``("manyok", ...)`` response, so the synchronous pipe-write wake-ups
+(a context switch each on a loaded box) are paid per *shard*, not per
+group.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from typing import Callable, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from .. import obs
+from .orchestrator import OrchestratorStopped
+from .procworker import worker_main
+from .shm_store import SegmentAttachments, ShmTensorStore, unlink_segments
+
+__all__ = ["OverloadError", "ShardRing", "ProcessShardPool", "RowsResult"]
+
+
+class OverloadError(RuntimeError):
+    """Request shed by admission control: the target shard queue stayed full.
+
+    Raised (or delivered through ``InferenceFuture.result``) when a
+    shard's bounded queue could not accept the request within the
+    admission timeout.  Typed so callers can distinguish "back off and
+    retry" from a genuine serving failure.
+    """
+
+
+class ShardRing:
+    """Consistent-hash ring mapping (name, version) to a shard.
+
+    ``vnodes`` virtual nodes per shard (sha256-placed) smooth the
+    distribution; the mapping depends only on ``(num_shards, vnodes)``
+    and the key, so every process — and every restart — agrees on it.
+    """
+
+    def __init__(self, num_shards: int, *, vnodes: int = 64) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+        self.vnodes = int(vnodes)
+        points: list[tuple[int, int]] = []
+        for shard in range(self.num_shards):
+            for v in range(self.vnodes):
+                points.append((self._hash(f"shard:{shard}:vnode:{v}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def shard_for(self, name: str, version: int) -> int:
+        """The shard owning model ``name`` at ``version``."""
+        h = self._hash(f"{name}@{int(version)}")
+        idx = bisect.bisect_right(self._hashes, h) % len(self._hashes)
+        return self._shards[idx]
+
+
+class _Pending(NamedTuple):
+    """One in-flight dispatch awaiting its result message."""
+
+    on_done: Callable[[Optional[np.ndarray], Optional[Exception]], None]
+    rows: int
+    input_segment: str
+    shard_id: int
+
+
+class RowsResult:
+    """Future for one bulk rows dispatch (possibly split into chunks)."""
+
+    def __init__(self, n_chunks: int) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._outputs: list[Optional[np.ndarray]] = [None] * n_chunks  # cc: guarded-by(_lock)
+        self._error: Optional[Exception] = None  # cc: guarded-by(_lock)
+        self._remaining = n_chunks  # cc: guarded-by(_lock)
+
+    def _resolve(
+        self, idx: int, output: Optional[np.ndarray], error: Optional[Exception]
+    ) -> None:
+        with self._lock:
+            if error is not None and self._error is None:
+                self._error = error
+            self._outputs[idx] = output
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self._event.set()
+
+    def _fail_rest(self, error: Exception, undispatched: int) -> None:
+        """Account chunks that never left the front-end (admission shed)."""
+        with self._lock:
+            if self._error is None:
+                self._error = error
+            self._remaining -= undispatched
+            if self._remaining <= 0:
+                self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """The stacked output rows; raises the first chunk error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"bulk rows dispatch did not complete within {timeout}s"
+            )
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            outputs = [o for o in self._outputs if o is not None]
+        if len(outputs) == 1:
+            return outputs[0]
+        return np.concatenate(outputs, axis=0)
+
+
+class _Shard:
+    """Front-end state for one worker process."""
+
+    def __init__(self, shard_id: int, ctx, config: dict) -> None:
+        self.id = shard_id
+        req_recv, self.req_send = ctx.Pipe(duplex=False)
+        self.res_recv, res_send = ctx.Pipe(duplex=False)
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        # Connection.send is not thread-safe; submitter threads race here
+        self.send_lock = threading.Lock()
+        # output segments read out by the collector, awaiting a ride back
+        # to the worker on the next request message.  Deliberately NOT
+        # guarded by send_lock: the collector must never wait behind a
+        # submitter blocked on a full request pipe.
+        self.recycle_pending: list[str] = []  # cc: guarded-by(recycle_lock)
+        self.recycle_lock = threading.Lock()
+        self.proc = ctx.Process(
+            target=worker_main,
+            args=(shard_id, child_conn, req_recv, res_send, config),
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        self.proc.start()
+        # drop our copies of the worker-side ends: EOF must propagate in
+        # both directions when either process goes away
+        child_conn.close()
+        req_recv.close()
+        res_send.close()
+        self.depth = 0  # cc: guarded-by(cond)
+        self.cond = threading.Condition()
+        self.collector: Optional[threading.Thread] = None
+
+
+class ProcessShardPool:
+    """N worker processes behind a consistent-hash ring with admission control."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        max_queue_depth: int = 512,
+        admission_timeout_ms: float = 50.0,
+        start_method: str = "spawn",
+        batch_invariant: bool = True,
+        compile_plans: bool = True,
+        plan_cache_dir: Optional[str] = None,
+        vnodes: int = 64,
+        metrics_interval: float = 0.5,
+        boot_timeout: float = 60.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if admission_timeout_ms < 0:
+            raise ValueError("admission_timeout_ms must be >= 0")
+        self.num_shards = int(num_shards)
+        self.max_queue_depth = int(max_queue_depth)
+        self.admission_timeout = float(admission_timeout_ms) / 1000.0
+        self.ring = ShardRing(self.num_shards, vnodes=vnodes)
+        self.boot_timeout = float(boot_timeout)
+        self._ctx = mp.get_context(start_method)
+        self._config = {
+            "batch_invariant": bool(batch_invariant),
+            "compile_plans": bool(compile_plans),
+            "plan_cache_dir": str(plan_cache_dir) if plan_cache_dir else None,
+            "telemetry": obs.is_enabled(),
+            "metrics_interval": float(metrics_interval),
+        }
+        # dispatch paths read the list without the lock: it is swapped
+        # atomically in start()/never shrunk, and they gate on _running
+        self._shards: list[_Shard] = []  # cc: guarded-by(_state_lock, atomic-reads)
+        self._store: Optional[ShmTensorStore] = None
+        # registration replay log: models registered before start() ship
+        # to their shard when the workers come up
+        self._registered: list[tuple] = []  # cc: guarded-by(_conn_lock)
+        self._conn_lock = threading.Lock()  # serializes all control-pipe traffic
+        self._pending: dict[int, _Pending] = {}  # cc: guarded-by(_pending_lock)
+        self._pending_lock = threading.Lock()
+        self._req_ids = itertools.count(1)
+        # bare reads see a GIL-atomic bool; transitions under _state_lock
+        self._running = False  # cc: guarded-by(_state_lock, atomic-reads)
+        self._state_lock = threading.Lock()
+        self._telemetry = obs.TELEMETRY
+        registry = obs.get_registry()
+        self._m_depth = registry.gauge(
+            "repro_shard_queue_depth",
+            "Admitted rows waiting on (or inside) each shard's worker",
+            labels=("shard",),
+        )
+        self._m_overload = registry.counter(
+            "repro_overload_total",
+            "Requests shed by admission control (shard queue stayed full)",
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        with self._state_lock:
+            if self._running:
+                return
+            self._store = ShmTensorStore(prefix="repro_fe")
+            self._shards = [
+                _Shard(i, self._ctx, self._config) for i in range(self.num_shards)
+            ]
+            with self._conn_lock:
+                for shard in self._shards:
+                    self._control(shard, ("ping",))  # block until booted
+                    for reg in self._registered:
+                        target = self.ring.shard_for(reg[0], reg[1])
+                        if target == shard.id:
+                            self._control(shard, ("register",) + reg)
+            for shard in self._shards:
+                shard.collector = threading.Thread(
+                    target=self._collect,
+                    args=(shard,),
+                    daemon=True,
+                    name=f"repro-collector-{shard.id}",
+                )
+                shard.collector.start()
+            self._running = True
+
+    def _control(self, shard: _Shard, cmd: tuple) -> None:  # cc: requires(_conn_lock)
+        """Send one control command and wait for the worker's ack."""
+        shard.conn.send(cmd)
+        if not shard.conn.poll(self.boot_timeout):
+            raise RuntimeError(
+                f"shard {shard.id} worker did not acknowledge {cmd[0]!r} "
+                f"within {self.boot_timeout:.0f}s"
+            )
+        ack = shard.conn.recv()
+        if ack != ("ok",):
+            raise RuntimeError(f"shard {shard.id} returned {ack!r} to {cmd[0]!r}")
+
+    def register(
+        self,
+        name: str,
+        version: int,
+        blob: bytes,
+        batchable: bool,
+        digest: Optional[str],
+    ) -> None:
+        """Ship one pre-pickled model version to its ring-assigned shard."""
+        entry = (name, int(version), blob, bool(batchable), digest)
+        with self._conn_lock:
+            self._registered.append(entry)
+            if self._running:
+                shard = self._shards[self.ring.shard_for(name, version)]
+                self._control(shard, ("register",) + entry)
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop workers, drain collectors, fail whatever never completed."""
+        with self._state_lock:
+            if not self._running:
+                return
+            self._running = False
+            shards = self._shards
+        with self._conn_lock:
+            for shard in shards:
+                try:
+                    shard.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass  # worker already gone; the join below reaps it
+        for shard in shards:
+            shard.proc.join(join_timeout)
+            if shard.proc.is_alive():  # pragma: no cover - wedged forward
+                # the worker never says goodbye; killing it closes its
+                # result pipe, and the collector treats the EOF as a crash
+                shard.proc.terminate()
+                shard.proc.join(1.0)
+        for shard in shards:
+            if shard.collector is not None:
+                shard.collector.join(join_timeout)
+        with self._pending_lock:
+            leftovers, self._pending = self._pending, {}
+        for pending in leftovers.values():
+            self._release(shards[pending.shard_id], pending.rows)
+            try:
+                pending.on_done(
+                    None,
+                    OrchestratorStopped(
+                        "serving pool stopped before this request was served"
+                    ),
+                )
+            except Exception:  # noqa: BLE001 - waiter callbacks must not block stop
+                pass
+        for shard in shards:
+            for conn in (shard.req_send, shard.res_recv, shard.conn):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        if self._store is not None:
+            self._store.unlink_all()
+        if self._telemetry.enabled:
+            for shard in shards:
+                self._m_depth.set(0, shard=str(shard.id))
+
+    # -- admission -----------------------------------------------------------------
+
+    def _admit(self, shard: _Shard, rows: int) -> None:
+        """Reserve ``rows`` queue slots; backpressure, then load-shed."""
+        deadline: Optional[float] = None
+        with shard.cond:
+            while shard.depth + rows > self.max_queue_depth:
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + self.admission_timeout
+                remaining = deadline - now
+                if remaining <= 0 or not self._running:
+                    if self._telemetry.enabled:
+                        self._m_overload.inc()
+                    raise OverloadError(
+                        f"shard {shard.id} queue full ({shard.depth}/"
+                        f"{self.max_queue_depth} rows) for "
+                        f"{self.admission_timeout * 1e3:.0f}ms; request shed"
+                    )
+                shard.cond.wait(remaining)
+            shard.depth += rows
+            depth = shard.depth
+        if self._telemetry.enabled:
+            self._m_depth.set(depth, shard=str(shard.id))
+
+    def _release(self, shard: _Shard, rows: int) -> None:
+        with shard.cond:
+            shard.depth -= rows
+            depth = shard.depth
+            shard.cond.notify_all()
+        if self._telemetry.enabled:
+            self._m_depth.set(depth, shard=str(shard.id))
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def dispatch_one(
+        self,
+        name: str,
+        version: int,
+        x: np.ndarray,
+        on_done: Callable[[Optional[np.ndarray], Optional[Exception]], None],
+    ) -> None:
+        """Queue one input row; ``on_done(output, error)`` fires on completion.
+
+        Raises :class:`OverloadError` if the shard never drained below
+        its depth bound within the admission timeout.
+        """
+        if not self._running:
+            raise RuntimeError("process pool is not running")
+        shard = self._shards[self.ring.shard_for(name, version)]
+        self._admit(shard, 1)
+        try:
+            handle = self._store.put(x)
+        except Exception:
+            self._release(shard, 1)
+            raise
+        self._enqueue(shard, "one", name, version, handle, on_done, 1)
+
+    def dispatch_rows(
+        self, name: str, version: int, stacked: np.ndarray
+    ) -> RowsResult:
+        """Queue a (B, F) block as vectorized chunks; returns a future.
+
+        Chunks are at most ``max_queue_depth`` rows so each can be
+        admitted whole (admission is all-or-nothing per chunk: a shed
+        chunk fails the whole :class:`RowsResult` with
+        :class:`OverloadError`, raised immediately when it is the first).
+        """
+        if not self._running:
+            raise RuntimeError("process pool is not running")
+        shard = self._shards[self.ring.shard_for(name, version)]
+        total = int(stacked.shape[0])
+        chunk = self.max_queue_depth
+        n_chunks = max(1, -(-total // chunk))
+        result = RowsResult(n_chunks)
+        for idx in range(n_chunks):
+            part = stacked[idx * chunk : (idx + 1) * chunk]
+            rows = int(part.shape[0])
+            try:
+                self._admit(shard, rows)
+            except OverloadError as exc:
+                result._fail_rest(exc, n_chunks - idx)
+                if idx == 0:
+                    raise  # nothing dispatched: surface the shed directly
+                return result
+            try:
+                handle = self._store.put(part)
+            except Exception:
+                self._release(shard, rows)
+                raise
+
+            def on_done(output, error, _result=result, _idx=idx):
+                _result._resolve(_idx, output, error)
+
+            self._enqueue(shard, "rows", name, version, handle, on_done, rows)
+        return result
+
+    def dispatch_groups(
+        self, groups: Sequence[tuple[str, int, np.ndarray]]
+    ) -> list[RowsResult]:
+        """Dispatch many ``(name, version, stacked)`` blocks, coalescing the wire.
+
+        pmap-style burst entry point: every group is *staged* first
+        (admitted, copied into shared memory, recorded as pending), then
+        each shard that owns any of them receives ONE ``("many", ...)``
+        request covering all of its groups and answers with ONE
+        ``("manyok", ...)`` response — the synchronous pipe round trips
+        are paid per shard, not per group.  A group that sheds
+        (:class:`OverloadError`) or fails to stage fails its own
+        :class:`RowsResult` with that error; the other groups proceed,
+        so one hot model cannot block the rest of the burst.  Returns
+        one result per group, in order.
+        """
+        if not self._running:
+            raise RuntimeError("process pool is not running")
+        results: list[RowsResult] = []
+        staged: dict[int, list[tuple]] = {}
+        for name, version, stacked in groups:
+            shard = self._shards[self.ring.shard_for(name, version)]
+            total = int(stacked.shape[0])
+            chunk = self.max_queue_depth
+            n_chunks = max(1, -(-total // chunk))
+            result = RowsResult(n_chunks)
+            results.append(result)
+            for idx in range(n_chunks):
+                part = stacked[idx * chunk : (idx + 1) * chunk]
+                rows = int(part.shape[0])
+                try:
+                    self._admit(shard, rows)
+                except OverloadError as exc:
+                    result._fail_rest(exc, n_chunks - idx)
+                    break
+                try:
+                    handle = self._store.put(part)
+                except Exception as exc:  # noqa: BLE001 - fail this group only
+                    self._release(shard, rows)
+                    result._fail_rest(exc, n_chunks - idx)
+                    break
+
+                def on_done(output, error, _result=result, _idx=idx):
+                    _result._resolve(_idx, output, error)
+
+                req_id = next(self._req_ids)
+                with self._pending_lock:
+                    self._pending[req_id] = _Pending(
+                        on_done, rows, handle.segment, shard.id
+                    )
+                staged.setdefault(shard.id, []).append(
+                    ("rows", req_id, name, int(version), handle)
+                )
+        for shard_id, items in staged.items():
+            shard = self._shards[shard_id]
+            try:
+                self._send_many(shard, items)
+            except (BrokenPipeError, OSError):
+                self._abandon(shard, items)
+        if not self._running:
+            # raced stop(): its sweep may have missed entries we inserted
+            # after it ran, so finish their handshakes ourselves
+            for shard_id, items in staged.items():
+                self._abandon(self._shards[shard_id], items)
+        return results
+
+    def _send_many(self, shard: _Shard, items: list[tuple]) -> None:
+        """Ship one coalesced request, piggybacking pending recycle names.
+
+        Raises ``BrokenPipeError``/``OSError`` if the worker is gone —
+        the recycled names are dropped with it (its segments are cleaned
+        up wholesale on the crash/stop path).
+        """
+        with shard.recycle_lock:
+            recycled, shard.recycle_pending = shard.recycle_pending, []
+        with shard.send_lock:
+            shard.req_send.send(("many", items, recycled))
+
+    def _abandon(self, shard: _Shard, items: list[tuple]) -> None:
+        """Fail staged dispatches whose send failed (or that raced ``stop``)."""
+        for _, req_id, _, _, handle in items:
+            with self._pending_lock:
+                pending = self._pending.pop(req_id, None)
+            if pending is None:
+                continue  # stop()'s sweep (or the collector) got there first
+            self._release(shard, pending.rows)
+            self._store.release(handle.segment)
+            try:
+                pending.on_done(
+                    None, OrchestratorStopped("serving pool stopped")
+                )
+            except Exception:  # noqa: BLE001 - waiter bugs must not block teardown
+                pass
+
+    def _enqueue(self, shard, kind, name, version, handle, on_done, rows) -> None:
+        req_id = next(self._req_ids)
+        pending = _Pending(on_done, rows, handle.segment, shard.id)
+        with self._pending_lock:
+            self._pending[req_id] = pending
+        try:
+            self._send_many(
+                shard, [(kind, req_id, name, int(version), handle)]
+            )
+        except (BrokenPipeError, OSError):
+            # worker (or the whole pool) went away under us
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            self._release(shard, rows)
+            self._store.release(handle.segment)
+            on_done(None, OrchestratorStopped("serving pool stopped"))
+            return
+        if not self._running:
+            # raced stop(): its sweep may have run before our insert, so
+            # finish the handshake ourselves if the entry is still there
+            with self._pending_lock:
+                still = self._pending.pop(req_id, None)
+            if still is not None:
+                self._release(shard, rows)
+                on_done(None, OrchestratorStopped("serving pool stopped"))
+
+    # -- result collection ---------------------------------------------------------
+
+    def _resolve_entry(
+        self, shard: _Shard, attachments: SegmentAttachments, entry: tuple
+    ) -> list[str]:
+        """Resolve one ``ok``/``err`` entry's waiter; returns segments to recycle."""
+        kind, req_id = entry[0], entry[1]
+        with self._pending_lock:
+            pending = self._pending.pop(req_id, None)
+        if pending is None:
+            return []  # stop() already failed this waiter
+        recycle: list[str] = []
+        if kind == "ok":
+            handle = entry[2]
+            output, error = attachments.take(handle), None
+            recycle.append(handle.segment)
+        else:
+            output, error = None, entry[2]
+        # worker is done reading the input: its segment can carry the
+        # next request
+        self._store.release(pending.input_segment)
+        self._release(shard, pending.rows)
+        try:
+            pending.on_done(output, error)
+        except Exception:  # noqa: BLE001 - a waiter bug must not kill the collector
+            pass
+        return recycle
+
+    def _collect(self, shard: _Shard) -> None:
+        """Per-shard gather loop: resolve waiters, recycle segments, merge metrics."""
+        attachments = SegmentAttachments()
+        while True:
+            try:
+                item = shard.res_recv.recv()
+            except (EOFError, OSError):
+                # worker vanished without a farewell (crash or terminate):
+                # best-effort removal of whatever output segments we know
+                attachments.close_all(unlink=True)
+                break
+            kind = item[0]
+            if kind == "manyok":
+                recycle = [
+                    seg
+                    for entry in item[1]
+                    for seg in self._resolve_entry(shard, attachments, entry)
+                ]
+                if recycle:
+                    # stash for the next request to carry back (piggyback
+                    # recycling: no pipe write of its own)
+                    with shard.recycle_lock:
+                        shard.recycle_pending.extend(recycle)
+            elif kind == "metrics":
+                obs.apply_metrics_delta(obs.get_registry(), item[2])
+            elif kind == "bye":
+                names = item[2]
+                if names is None:  # crashed worker: best-effort teardown
+                    attachments.close_all(unlink=True)
+                else:  # clean exit: segment ownership transferred to us
+                    attachments.close_all()
+                    unlink_segments(names)
+                break

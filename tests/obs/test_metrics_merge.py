@@ -1,0 +1,137 @@
+"""Delta-based cross-process metric merging (worker -> front-end)."""
+
+import pickle
+
+import pytest
+
+from repro.obs.merge import MetricsDeltaTracker, apply_metrics_delta
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestDeltaTracker:
+    def test_idle_registry_ships_nothing(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total", "never incremented")
+        tracker = MetricsDeltaTracker(registry)
+        assert tracker.delta() is None
+
+    def test_counter_delta_only_ships_movement(self):
+        registry = MetricsRegistry()
+        served = registry.counter("served_total", "requests", ("model",))
+        tracker = MetricsDeltaTracker(registry)
+        served.inc(3, model="a")
+        first = tracker.delta()
+        assert first is not None
+        (entry,) = first["counters"]
+        assert entry["name"] == "served_total"
+        assert entry["series"] == [{"key": ["a"], "value": 3.0}]
+        # nothing moved since: tracker must go quiet again
+        assert tracker.delta() is None
+        served.inc(2, model="b")
+        second = tracker.delta()
+        (entry,) = second["counters"]
+        # only the series that moved, as a delta not a total
+        assert entry["series"] == [{"key": ["b"], "value": 2.0}]
+
+    def test_histogram_delta_carries_bucket_increments(self):
+        registry = MetricsRegistry()
+        lat = registry.histogram(
+            "latency_seconds", "latency", ("model",), buckets=(0.1, 1.0)
+        )
+        tracker = MetricsDeltaTracker(registry)
+        lat.observe(0.05, model="a")
+        lat.observe(0.5, model="a")
+        delta = tracker.delta()
+        (entry,) = delta["histograms"]
+        assert entry["bounds"] == [0.1, 1.0]
+        (series,) = entry["series"]
+        assert series["key"] == ["a"]
+        assert series["buckets"] == [1, 1, 0]
+        assert series["count"] == 2
+        assert series["sum"] == pytest.approx(0.55)
+        assert tracker.delta() is None
+
+    def test_delta_payload_pickles(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c").inc(1)
+        registry.histogram("h_seconds", "h").observe(0.2)
+        tracker = MetricsDeltaTracker(registry)
+        delta = tracker.delta()
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+    def test_gauges_are_not_shipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", "queue depth").set(7)
+        tracker = MetricsDeltaTracker(registry)
+        assert tracker.delta() is None
+
+
+class TestApplyDelta:
+    def _shipper(self, worker: MetricsRegistry):
+        tracker = MetricsDeltaTracker(worker)
+
+        def ship(front: MetricsRegistry) -> None:
+            delta = tracker.delta()
+            if delta is not None:
+                apply_metrics_delta(front, delta)
+
+        return ship
+
+    def test_round_trip_creates_instruments(self):
+        worker = MetricsRegistry()
+        front = MetricsRegistry()
+        served = worker.counter("served_total", "requests served", ("model",))
+        ship = self._shipper(worker)
+        served.inc(5, model="m")
+        ship(front)
+        merged = front.get("served_total")
+        assert merged is not None
+        assert merged.help == "requests served"
+        assert merged.value(model="m") == 5
+
+    def test_repeated_publishes_do_not_double_count(self):
+        worker = MetricsRegistry()
+        front = MetricsRegistry()
+        served = worker.counter("served_total", "", ("model",))
+        ship = self._shipper(worker)
+        served.inc(5, model="m")
+        ship(front)
+        ship(front)  # idle publish: no movement, no double count
+        served.inc(1, model="m")
+        ship(front)
+        assert front.get("served_total").value(model="m") == 6
+        assert served.value(model="m") == 6
+
+    def test_merges_on_top_of_front_end_activity(self):
+        worker = MetricsRegistry()
+        front = MetricsRegistry()
+        front.counter("served_total", "", ("model",)).inc(10, model="m")
+        worker.counter("served_total", "", ("model",)).inc(2, model="m")
+        ship = self._shipper(worker)
+        ship(front)
+        assert front.get("served_total").value(model="m") == 12
+
+    def test_histogram_merge_preserves_quantiles_and_bounds(self):
+        worker = MetricsRegistry()
+        front = MetricsRegistry()
+        lat = worker.histogram(
+            "latency_seconds", "", (), buckets=(0.01, 0.1, 1.0)
+        )
+        ship = self._shipper(worker)
+        for v in (0.005, 0.05, 0.5, 0.5):
+            lat.observe(v)
+        ship(front)
+        merged = front.get("latency_seconds")
+        assert merged.buckets == lat.buckets
+        assert merged.quantile(0.5) == lat.quantile(0.5)
+        (state,) = merged.raw_series().values()
+        assert state[2] == 4
+
+    def test_two_workers_sum_into_one_view(self):
+        front = MetricsRegistry()
+        workers = [MetricsRegistry(), MetricsRegistry()]
+        for i, w in enumerate(workers):
+            w.counter("served_total", "", ("model",)).inc(i + 1, model="m")
+        for w in workers:
+            apply_metrics_delta(front, MetricsDeltaTracker(w).delta())
+        assert front.get("served_total").value(model="m") == 3

@@ -1,0 +1,49 @@
+"""Module-level models for process-mode tests.
+
+Worker processes are spawned, so registered models cross the boundary
+by pickle — which serializes functions and classes *by reference*.
+Anything served with ``num_processes > 0`` therefore has to live in an
+importable module; test functions defined inline would not unpickle in
+the worker.  These helpers are deliberately tiny and deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+def affine(x: np.ndarray) -> np.ndarray:
+    """Row-wise ``sum(2x + 1)``; accepts a single row or a stacked batch."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    return (2.0 * x + 1.0).sum(axis=1)
+
+
+def affine_x10(x: np.ndarray) -> np.ndarray:
+    """Scaled variant used as a distinguishable second version."""
+    return affine(x) * 10.0
+
+
+def negate(x: np.ndarray) -> np.ndarray:
+    """Row-wise ``-sum(x)`` — a second model for mixed traffic."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    return -x.sum(axis=1)
+
+
+class SleepyModel:
+    """Batchable model that sleeps per call — for jamming worker queues."""
+
+    def __init__(self, delay: float = 0.05) -> None:
+        self.delay = delay
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        time.sleep(self.delay)
+        return affine(x)
+
+
+class FailingModel:
+    """Raises a deterministic error so tests can assert propagation."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise ValueError("synthetic failure from FailingModel")

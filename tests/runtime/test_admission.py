@@ -1,0 +1,143 @@
+"""Admission control: bounded queues, backpressure, load shedding.
+
+Uses deliberately tiny queue depths plus :class:`SleepyModel` to jam a
+single worker, so the front end has to choose between waiting
+(backpressure) and shedding (:class:`OverloadError`).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.runtime import Client, Orchestrator, OverloadError
+
+from . import procmodels
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+def make_orc(**kwargs):
+    kwargs.setdefault("num_processes", 1)
+    kwargs.setdefault("max_queue_depth", 2)
+    kwargs.setdefault("admission_timeout_ms", 30.0)
+    return Orchestrator(**kwargs)
+
+
+class TestLoadShedding:
+    def test_overload_surfaces_through_future_result(self):
+        orc = make_orc()
+        orc.register_model("slow", procmodels.SleepyModel(0.4), batchable=True)
+        try:
+            orc.start()
+            client = Client(orc)
+            futures = [
+                client.run_model_async("slow", np.ones(3), f"o{i}")
+                for i in range(3)
+            ]
+            # depth 2 admits the first two; the third sheds after the
+            # 30 ms admission wait
+            with pytest.raises(OverloadError):
+                futures[2].result(timeout=60)
+            for future in futures[:2]:
+                future.result(timeout=60)
+            assert (
+                obs.get_registry().get("repro_overload_total").total() >= 1
+            )
+        finally:
+            orc.stop()
+
+    def test_overload_surfaces_through_run_model_batch(self):
+        orc = make_orc()
+        orc.register_model("slow", procmodels.SleepyModel(0.4), batchable=True)
+        try:
+            orc.start()
+            client = Client(orc)
+            jam = [
+                client.run_model_async("slow", np.ones(3), f"o{i}")
+                for i in range(2)
+            ]
+            with pytest.raises(OverloadError):
+                client.run_model_batch(
+                    "slow", [np.ones(3), np.ones(3)], timeout=60
+                )
+            for future in jam:
+                future.result(timeout=60)
+        finally:
+            orc.stop()
+
+    def test_shed_request_does_not_occupy_the_queue(self):
+        orc = make_orc()
+        orc.register_model("slow", procmodels.SleepyModel(0.2), batchable=True)
+        try:
+            orc.start()
+            client = Client(orc)
+            jam = [
+                client.run_model_async("slow", np.ones(3), f"o{i}")
+                for i in range(2)
+            ]
+            shed = client.run_model_async("slow", np.ones(3), "shed")
+            with pytest.raises(OverloadError):
+                shed.result(timeout=60)
+            for future in jam:
+                future.result(timeout=60)
+            # the shed request left no phantom depth behind: the queue
+            # admits a fresh pair immediately
+            outs = client.run_model_batch(
+                "slow", [np.ones(3), np.ones(3)], timeout=60
+            )
+            assert len(outs) == 2
+        finally:
+            orc.stop()
+
+
+class TestBackpressure:
+    def test_admission_waits_for_the_queue_to_drain(self):
+        # generous admission window: the third request must *wait* for a
+        # slot instead of shedding
+        orc = make_orc(admission_timeout_ms=5000.0)
+        orc.register_model("slow", procmodels.SleepyModel(0.05), batchable=True)
+        try:
+            orc.start()
+            client = Client(orc)
+            futures = [
+                client.run_model_async("slow", np.ones(3), f"o{i}")
+                for i in range(5)
+            ]
+            for future in futures:
+                np.testing.assert_array_equal(
+                    np.ravel(future.result(timeout=60)),
+                    procmodels.affine(np.ones(3)),
+                )
+            assert obs.get_registry().get("repro_overload_total").total() == 0
+        finally:
+            orc.stop()
+
+
+class TestAdmissionTimePinning:
+    def test_request_admitted_before_deploy_serves_its_pinned_version(self):
+        orc = make_orc(admission_timeout_ms=5000.0)
+        orc.register_model("m", procmodels.SleepyModel(0.3), batchable=True)
+        v2 = orc.register_model(
+            "m", procmodels.affine_x10, batchable=True, deploy=False
+        )
+        try:
+            orc.start()
+            client = Client(orc)
+            x = np.arange(3, dtype=np.float64)
+            pinned = client.run_model_async("m", x, "pinned")
+            # hot-swap while the pinned request is still being served
+            client.deploy_model("m", v2)
+            fresh = client.run_model_async("m", x, "fresh")
+            np.testing.assert_array_equal(
+                np.ravel(pinned.result(timeout=60)), procmodels.affine(x)
+            )
+            np.testing.assert_array_equal(
+                np.ravel(fresh.result(timeout=60)), procmodels.affine_x10(x)
+            )
+        finally:
+            orc.stop()

@@ -273,6 +273,70 @@ class TestMicroBatching:
         assert registry.histogram("repro_orchestrator_batch_wait_seconds").count() > 0
 
 
+class TestPlanGroupedBatching:
+    """Non-batchable package models still batch through a resolved plan.
+
+    ``batchable`` is opt-in because an arbitrary callable may mix rows —
+    but a compiled plan is row-wise *by construction*, so once a version
+    has a plan for a row shape, same-shape bursts vectorize through one
+    plan execution instead of falling back to per-request serving.
+    """
+
+    def test_warm_plan_vectorizes_a_burst(self, rng):
+        registry = obs.get_registry()
+        pkg = make_package(rng)
+        orc = Orchestrator(max_batch_size=16, max_wait_ms=50.0)
+        # deliberately NOT batchable: only the plan legitimizes grouping
+        orc.register_model("m", pkg.predict, package=pkg, batchable=False)
+        client = Client(orc)
+        x = rng.standard_normal((12, 6))
+        with orc:
+            warm = client.run_model("m", x[0], "warm").copy()  # builds the plan
+            rows_before = registry.counter(
+                "repro_orchestrator_batched_rows_total"
+            ).total()
+            futures = [
+                client.run_model_async("m", x[i], f"o{i}") for i in range(12)
+            ]
+            outs = [f.result(timeout=10.0).copy() for f in futures]
+            # the burst crossed the vectorized path, not 12 singles
+            assert (
+                registry.counter("repro_orchestrator_batched_rows_total").total()
+                > rows_before
+            )
+            # bit-identity: the batched rows equal their single-request runs
+            assert np.array_equal(outs[0], warm)
+            refs = [
+                client.run_model("m", x[i], f"r{i}").copy() for i in range(12)
+            ]
+        for got, ref in zip(outs, refs):
+            assert np.array_equal(got, ref)
+
+    def test_without_plans_non_batchable_stays_per_request(self, rng):
+        registry = obs.get_registry()
+        rows_before = registry.counter(
+            "repro_orchestrator_batched_rows_total"
+        ).total()
+        pkg = make_package(rng)
+        orc = Orchestrator(
+            max_batch_size=16, max_wait_ms=50.0, compile_plans=False
+        )
+        orc.register_model("m", pkg.predict, package=pkg, batchable=False)
+        client = Client(orc)
+        x = rng.standard_normal((6, 6))
+        with orc:
+            futures = [
+                client.run_model_async("m", x[i], f"o{i}") for i in range(6)
+            ]
+            outs = [f.result(timeout=10.0) for f in futures]
+        for i in range(6):
+            assert np.allclose(outs[i], pkg.predict(x[i]))
+        assert (
+            registry.counter("repro_orchestrator_batched_rows_total").total()
+            == rows_before
+        )
+
+
 class TestBitIdentity:
     """Batched serving must be bit-identical to per-request serving."""
 

@@ -1,0 +1,58 @@
+"""Consistent-hash ring assigning (model, version) replicas to shards."""
+
+from collections import Counter
+
+import pytest
+
+from repro.runtime.sharding import ShardRing
+
+
+class TestShardRing:
+    def test_single_shard_owns_everything(self):
+        ring = ShardRing(1)
+        assert {ring.shard_for(f"m{i}", 1) for i in range(50)} == {0}
+
+    def test_deterministic_across_instances(self):
+        a = ShardRing(4)
+        b = ShardRing(4)
+        for i in range(100):
+            assert a.shard_for(f"model_{i}", i % 3) == b.shard_for(
+                f"model_{i}", i % 3
+            )
+
+    def test_assignment_in_range(self):
+        ring = ShardRing(3)
+        for i in range(200):
+            assert 0 <= ring.shard_for(f"m{i}", 1) < 3
+
+    def test_versions_of_one_model_spread_across_shards(self):
+        # versions hash independently: a hot model's replicas should not
+        # all pile onto one shard
+        ring = ShardRing(4)
+        owners = {ring.shard_for("hot_model", v) for v in range(32)}
+        assert len(owners) > 1
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = ShardRing(4, vnodes=64)
+        counts = Counter(
+            ring.shard_for(f"model_{i}", 1) for i in range(2000)
+        )
+        assert set(counts) == {0, 1, 2, 3}
+        # 64 vnodes/shard keeps the spread well inside 2x of fair share
+        assert max(counts.values()) < 2 * (2000 / 4)
+        assert min(counts.values()) > (2000 / 4) / 2
+
+    def test_growing_the_ring_moves_few_keys(self):
+        # the consistent-hash property: adding a shard remaps roughly
+        # 1/N of the keyspace, not all of it
+        small = ShardRing(3)
+        large = ShardRing(4)
+        keys = [(f"model_{i}", 1) for i in range(1000)]
+        moved = sum(
+            small.shard_for(n, v) != large.shard_for(n, v) for n, v in keys
+        )
+        assert moved < 1000 * 0.5
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRing(0)

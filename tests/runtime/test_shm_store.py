@@ -1,0 +1,156 @@
+"""Handle-pooled shared-memory tensor store (owner + reader sides)."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.runtime.shm_store import (
+    MIN_SEGMENT_BYTES,
+    SegmentAttachments,
+    ShmHandle,
+    ShmTensorStore,
+    _size_class,
+    unlink_segments,
+)
+
+
+@pytest.fixture
+def store():
+    s = ShmTensorStore(prefix="repro_test")
+    yield s
+    s.unlink_all()
+
+
+class TestSizeClasses:
+    def test_power_of_two_with_page_floor(self):
+        assert _size_class(1) == MIN_SEGMENT_BYTES
+        assert _size_class(MIN_SEGMENT_BYTES) == MIN_SEGMENT_BYTES
+        assert _size_class(MIN_SEGMENT_BYTES + 1) == 2 * MIN_SEGMENT_BYTES
+        assert _size_class(100_000) == 131072
+
+    def test_handle_is_a_small_named_tuple(self):
+        handle = ShmHandle("seg", (3, 4), "<f8")
+        assert handle.segment == "seg"
+        assert handle.shape == (3, 4)
+        assert handle.dtype == "<f8"
+
+
+class TestStoreRoundTrip:
+    def test_put_take_round_trip(self, store, rng):
+        arr = rng.normal(size=(7, 5))
+        handle = store.put(arr)
+        att = SegmentAttachments()
+        try:
+            out = att.take(handle)
+        finally:
+            att.close_all()
+        assert out.dtype == arr.dtype
+        np.testing.assert_array_equal(out, arr)
+
+    def test_view_is_read_only_zero_copy(self, store):
+        arr = np.arange(6, dtype=np.float32).reshape(2, 3)
+        handle = store.put(arr)
+        att = SegmentAttachments()
+        try:
+            view = att.view(handle)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+            np.testing.assert_array_equal(view, arr)
+        finally:
+            att.close_all()
+
+    def test_non_contiguous_input_is_copied_correctly(self, store):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        arr = base[:, ::2]  # non-contiguous slice
+        handle = store.put(arr)
+        att = SegmentAttachments()
+        try:
+            np.testing.assert_array_equal(att.take(handle), arr)
+        finally:
+            att.close_all()
+
+
+class TestLeaseRecycle:
+    def test_release_recycles_within_size_class(self, store):
+        h1 = store.put(np.zeros(8))
+        store.release(h1.segment)
+        h2 = store.put(np.ones(16))  # same 4 KiB class
+        assert h2.segment == h1.segment
+        assert store.stats() == {"segments": 1, "leased": 1, "free": 0}
+
+    def test_distinct_size_classes_use_distinct_segments(self, store):
+        small = store.put(np.zeros(8))
+        store.release(small.segment)
+        big = store.put(np.zeros(MIN_SEGMENT_BYTES))  # 32 KiB of float64
+        assert big.segment != small.segment
+        assert store.stats()["segments"] == 2
+
+    def test_release_is_idempotent(self, store):
+        handle = store.put(np.zeros(4))
+        store.release(handle.segment)
+        store.release(handle.segment)
+        store.release("repro_never_existed")
+        assert store.stats()["free"] == 1
+
+    def test_reader_cache_hits_on_recycled_segment(self, store):
+        att = SegmentAttachments()
+        try:
+            h1 = store.put(np.full(4, 1.0))
+            np.testing.assert_array_equal(att.take(h1), np.full(4, 1.0))
+            store.release(h1.segment)
+            h2 = store.put(np.full(4, 2.0))
+            assert h2.segment == h1.segment
+            # second read resolves through the cached attachment
+            np.testing.assert_array_equal(att.take(h2), np.full(4, 2.0))
+            assert len(att._attached) == 1
+        finally:
+            att.close_all()
+
+
+class TestLifecycle:
+    def _on_disk(self, store):
+        return [
+            p for p in glob.glob("/dev/shm/*") if store.prefix in p
+        ]
+
+    def test_unlink_all_removes_segments_and_is_idempotent(self):
+        store = ShmTensorStore(prefix="repro_test")
+        store.put(np.zeros(4))
+        assert self._on_disk(store)
+        store.unlink_all()
+        assert not self._on_disk(store)
+        store.unlink_all()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.put(np.zeros(4))
+
+    def test_detach_all_transfers_ownership(self):
+        store = ShmTensorStore(prefix="repro_test", tracked=False)
+        store.put(np.zeros(4))
+        store.put(np.zeros(MIN_SEGMENT_BYTES))
+        names = store.detach_all()
+        assert len(names) == 2
+        # segments survive the detach (the new owner unlinks them) ...
+        assert self._on_disk(store)
+        unlink_segments(names)
+        assert not self._on_disk(store)
+        # ... and unlinking unknown names is silently skipped
+        unlink_segments(names)
+
+    def test_attachments_close_all_can_unlink_for_dead_owner(self):
+        store = ShmTensorStore(prefix="repro_test", tracked=False)
+        handle = store.put(np.zeros(4))
+        att = SegmentAttachments()
+        att.view(handle)
+        store.detach_all()  # owner gone without unlinking
+        names = att.close_all(unlink=True)
+        assert names == [handle.segment]
+        assert not self._on_disk(store)
+
+    def test_segment_names_prefixed_with_pid_for_leak_audit(self, store):
+        import os
+
+        handle = store.put(np.zeros(4))
+        assert handle.segment.startswith(f"repro_test_{os.getpid()}_")
+        assert store.segment_names() == [handle.segment]
