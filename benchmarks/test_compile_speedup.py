@@ -1,23 +1,33 @@
 """Compiled-plan inference benchmark: trace-and-compile vs interpreted.
 
-The ISSUE-7 acceptance bar: on a realistic MLP surrogate (encoder +
-surrogate chain), the compiled plan must serve both single-row and
-batch-32 inference strictly faster than the interpreted
-``SurrogatePackage.predict`` path — while staying bit-identical under
-``batch_invariant()``.  The speedup comes purely from partial
-evaluation: no ``Tensor`` wrappers, no autograd bookkeeping, fused
-Dense/activation steps, and preallocated scratch — the float ops are
-unchanged, which is what makes the bit-identity assertion possible.
+One row per surrogate family, all sharing the same bar: the compiled
+plan must serve single-row and batch-32 inference strictly faster than
+the interpreted ``SurrogatePackage.predict`` path while staying
+bit-identical under ``batch_invariant()``.
 
-Results are written to ``BENCH_infer.json`` (override with
-``REPRO_INFER_BENCH_JSON``).
+* ``mlp`` — the ISSUE-7 chain (encoder + Dense/activation surrogate);
+  speedup comes from dropping ``Tensor``/autograd bookkeeping and
+  fusing Dense+activation steps.
+* ``cnn`` — the ISSUE-9 conv/pool family; on top of the interpreter
+  overhead, the plan bakes the im2col gather indices at compile time,
+  so the per-call cost is pure takes, matmuls and in-order adds.  The
+  acceptance bar here is 2x single-row by default.
+* ``csr`` — a sparse-input encoder chain served straight from CSR; the
+  plan pre-gathers the needed weight rows for the fixed sparsity
+  pattern.
+
+Results accumulate into ``BENCH_infer.json`` (override with
+``REPRO_INFER_BENCH_JSON``): each test rewrites the file with its
+family's row added, so running the whole module yields all rows.
 
 Environment knobs (the CI smoke job runs the defaults):
 
-* ``REPRO_INFER_BENCH_MIN_SPEEDUP`` — assertion threshold (default 1.0,
-  i.e. compiled must be strictly better)
-* ``REPRO_INFER_BENCH_ITERS``       — timed iterations per measurement
-  (default 300)
+* ``REPRO_INFER_BENCH_MIN_SPEEDUP``     — baseline threshold (default
+  1.0, i.e. compiled must be strictly better)
+* ``REPRO_INFER_BENCH_MIN_CNN_SPEEDUP`` — single-row CNN threshold
+  (default 2.0)
+* ``REPRO_INFER_BENCH_ITERS``           — timed iterations per
+  measurement (default 300)
 
 Run standalone with::
 
@@ -36,11 +46,13 @@ import pytest
 from repro.autoencoder.model import Autoencoder
 from repro.compile import compile_package
 from repro.nas.package import SurrogatePackage
-from repro.nn.cnn import build_model
+from repro.nn.cnn import CNNTopology, build_model
 from repro.nn.mlp import Topology
 from repro.nn.tensor import batch_invariant
+from repro.sparse.formats import COOMatrix
 
 MIN_SPEEDUP = float(os.environ.get("REPRO_INFER_BENCH_MIN_SPEEDUP", "1.0"))
+MIN_CNN_SPEEDUP = float(os.environ.get("REPRO_INFER_BENCH_MIN_CNN_SPEEDUP", "2.0"))
 ITERS = int(os.environ.get("REPRO_INFER_BENCH_ITERS", "300"))
 JSON_PATH = os.environ.get("REPRO_INFER_BENCH_JSON", "BENCH_infer.json")
 
@@ -51,21 +63,62 @@ BATCH = 32
 #: best-of-N repetitions per configuration to absorb scheduler noise
 TRIALS = 5
 
+#: accumulated report: one row per family, rewritten after each test
+REPORT: dict = {
+    "iters": ITERS,
+    "trials": TRIALS,
+    "min_speedup": MIN_SPEEDUP,
+    "min_cnn_speedup": MIN_CNN_SPEEDUP,
+    "batch": BATCH,
+    "families": {},
+}
+
+
+def randomized(module, rng, scale=0.1):
+    for p in module.parameters():
+        p.data = rng.standard_normal(p.data.shape) * scale
+    return module
+
 
 @pytest.fixture(scope="module")
-def package():
+def mlp_package():
     rng = np.random.default_rng(11)
     topology = Topology(hidden=HIDDEN, activation="relu")
-    model = build_model(LATENT, DOUT, topology)
-    for p in model.parameters():
-        p.data = rng.standard_normal(p.data.shape) * 0.1
-    ae = Autoencoder(DIN, LATENT, depth=1)
-    for p in ae.parameters():
-        p.data = rng.standard_normal(p.data.shape) * 0.1
+    model = randomized(build_model(LATENT, DOUT, topology), rng)
+    ae = randomized(Autoencoder(DIN, LATENT, depth=1), rng)
     return SurrogatePackage(
         model=model, topology=topology, input_dim=DIN, output_dim=DOUT,
         autoencoder=ae,
     )
+
+
+@pytest.fixture(scope="module")
+def cnn_package():
+    rng = np.random.default_rng(12)
+    topology = CNNTopology(
+        channels=(8, 4), kernel_sizes=(5, 3), pools=(2, 2), activation="relu"
+    )
+    model = randomized(build_model(DIN, DOUT, topology), rng)
+    return SurrogatePackage(
+        model=model, topology=topology, input_dim=DIN, output_dim=DOUT
+    )
+
+
+@pytest.fixture(scope="module")
+def csr_setup():
+    """A sparse-input encoder chain plus a fixed-pattern CSR batch."""
+    rng = np.random.default_rng(13)
+    topology = Topology(hidden=HIDDEN, activation="relu", sparse_input=True)
+    model = randomized(build_model(LATENT, DOUT, topology), rng)
+    ae = randomized(Autoencoder(DIN, LATENT, depth=1, sparse_input=True), rng)
+    package = SurrogatePackage(
+        model=model, topology=topology, input_dim=DIN, output_dim=DOUT,
+        autoencoder=ae,
+    )
+    mask = rng.random((BATCH, DIN)) < 0.08  # ~sparse HPC region features
+    r, c = np.nonzero(mask)
+    x = COOMatrix(r, c, rng.standard_normal(r.size), (BATCH, DIN)).to_csr()
+    return package, x
 
 
 def best_latency(fn, x) -> float:
@@ -88,66 +141,76 @@ def interpreted(package):
     return run
 
 
-class TestCompiledInference:
-    def test_compiled_beats_interpreted_and_is_bit_identical(self, package):
-        plan = compile_package(package, batch_invariant=True)
-        single = np.random.default_rng(3).standard_normal(DIN)
-        batch = np.random.default_rng(4).standard_normal((BATCH, DIN))
-
-        # correctness first: byte-identical outputs on both shapes
+def measure(package, plan, shapes) -> dict:
+    """Bit-identity check + timed rows for each (label, input) pair."""
+    row: dict = {"plan_steps": plan.num_steps(), "step_kinds": plan.step_kinds()}
+    baseline = interpreted(package)
+    for label, x in shapes.items():
         with batch_invariant():
-            np.testing.assert_array_equal(plan.predict(single), package.predict(single))
-            np.testing.assert_array_equal(plan.predict(batch), package.predict(batch))
-
-        baseline = interpreted(package)
-        t_single_interp = best_latency(baseline, single)
-        t_single_plan = best_latency(plan.predict, single)
-        t_batch_interp = best_latency(baseline, batch)
-        t_batch_plan = best_latency(plan.predict, batch)
-
-        speedup_single = t_single_interp / t_single_plan
-        speedup_batch = t_batch_interp / t_batch_plan
+            np.testing.assert_array_equal(plan.predict(x), package.predict(x))
+        t_interp = best_latency(baseline, x)
+        t_plan = best_latency(plan.predict, x)
+        speedup = t_interp / t_plan
         print(
-            f"\nsingle-row: interpreted {t_single_interp * 1e6:.1f}us | "
-            f"compiled {t_single_plan * 1e6:.1f}us | {speedup_single:.2f}x"
+            f"\n{label}: interpreted {t_interp * 1e6:.1f}us | "
+            f"compiled {t_plan * 1e6:.1f}us | {speedup:.2f}x"
         )
-        print(
-            f"batch-{BATCH}:   interpreted {t_batch_interp * 1e6:.1f}us | "
-            f"compiled {t_batch_plan * 1e6:.1f}us | {speedup_batch:.2f}x"
-        )
-
-        report = {
-            "input_dim": DIN,
-            "latent_dim": LATENT,
-            "hidden": list(HIDDEN),
-            "output_dim": DOUT,
-            "batch": BATCH,
-            "iters": ITERS,
-            "trials": TRIALS,
-            "min_speedup": MIN_SPEEDUP,
-            "single_row": {
-                "interpreted_s": t_single_interp,
-                "compiled_s": t_single_plan,
-                "speedup": speedup_single,
-            },
-            "batch_32": {
-                "interpreted_s": t_batch_interp,
-                "compiled_s": t_batch_plan,
-                "speedup": speedup_batch,
-            },
-            "bit_identical": True,
-            "plan_steps": plan.num_steps(),
+        row[label] = {
+            "interpreted_s": t_interp,
+            "compiled_s": t_plan,
+            "speedup": speedup,
         }
-        with open(JSON_PATH, "w") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
-        print(f"report written to {JSON_PATH}")
+    row["bit_identical"] = True
+    return row
 
-        assert speedup_single > MIN_SPEEDUP, (
-            f"compiled single-row inference only {speedup_single:.2f}x the "
-            f"interpreted path (required > {MIN_SPEEDUP}x)"
+
+def emit(family: str, row: dict) -> None:
+    REPORT["families"][family] = row
+    with open(JSON_PATH, "w") as fh:
+        json.dump(REPORT, fh, indent=2)
+        fh.write("\n")
+    print(f"{family} row written to {JSON_PATH}")
+
+
+class TestCompiledInference:
+    def test_mlp_compiled_beats_interpreted(self, mlp_package):
+        plan = compile_package(mlp_package, batch_invariant=True)
+        row = measure(
+            mlp_package,
+            plan,
+            {
+                "single_row": np.random.default_rng(3).standard_normal(DIN),
+                "batch_32": np.random.default_rng(4).standard_normal((BATCH, DIN)),
+            },
         )
-        assert speedup_batch > MIN_SPEEDUP, (
-            f"compiled batch-{BATCH} inference only {speedup_batch:.2f}x the "
-            f"interpreted path (required > {MIN_SPEEDUP}x)"
+        row.update(input_dim=DIN, latent_dim=LATENT, hidden=list(HIDDEN))
+        emit("mlp", row)
+        assert row["single_row"]["speedup"] > MIN_SPEEDUP
+        assert row["batch_32"]["speedup"] > MIN_SPEEDUP
+
+    def test_cnn_compiled_beats_interpreted_2x_single_row(self, cnn_package):
+        plan = compile_package(cnn_package, batch_invariant=True)
+        row = measure(
+            cnn_package,
+            plan,
+            {
+                "single_row": np.random.default_rng(5).standard_normal(DIN),
+                "batch_32": np.random.default_rng(6).standard_normal((BATCH, DIN)),
+            },
         )
+        row.update(input_dim=DIN, topology=cnn_package.topology.describe())
+        emit("cnn", row)
+        assert row["single_row"]["speedup"] > MIN_CNN_SPEEDUP, (
+            f"compiled single-row CNN inference only "
+            f"{row['single_row']['speedup']:.2f}x the interpreted path "
+            f"(required > {MIN_CNN_SPEEDUP}x)"
+        )
+        assert row["batch_32"]["speedup"] > MIN_SPEEDUP
+
+    def test_csr_compiled_beats_interpreted(self, csr_setup):
+        package, x = csr_setup
+        plan = compile_package(package, batch_invariant=True, csr_pattern=x)
+        row = measure(package, plan, {"batch_32": x})
+        row.update(input_dim=DIN, nnz=x.nnz, density=x.density)
+        emit("csr", row)
+        assert row["batch_32"]["speedup"] > MIN_SPEEDUP

@@ -526,7 +526,12 @@ def _hot_swap_smoke(name, package, rows, args: argparse.Namespace) -> int:
 def _cmd_compile(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .compile import PlanCache, UntraceableModelError, warm_plan_cache
+    from .compile import (
+        UNTRACEABLE_KINDS,
+        PlanCache,
+        UntraceableModelError,
+        warm_plan_cache,
+    )
     from .nas.package import SurrogatePackage
     from .registry import ModelRegistry
 
@@ -534,8 +539,18 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if args.action == "list":
         keys = cache.keys()
         for key in keys:
-            print(key)
+            info = cache.describe(key)
+            if info is None:
+                print(key)
+                continue
+            kinds = ",".join(info["step_kinds"]) or "-"
+            mode = "invariant" if info["batch_invariant"] else "blas"
+            csr = " csr" if info["csr"] else ""
+            print(f"{key}  [{mode}{csr}] steps={kinds}")
         print(f"{len(keys)} cached plan(s) under {cache.directory}")
+        print("still interpreted (untraceable kinds):")
+        for reason, what in sorted(UNTRACEABLE_KINDS.items()):
+            print(f"  {reason}: {what}")
         return 0
     if args.action == "clear":
         removed = cache.clear()

@@ -2,31 +2,44 @@
 
 JAX-style trace -> specialize -> cache, scaled to this repo's NumPy
 stack: :func:`compile_package` partially evaluates a surrogate package
-into a flat :class:`CompiledPlan` (weights folded, Dense/activation
-fused, scratch preallocated) and :class:`PlanCache` persists plans
-across restarts, content-addressed by registry digest + specialization
-key.  The orchestrator consults both transparently and falls back to
-the interpreted path on :class:`UntraceableModelError`.
+into a flat :class:`CompiledPlan` (weights folded, Dense/activation and
+conv/activation fused, conv gather indices and CSR sparsity patterns
+baked as constants, scratch preallocated) and :class:`PlanCache`
+persists plans across restarts, content-addressed by registry digest +
+specialization key.  The orchestrator consults both transparently and
+falls back to the interpreted path on :class:`UntraceableModelError`,
+counting each fallback by its ``reason``.
 """
 
-from .cache import PlanCache, package_digest, plan_key, warm_plan_cache
+from .cache import (
+    PlanCache,
+    csr_pattern_key,
+    package_digest,
+    plan_key,
+    warm_plan_cache,
+)
 from .plan import (
     PLAN_SCHEMA_VERSION,
+    UNTRACEABLE_KINDS,
     CompiledPlan,
     UntraceableModelError,
     compile_package,
     plan_from_payload,
     plan_payload,
+    untraceable_reason,
 )
 
 __all__ = [
     "PLAN_SCHEMA_VERSION",
+    "UNTRACEABLE_KINDS",
     "CompiledPlan",
     "UntraceableModelError",
+    "untraceable_reason",
     "compile_package",
     "plan_payload",
     "plan_from_payload",
     "PlanCache",
+    "csr_pattern_key",
     "package_digest",
     "plan_key",
     "warm_plan_cache",

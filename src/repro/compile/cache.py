@@ -33,6 +33,8 @@ import threading
 from pathlib import Path
 from typing import Optional, Union
 
+import numpy as np
+
 from .. import obs
 from ..core.digest import content_key, fingerprint_array
 from ..registry import formats
@@ -46,7 +48,31 @@ from .plan import (
     plan_payload,
 )
 
-__all__ = ["PlanCache", "package_digest", "plan_key", "warm_plan_cache"]
+__all__ = [
+    "PlanCache",
+    "csr_pattern_key",
+    "package_digest",
+    "plan_key",
+    "warm_plan_cache",
+]
+
+
+def csr_pattern_key(csr) -> str:
+    """Content digest of a CSR *sparsity pattern* (structure, not values).
+
+    CSR-specialized plans fold the row-pointer/column-index arrays into
+    the plan as constants, so the cache key must distinguish patterns:
+    two batches with the same shape but different nonzero layouts need
+    different plans.  Values are deliberately excluded — they vary per
+    request and the plan does not depend on them.
+    """
+    return content_key(
+        {
+            "shape": [int(s) for s in csr.shape],
+            "indptr": fingerprint_array(np.ascontiguousarray(csr.indptr, dtype=np.int64)),
+            "indices": fingerprint_array(np.ascontiguousarray(csr.indices, dtype=np.int64)),
+        }
+    )
 
 
 def package_digest(package) -> str:
@@ -76,17 +102,26 @@ def plan_key(
     input_shape,
     dtype: str,
     batch_invariant: bool,
+    csr: Optional[str] = None,
 ) -> str:
-    """Content address of one specialization: package digest + key fields."""
-    return content_key(
-        {
-            "artifact": digest,
-            "input_shape": [int(s) for s in input_shape],
-            "dtype": str(dtype),
-            "batch_invariant": bool(batch_invariant),
-            "schema": PLAN_SCHEMA_VERSION,
-        }
-    )
+    """Content address of one specialization: package digest + key fields.
+
+    ``csr`` carries a :func:`csr_pattern_key` digest for CSR-specialized
+    plans; dense plans leave it ``None`` so existing keys are unchanged.
+    The schema version is part of the key, so a schema bump orphans every
+    previously persisted plan (they become unreachable keys and the next
+    lookup recompiles) instead of risking misinterpretation.
+    """
+    fields = {
+        "artifact": digest,
+        "input_shape": [int(s) for s in input_shape],
+        "dtype": str(dtype),
+        "batch_invariant": bool(batch_invariant),
+        "schema": PLAN_SCHEMA_VERSION,
+    }
+    if csr is not None:
+        fields["csr"] = str(csr)
+    return content_key(fields)
 
 
 class PlanCache:
@@ -113,12 +148,14 @@ class PlanCache:
         input_shape,
         dtype: str,
         batch_invariant: bool,
+        csr: Optional[str] = None,
     ) -> str:
         return plan_key(
             digest,
             input_shape=input_shape,
             dtype=dtype,
             batch_invariant=batch_invariant,
+            csr=csr,
         )
 
     # -- lookup ----------------------------------------------------------------
@@ -153,6 +190,33 @@ class PlanCache:
         with self._lock:
             found.update(self._memory)
         return sorted(found)
+
+    def describe(self, key: str) -> Optional[dict]:
+        """Summary of one entry for ``repro compile list`` (no plan load).
+
+        Memory-tier entries answer from the live plan; disk-only entries
+        answer from the published manifest meta.  Returns ``None`` for an
+        unknown or unreadable key.
+        """
+        with self._lock:
+            plan = self._memory.get(key)
+        if plan is not None:
+            return {
+                "batch_invariant": plan.batch_invariant,
+                "step_kinds": plan.step_kinds(),
+                "csr": plan.csr is not None,
+            }
+        if self._registry is None or not self._registry.exists(key):
+            return None
+        try:
+            meta = dict(self._registry.resolve(key).meta)
+        except (RegistryError, ArtifactNotFoundError, OSError, ValueError, KeyError):
+            return None
+        return {
+            "batch_invariant": meta.get("batch_invariant"),
+            "step_kinds": meta.get("step_kinds", []),
+            "csr": bool(meta.get("csr", False)),
+        }
 
     def clear(self) -> int:
         """Drop every entry from both tiers; returns distinct keys removed."""
@@ -190,7 +254,12 @@ class PlanCache:
             lambda staged: formats.write_plan_npz(staged / "plan.npz", meta, arrays),
             input_dim=plan.input_dim,
             output_dim=plan.output_dim,
-            meta={"key": key, "batch_invariant": plan.batch_invariant},
+            meta={
+                "key": key,
+                "batch_invariant": plan.batch_invariant,
+                "step_kinds": plan.step_kinds(),
+                "csr": plan.csr is not None,
+            },
         )
 
     # -- telemetry ---------------------------------------------------------------

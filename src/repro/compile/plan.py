@@ -26,24 +26,48 @@ the compiled outputs are bit-identical to ``package.predict``:
   :class:`repro.nn.tensor.Tensor` (e.g. sigmoid's clip/negate/exp/add/
   divide chain) element-wise in place.
 
+The conv/pool family lowers to **im2col with precomputed gather-index
+plans**: every tap of a same-padded convolution becomes one gather
+through an index array baked at compile time, followed by the exact
+per-tap einsum/matmul the interpreter runs, accumulated tap-by-tap in
+the interpreter's order (a single fused im2col gemm would *reorder* the
+accumulation and break bit-identity, so we never do that).  Pooling and
+upsampling lower to the same staged reductions and index gathers the
+``Tensor`` graph performs — ``mean`` replays as ``sum``-then-scale with
+the identical reciprocal, never ``np.mean``.
+
+CSR sparse-input packages compile through ``csr_pattern``: the sparsity
+*pattern* (row pointers, column indices, the expanded row map and the
+gathered weight rows) is folded into the plan as constants, so serving
+one request only multiplies the value vector against prebaked operands
+— exactly ``CSRMatrix.matmul_dense`` restaged.  A plan compiled for one
+pattern only accepts inputs with that pattern; the cache key carries
+the pattern digest.
+
 No algebraic rewrites (no ``W1 @ W2`` folding) are performed — those
 would change summation orders and break the bit-identity guarantee the
 micro-batching server is built on.
 
-A module that returns ``None`` from ``trace_spec`` (the CNN family, CSR
-sparse paths) raises :class:`UntraceableModelError`; the orchestrator
-catches it and keeps serving that model on the interpreted path.
+A module that exposes no usable ``trace_spec`` raises
+:class:`UntraceableModelError` (tagged with a ``reason``); the
+orchestrator catches it and keeps serving that model on the interpreted
+path.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import Optional
 
 import numpy as np
 
+from ..sparse.formats import CSRMatrix
+
 __all__ = [
     "PLAN_SCHEMA_VERSION",
+    "UNTRACEABLE_KINDS",
     "UntraceableModelError",
+    "untraceable_reason",
     "CompiledPlan",
     "compile_package",
     "plan_payload",
@@ -52,15 +76,47 @@ __all__ = [
 
 #: bump when the step semantics or payload layout change — the schema
 #: version is folded into every cache key, so old persisted plans are
-#: invalidated for free instead of misinterpreted
-PLAN_SCHEMA_VERSION = 1
+#: invalidated for free instead of misinterpreted.  v2 added the
+#: conv/pool/upsample and CSR step kinds.
+PLAN_SCHEMA_VERSION = 2
 
 #: matches the default of :meth:`repro.nn.tensor.Tensor.leaky_relu`
 _LEAKY_SLOPE = 0.01
 
+#: what still serves interpreted, by the ``reason`` label each fallback
+#: is counted under (``repro_compile_untraceable_total``); surfaced by
+#: ``repro compile list`` so operators can see the remaining gaps
+UNTRACEABLE_KINDS = {
+    "opaque": "callables without trace_spec hooks (raw lambdas, foreign models)",
+    "unknown-module": "module kinds with no plan lowering yet (e.g. recurrent layers)",
+    "conv": "conv/pool geometries the lowering rejects (non-dividing pool or view sizes)",
+    "csr": "CSR inputs whose package lacks a sparse-input first layer",
+}
+
 
 class UntraceableModelError(TypeError):
-    """The module tree holds a layer with no ``trace_spec`` (CNNs, etc.)."""
+    """The module tree cannot lower to a plan; serve interpreted.
+
+    ``reason`` is one of the :data:`UNTRACEABLE_KINDS` keys and feeds
+    the ``reason`` label on ``repro_compile_untraceable_total``.
+    """
+
+    def __init__(self, message: str, *, reason: str = "unknown-module") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def untraceable_reason(exc: BaseException) -> str:
+    """Map a compile failure to its counter ``reason`` label.
+
+    Foreign exceptions (a package without ``payload_meta``, a pickling
+    surprise) classify as ``opaque``: the model is not something the
+    tracer can even inspect.
+    """
+    reason = getattr(exc, "reason", None)
+    if isinstance(reason, str) and reason in UNTRACEABLE_KINDS:
+        return reason
+    return "unknown-module" if isinstance(exc, UntraceableModelError) else "opaque"
 
 
 def _act_inplace(kind: str, out: np.ndarray) -> None:
@@ -81,6 +137,16 @@ def _act_inplace(kind: str, out: np.ndarray) -> None:
     # identity: nothing to do
 
 
+def _matmul_into(x: np.ndarray, w: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+    """The interpreter's 2-D product, written into ``out``."""
+    if invariant:
+        # fixed per-element reduction order: rows are independent of
+        # batch size, exactly like the interpreted batch_invariant path
+        np.einsum("ij,jk->ik", x, w, out=out)
+    else:
+        np.matmul(x, w, out=out)
+
+
 class _GemmStep:
     """Fused ``y = act(x @ W + b)`` with weights folded as constants.
 
@@ -89,6 +155,7 @@ class _GemmStep:
     broadcast bias add, in-place activation.
     """
 
+    kind = "gemm"
     __slots__ = ("weight", "bias", "act", "out_dim")
 
     def __init__(self, weight: np.ndarray, bias: np.ndarray, act: str = "identity") -> None:
@@ -98,19 +165,15 @@ class _GemmStep:
         self.out_dim = int(self.weight.shape[1])
 
     def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
-        if invariant:
-            # fixed per-element reduction order: rows are independent of
-            # batch size, exactly like the interpreted batch_invariant path
-            np.einsum("ij,jk->ik", x, self.weight, out=out)
-        else:
-            np.matmul(x, self.weight, out=out)
+        _matmul_into(x, self.weight, out, invariant)
         out += self.bias
         _act_inplace(self.act, out)
 
 
 class _ActStep:
-    """A standalone activation (no preceding Dense to fuse into)."""
+    """A standalone activation (no preceding Dense/conv to fuse into)."""
 
+    kind = "act"
     __slots__ = ("act", "out_dim")
 
     def __init__(self, act: str, out_dim: int) -> None:
@@ -142,6 +205,7 @@ class _ResidualStep:
     interpreted ``Residual.forward`` performs.
     """
 
+    kind = "residual"
     __slots__ = ("steps", "out_dim", "_tls")
 
     def __init__(self, steps: list, out_dim: int) -> None:
@@ -155,6 +219,397 @@ class _ResidualStep:
             return
         _run_steps(self.steps, x, out, invariant, self._tls)
         out += x
+
+
+class _ConvScratch:
+    """Per-thread working set of one conv step (padded/gather/tap/acc)."""
+
+    __slots__ = ("capacity", "padded", "gathered", "tap", "acc")
+
+    def __init__(self, batch: int, pad_shape: tuple, gat: int, accw: int) -> None:
+        self.capacity = max(batch, 32)
+        # the pad bands must read as the interpreter's concatenated zeros;
+        # they are written once here and never touched again (only the
+        # center region is overwritten per call)
+        self.padded = np.zeros((self.capacity,) + pad_shape)
+        self.gathered = np.empty((self.capacity, gat))
+        self.tap = np.empty((self.capacity, accw))
+        self.acc = np.empty((self.capacity, accw))
+
+
+class _Conv1dStep:
+    """Same-padded Conv1d as per-tap gathers + the interpreter's matmuls.
+
+    ``taps_idx[k]`` maps the flattened padded signal to the im2col
+    matrix of tap ``k`` — precomputed at compile time, so each tap is
+    one ``np.take`` plus the exact einsum/matmul the autograd layer
+    runs, accumulated tap-by-tap in the interpreter's order.
+    """
+
+    kind = "conv1d"
+    __slots__ = (
+        "weight", "bias", "act", "channels", "length",
+        "out_channels", "taps_idx", "out_dim", "_tls",
+    )
+
+    def __init__(
+        self, weight: np.ndarray, bias: np.ndarray, act: str,
+        channels: int, length: int,
+    ) -> None:
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.bias = np.ascontiguousarray(bias, dtype=np.float64)
+        self.act = act
+        self.channels = int(channels)
+        self.length = int(length)
+        kernel, c_in, c_out = self.weight.shape
+        if c_in != self.channels:
+            raise UntraceableModelError(
+                f"Conv1d weight expects {c_in} channels, signal has "
+                f"{self.channels}", reason="conv",
+            )
+        self.out_channels = int(c_out)
+        self.out_dim = self.out_channels * self.length
+        pad = kernel // 2
+        padded_len = self.length + 2 * pad
+        l_idx = np.arange(self.length)
+        c_idx = np.arange(self.channels)
+        self.taps_idx = np.stack([
+            (c_idx[None, :] * padded_len + (k + l_idx)[:, None]).ravel()
+            for k in range(kernel)
+        ])
+        self._tls = threading.local()
+
+    def _scratch(self, batch: int) -> _ConvScratch:
+        scratch = getattr(self._tls, "s", None)
+        if scratch is None or scratch.capacity < batch:
+            pad = self.weight.shape[0] // 2
+            scratch = _ConvScratch(
+                batch,
+                (self.channels, self.length + 2 * pad),
+                self.length * self.channels,
+                self.length * self.out_channels,
+            )
+            self._tls.s = scratch
+        return scratch
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        batch, length = x.shape[0], self.length
+        kernel = self.weight.shape[0]
+        pad = kernel // 2
+        s = self._scratch(batch)
+        s.padded[:batch, :, pad:pad + length] = x.reshape(
+            batch, self.channels, length
+        )
+        flat_padded = s.padded[:batch].reshape(batch, -1)
+        gathered = s.gathered[:batch]
+        gmat = gathered.reshape(batch * length, self.channels)
+        acc = s.acc[:batch].reshape(batch * length, self.out_channels)
+        tap = s.tap[:batch].reshape(batch * length, self.out_channels)
+        for k in range(kernel):
+            np.take(flat_padded, self.taps_idx[k], axis=1, out=gathered)
+            target = acc if k == 0 else tap
+            _matmul_into(gmat, self.weight[k], target, invariant)
+            if k:
+                np.add(acc, tap, out=acc)
+        acc3 = s.acc[:batch].reshape(batch, length, self.out_channels)
+        acc3 += self.bias
+        _act_inplace(self.act, acc3)
+        np.copyto(
+            out.reshape(batch, self.out_channels, length),
+            acc3.transpose(0, 2, 1),
+        )
+
+
+class _Conv2dStep:
+    """Same-padded Conv2d via per-tap precomputed gathers (see Conv1d)."""
+
+    kind = "conv2d"
+    __slots__ = (
+        "weight", "bias", "act", "channels", "height", "width",
+        "kernel", "out_channels", "taps_idx", "out_dim", "_tls",
+    )
+
+    def __init__(
+        self, weight: np.ndarray, bias: np.ndarray, act: str,
+        kernel: int, channels: int, height: int, width: int,
+    ) -> None:
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.bias = np.ascontiguousarray(bias, dtype=np.float64)
+        self.act = act
+        self.kernel = int(kernel)
+        self.channels = int(channels)
+        self.height = int(height)
+        self.width = int(width)
+        taps, c_in, c_out = self.weight.shape
+        if taps != self.kernel * self.kernel or c_in != self.channels:
+            raise UntraceableModelError(
+                f"Conv2d weight {self.weight.shape} does not match kernel "
+                f"{self.kernel} over {self.channels} channels", reason="conv",
+            )
+        self.out_channels = int(c_out)
+        self.out_dim = self.out_channels * self.height * self.width
+        pad = self.kernel // 2
+        ph, pw = self.height + 2 * pad, self.width + 2 * pad
+        y_idx = np.arange(self.height)
+        x_idx = np.arange(self.width)
+        c_idx = np.arange(self.channels)
+        rows = []
+        for dy in range(self.kernel):
+            for dx in range(self.kernel):
+                spatial = (
+                    (dy + y_idx)[:, None] * pw + (dx + x_idx)[None, :]
+                ).reshape(-1)
+                rows.append(
+                    (c_idx[None, :] * (ph * pw) + spatial[:, None]).ravel()
+                )
+        self.taps_idx = np.stack(rows)
+        self._tls = threading.local()
+
+    def _scratch(self, batch: int) -> _ConvScratch:
+        scratch = getattr(self._tls, "s", None)
+        if scratch is None or scratch.capacity < batch:
+            pad = self.kernel // 2
+            points = self.height * self.width
+            scratch = _ConvScratch(
+                batch,
+                (self.channels, self.height + 2 * pad, self.width + 2 * pad),
+                points * self.channels,
+                points * self.out_channels,
+            )
+            self._tls.s = scratch
+        return scratch
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        batch = x.shape[0]
+        height, width = self.height, self.width
+        points = height * width
+        pad = self.kernel // 2
+        s = self._scratch(batch)
+        s.padded[:batch, :, pad:pad + height, pad:pad + width] = x.reshape(
+            batch, self.channels, height, width
+        )
+        flat_padded = s.padded[:batch].reshape(batch, -1)
+        gathered = s.gathered[:batch]
+        gmat = gathered.reshape(batch * points, self.channels)
+        acc = s.acc[:batch].reshape(batch * points, self.out_channels)
+        tap = s.tap[:batch].reshape(batch * points, self.out_channels)
+        for k in range(self.taps_idx.shape[0]):
+            np.take(flat_padded, self.taps_idx[k], axis=1, out=gathered)
+            target = acc if k == 0 else tap
+            _matmul_into(gmat, self.weight[k], target, invariant)
+            if k:
+                np.add(acc, tap, out=acc)
+        acc3 = s.acc[:batch].reshape(batch, points, self.out_channels)
+        acc3 += self.bias
+        _act_inplace(self.act, acc3)
+        np.copyto(
+            out.reshape(batch, self.out_channels, height, width),
+            s.acc[:batch].reshape(
+                batch, height, width, self.out_channels
+            ).transpose(0, 3, 1, 2),
+        )
+
+
+class _Pool1dStep:
+    """Non-overlapping 1-D pooling as the interpreter's staged reduction.
+
+    ``avg`` replays ``Tensor.mean`` exactly: a ``sum`` over the pool
+    axis followed by a multiply with the same ``1.0 / pool`` reciprocal
+    — never ``np.mean``, whose division differs in the last ulp.
+    """
+
+    kind = "pool1d"
+    __slots__ = ("op", "pool", "channels", "length", "out_dim")
+
+    def __init__(self, op: str, pool: int, channels: int, length: int) -> None:
+        self.op = op
+        self.pool = int(pool)
+        self.channels = int(channels)
+        self.length = int(length)
+        self.out_dim = self.channels * (self.length // self.pool)
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        batch = x.shape[0]
+        blocks = x.reshape(
+            batch, self.channels, self.length // self.pool, self.pool
+        )
+        target = out.reshape(batch, self.channels, self.length // self.pool)
+        if self.op == "max":
+            np.max(blocks, axis=3, out=target)
+        else:
+            np.sum(blocks, axis=3, out=target)
+            target *= 1.0 / self.pool
+
+
+class _Pool2dStep:
+    """Non-overlapping 2-D pooling: reduce axis 5 then axis 3, in order."""
+
+    kind = "pool2d"
+    __slots__ = ("op", "pool", "channels", "height", "width", "out_dim", "_tls")
+
+    def __init__(
+        self, op: str, pool: int, channels: int, height: int, width: int
+    ) -> None:
+        self.op = op
+        self.pool = int(pool)
+        self.channels = int(channels)
+        self.height = int(height)
+        self.width = int(width)
+        self.out_dim = self.channels * (self.height // self.pool) * (
+            self.width // self.pool
+        )
+        self._tls = threading.local()
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        batch = x.shape[0]
+        p = self.pool
+        h2, w2 = self.height // p, self.width // p
+        stage = getattr(self._tls, "stage", None)
+        if stage is None or stage.shape[0] < batch:
+            stage = np.empty((max(batch, 32), self.channels, h2, p, w2))
+            self._tls.stage = stage
+        blocks = x.reshape(batch, self.channels, h2, p, w2, p)
+        mid = stage[:batch]
+        target = out.reshape(batch, self.channels, h2, w2)
+        if self.op == "max":
+            np.max(blocks, axis=5, out=mid)
+            np.max(mid, axis=3, out=target)
+        else:
+            np.sum(blocks, axis=5, out=mid)
+            mid *= 1.0 / p
+            np.sum(mid, axis=3, out=target)
+            target *= 1.0 / p
+
+
+class _Upsample1dStep:
+    """Nearest-neighbour repeat as a single precomputed index gather."""
+
+    kind = "upsample1d"
+    __slots__ = ("factor", "channels", "length", "idx", "out_dim")
+
+    def __init__(self, factor: int, channels: int, length: int) -> None:
+        self.factor = int(factor)
+        self.channels = int(channels)
+        self.length = int(length)
+        self.idx = np.repeat(np.arange(self.length), self.factor)
+        self.out_dim = self.channels * self.length * self.factor
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        batch = x.shape[0]
+        np.take(
+            x.reshape(batch, self.channels, self.length),
+            self.idx,
+            axis=2,
+            out=out.reshape(batch, self.channels, self.length * self.factor),
+        )
+
+
+class _Upsample2dStep:
+    """2-D nearest-neighbour repeat: rows-then-cols folded into one gather."""
+
+    kind = "upsample2d"
+    __slots__ = ("factor", "channels", "height", "width", "idx", "out_dim")
+
+    def __init__(self, factor: int, channels: int, height: int, width: int) -> None:
+        self.factor = int(factor)
+        self.channels = int(channels)
+        self.height = int(height)
+        self.width = int(width)
+        rows = np.repeat(np.arange(self.height), self.factor)
+        cols = np.repeat(np.arange(self.width), self.factor)
+        self.idx = (rows[:, None] * self.width + cols[None, :]).ravel()
+        self.out_dim = (
+            self.channels * self.height * self.factor * self.width * self.factor
+        )
+
+    def run(self, x: np.ndarray, out: np.ndarray, invariant: bool) -> None:
+        batch = x.shape[0]
+        np.take(
+            x.reshape(batch, self.channels, self.height * self.width),
+            self.idx,
+            axis=2,
+            out=out.reshape(batch, self.channels, self.idx.size),
+        )
+
+
+class _CsrPattern:
+    """One folded CSR sparsity pattern (structure only, no values)."""
+
+    __slots__ = ("indptr", "indices", "shape", "rows")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, shape) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.rows = np.repeat(
+            np.arange(self.shape[0]), np.diff(self.indptr)
+        )
+
+    @classmethod
+    def from_matrix(cls, csr: CSRMatrix) -> "_CsrPattern":
+        return cls(csr.indptr, csr.indices, csr.shape)
+
+    def matches(self, csr: CSRMatrix) -> bool:
+        return (
+            self.shape == tuple(csr.shape)
+            and np.array_equal(self.indptr, csr.indptr)
+            and np.array_equal(self.indices, csr.indices)
+        )
+
+
+class _CsrGemmStep:
+    """``act(X_csr @ W + b)`` with the pattern AND gathered rows folded.
+
+    ``CSRMatrix.matmul_dense`` gathers ``W[indices]`` per call; for a
+    fixed pattern that gather is a compile-time constant, so serving a
+    request is one multiply of the value vector against prebaked rows
+    plus the same ``np.add.at`` scatter the interpreter runs.
+    """
+
+    kind = "csr_gemm"
+    __slots__ = ("weight", "bias", "act", "pattern", "_wrows", "out_dim")
+
+    def __init__(
+        self, weight: np.ndarray, bias: np.ndarray, act: str, pattern: _CsrPattern
+    ) -> None:
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.bias = np.ascontiguousarray(bias, dtype=np.float64)
+        self.act = act
+        self.pattern = pattern
+        if self.weight.shape[0] != pattern.shape[1]:
+            raise UntraceableModelError(
+                f"CSR pattern has {pattern.shape[1]} columns; first layer "
+                f"expects {self.weight.shape[0]}", reason="csr",
+            )
+        self._wrows = self.weight[pattern.indices]
+        self.out_dim = int(self.weight.shape[1])
+
+    def run_values(self, values: np.ndarray, out: np.ndarray) -> None:
+        out.fill(0.0)
+        contrib = values[:, None] * self._wrows
+        np.add.at(out, self.pattern.rows, contrib)
+        out += self.bias
+        _act_inplace(self.act, out)
+
+
+class _CsrDensifyStep:
+    """``CSRMatrix.to_dense`` restaged: the no-encoder CSR prelude.
+
+    ``SurrogatePackage.predict`` densifies CSR inputs when there is no
+    autoencoder; this step replays that exact scatter into plan scratch
+    so the rest of the dense chain runs unchanged.
+    """
+
+    kind = "csr_densify"
+    __slots__ = ("pattern", "out_dim")
+
+    def __init__(self, pattern: _CsrPattern) -> None:
+        self.pattern = pattern
+        self.out_dim = int(pattern.shape[1])
+
+    def run_values(self, values: np.ndarray, out: np.ndarray) -> None:
+        out.fill(0.0)
+        out[self.pattern.rows, self.pattern.indices] = values
 
 
 def _scratch_buffers(tls: threading.local, steps: list, batch: int) -> list:
@@ -198,6 +653,11 @@ class CompiledPlan:
     — so the orchestrator can substitute a plan for the package without
     any caller noticing (except in the latency histograms).
 
+    A plan compiled with a ``csr_pattern`` instead consumes
+    :class:`~repro.sparse.formats.CSRMatrix` batches whose sparsity
+    pattern matches the folded one, returning stacked rows like the
+    interpreter does for CSR input.
+
     The plan is specialized on ``batch_invariant`` at compile time; it
     does not consult the thread-local mode at run time.  The returned
     output array is freshly allocated per call (never a view of the
@@ -211,14 +671,23 @@ class CompiledPlan:
         input_dim: int,
         output_dim: int,
         batch_invariant: bool = True,
+        csr: Optional[_CsrPattern] = None,
     ) -> None:
         self.steps = list(steps)
         self.input_dim = int(input_dim)
         self.output_dim = int(output_dim)
         self.batch_invariant = bool(batch_invariant)
+        self.csr = csr
         self._tls = threading.local()
+        self._tls_head = threading.local()
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(self, x) -> np.ndarray:
+        if isinstance(x, CSRMatrix):
+            return self._predict_csr(x)
+        if self.csr is not None:
+            raise ValueError(
+                "this plan is specialized for CSR input; pass a CSRMatrix"
+            )
         x = np.asarray(x)
         single = x.ndim == 1
         if x.shape[-1] != self.input_dim:
@@ -236,6 +705,32 @@ class CompiledPlan:
 
     __call__ = predict
 
+    def _predict_csr(self, x: CSRMatrix) -> np.ndarray:
+        if self.csr is None:
+            raise ValueError(
+                "this plan was not compiled for CSR input "
+                "(compile with csr_pattern=...)"
+            )
+        if not self.csr.matches(x):
+            raise ValueError(
+                "CSR input's sparsity pattern differs from the pattern "
+                "this plan folded at compile time"
+            )
+        head, rest = self.steps[0], self.steps[1:]
+        batch = x.shape[0]
+        out = np.empty((batch, self.output_dim))
+        if not rest:
+            head.run_values(x.data, out)
+            return out
+        buf = getattr(self._tls_head, "buf", None)
+        if buf is None or buf.shape[0] < batch:
+            buf = np.empty((max(batch, 32), head.out_dim))
+            self._tls_head.buf = buf
+        cur = buf[:batch]
+        head.run_values(x.data, cur)
+        _run_steps(rest, cur, out, self.batch_invariant, self._tls)
+        return out
+
     def num_steps(self) -> int:
         """Flat step count (residual inners included), for introspection."""
 
@@ -249,17 +744,35 @@ class CompiledPlan:
 
         return count(self.steps)
 
+    def step_kinds(self) -> list[str]:
+        """Sorted distinct step kinds (residual inners included)."""
+
+        def walk(steps: list):
+            for step in steps:
+                yield step.kind
+                if isinstance(step, _ResidualStep):
+                    yield from walk(step.steps)
+
+        return sorted(set(walk(self.steps)))
+
 
 # -- tracing ---------------------------------------------------------------
 
 
 def _flatten_spec(module) -> list:
     """Lower a module tree to a flat op list via its ``trace_spec`` hooks."""
-    spec = module.trace_spec() if hasattr(module, "trace_spec") else None
+    if not hasattr(module, "trace_spec"):
+        raise UntraceableModelError(
+            f"{type(module).__name__} declares no trace_spec; "
+            "this model serves on the interpreted path",
+            reason="opaque",
+        )
+    spec = module.trace_spec()
     if spec is None:
         raise UntraceableModelError(
             f"{type(module).__name__} declares no trace_spec; "
-            "this model serves on the interpreted path"
+            "this model serves on the interpreted path",
+            reason="unknown-module",
         )
     kind = spec[0]
     if kind == "sequential":
@@ -269,53 +782,211 @@ def _flatten_spec(module) -> list:
         return ops
     if kind == "residual":
         return [("residual", _flatten_spec(spec[1]))]
-    if kind in ("dense", "activation"):
+    if kind in (
+        "dense", "activation", "conv1d", "conv2d", "pool1d", "pool2d",
+        "upsample1d", "upsample2d", "signal_view", "image_view", "flatten",
+    ):
         return [spec]
-    raise UntraceableModelError(f"unknown trace spec kind {kind!r}")
+    raise UntraceableModelError(
+        f"unknown trace spec kind {kind!r}", reason="unknown-module"
+    )
 
 
-def _build_steps(ops: list, in_dim: int) -> list:
-    """Partial evaluation: fold constants, fuse Dense+Activation pairs."""
+def _fused_act(ops: list, i: int) -> tuple[str, int]:
+    """Activation fused into the op at ``i`` (and the index consumed to)."""
+    if i + 1 < len(ops) and ops[i + 1][0] == "activation":
+        return ops[i + 1][1], i + 1
+    return "identity", i
+
+
+def _lower(ops: list, in_dim: int, layout) -> tuple[list, int, Optional[tuple]]:
+    """Partial evaluation with layout inference.
+
+    ``layout`` tracks how the flat ``(B, dim)`` executor buffer is
+    currently viewed: ``None`` for flat rows, ``("signal", C, L)`` or
+    ``("image", C, H, W)`` for the conv families.  View adapters
+    (SignalView/ImageView/Flatten) are free — reshapes of a contiguous
+    flat buffer move no data — so they lower to *no step at all*, just a
+    layout change.
+    """
     steps: list = []
     dim = in_dim
     i = 0
     while i < len(ops):
         op = ops[i]
-        if op[0] == "dense":
-            act = "identity"
-            if i + 1 < len(ops) and ops[i + 1][0] == "activation":
-                act = ops[i + 1][1]
-                i += 1
+        kind = op[0]
+        if kind == "dense":
+            if layout is not None:
+                raise UntraceableModelError(
+                    "dense layer applied to a non-flat layout",
+                    reason="unknown-module",
+                )
+            act, i = _fused_act(ops, i)
             step = _GemmStep(op[1], op[2], act)
             steps.append(step)
             dim = step.out_dim
-        elif op[0] == "activation":
+        elif kind == "activation":
             steps.append(_ActStep(op[1], dim))
-        else:  # residual (the only other kind _flatten_spec emits)
-            steps.append(_ResidualStep(_build_steps(op[1], dim), dim))
+        elif kind == "residual":
+            inner, inner_dim, inner_layout = _lower(op[1], dim, layout)
+            steps.append(_ResidualStep(inner, dim))
+        elif kind == "signal_view":
+            channels = int(op[1])
+            if layout is not None or dim % channels:
+                raise UntraceableModelError(
+                    f"signal view of {channels} channels does not divide "
+                    f"{dim} features", reason="conv",
+                )
+            layout = ("signal", channels, dim // channels)
+        elif kind == "image_view":
+            height, width = int(op[1]), int(op[2])
+            if layout is not None or dim != height * width:
+                raise UntraceableModelError(
+                    f"image view {height}x{width} does not match {dim} "
+                    "features", reason="conv",
+                )
+            layout = ("image", 1, height, width)
+        elif kind == "flatten":
+            layout = None
+        elif kind == "conv1d":
+            if layout is None or layout[0] != "signal":
+                raise UntraceableModelError(
+                    "conv1d applied outside a signal layout", reason="conv"
+                )
+            act, i = _fused_act(ops, i)
+            step = _Conv1dStep(op[1], op[2], act, layout[1], layout[2])
+            steps.append(step)
+            layout = ("signal", step.out_channels, layout[2])
+            dim = step.out_dim
+        elif kind == "conv2d":
+            if layout is None or layout[0] != "image":
+                raise UntraceableModelError(
+                    "conv2d applied outside an image layout", reason="conv"
+                )
+            act, i = _fused_act(ops, i)
+            step = _Conv2dStep(
+                op[1], op[2], act, int(op[3]), layout[1], layout[2], layout[3]
+            )
+            steps.append(step)
+            layout = ("image", step.out_channels, layout[2], layout[3])
+            dim = step.out_dim
+        elif kind == "pool1d":
+            pool = int(op[2])
+            if pool > 1:
+                if layout is None or layout[0] != "signal" or layout[2] % pool:
+                    raise UntraceableModelError(
+                        f"1-D pool of {pool} does not divide the signal",
+                        reason="conv",
+                    )
+                step = _Pool1dStep(op[1], pool, layout[1], layout[2])
+                steps.append(step)
+                layout = ("signal", layout[1], layout[2] // pool)
+                dim = step.out_dim
+        elif kind == "pool2d":
+            pool = int(op[2])
+            if pool > 1:
+                if (
+                    layout is None or layout[0] != "image"
+                    or layout[2] % pool or layout[3] % pool
+                ):
+                    raise UntraceableModelError(
+                        f"2-D pool of {pool} does not divide the image",
+                        reason="conv",
+                    )
+                step = _Pool2dStep(op[1], pool, layout[1], layout[2], layout[3])
+                steps.append(step)
+                layout = ("image", layout[1], layout[2] // pool, layout[3] // pool)
+                dim = step.out_dim
+        elif kind == "upsample1d":
+            factor = int(op[1])
+            if factor > 1:
+                if layout is None or layout[0] != "signal":
+                    raise UntraceableModelError(
+                        "1-D upsample outside a signal layout", reason="conv"
+                    )
+                step = _Upsample1dStep(factor, layout[1], layout[2])
+                steps.append(step)
+                layout = ("signal", layout[1], layout[2] * factor)
+                dim = step.out_dim
+        elif kind == "upsample2d":
+            factor = int(op[1])
+            if factor > 1:
+                if layout is None or layout[0] != "image":
+                    raise UntraceableModelError(
+                        "2-D upsample outside an image layout", reason="conv"
+                    )
+                step = _Upsample2dStep(factor, layout[1], layout[2], layout[3])
+                steps.append(step)
+                layout = ("image", layout[1], layout[2] * factor, layout[3] * factor)
+                dim = step.out_dim
+        else:  # unreachable: _flatten_spec validated the kinds
+            raise UntraceableModelError(
+                f"unknown op kind {kind!r}", reason="unknown-module"
+            )
         i += 1
-    return steps
+    return steps, dim, layout
 
 
-def compile_package(package, *, batch_invariant: bool = True) -> CompiledPlan:
+def compile_package(
+    package, *, batch_invariant: bool = True, csr_pattern: Optional[CSRMatrix] = None
+) -> CompiledPlan:
     """Trace and partially evaluate a surrogate package into a plan.
 
-    The optional autoencoder's encoder is traced first (dense batches
-    run it through the same Dense/Activation layers), then the
+    The optional autoencoder's encoder is traced first, then the
     surrogate model; the whole chain compiles into one flat plan.
-    Raises :class:`UntraceableModelError` for module trees that expose
-    no ``trace_spec`` (e.g. the CNN family).
+
+    ``csr_pattern`` compiles a CSR-input specialization instead: the
+    pattern's row pointers and column indices are folded into the plan
+    (sparse-input encoders get a pattern-specialized first-layer gemm;
+    packages without an encoder get the interpreter's densify prelude)
+    and the resulting plan serves CSR batches with exactly that pattern.
+
+    Raises :class:`UntraceableModelError` (tagged with a ``reason``)
+    for module trees or input kinds with no plan lowering.
     """
     ops: list = []
     if package.autoencoder is not None:
         ops.extend(_flatten_spec(package.autoencoder.encoder))
     ops.extend(_flatten_spec(package.model))
-    steps = _build_steps(ops, package.input_dim)
+    head: list = []
+    in_dim = package.input_dim
+    csr = None
+    if csr_pattern is not None:
+        csr = _CsrPattern.from_matrix(csr_pattern)
+        if csr.shape[1] != package.input_dim:
+            raise UntraceableModelError(
+                f"CSR pattern has {csr.shape[1]} columns; package expects "
+                f"{package.input_dim}", reason="csr",
+            )
+        if package.autoencoder is not None:
+            if not getattr(package.autoencoder, "sparse_input", False):
+                raise UntraceableModelError(
+                    "package's autoencoder was built without sparse_input; "
+                    "CSR requests cannot serve", reason="csr",
+                )
+            # sparse_input guarantees the first traced op is the
+            # SparseDense input layer — specialize it on the pattern
+            if not ops or ops[0][0] != "dense":
+                raise UntraceableModelError(
+                    "CSR-input package does not start with a sparse-capable "
+                    "first layer", reason="csr",
+                )
+            act = "identity"
+            rest = ops[1:]
+            if rest and rest[0][0] == "activation":
+                act, rest = rest[0][1], rest[1:]
+            gemm = _CsrGemmStep(ops[0][1], ops[0][2], act, csr)
+            head, ops, in_dim = [gemm], rest, gemm.out_dim
+        else:
+            # the interpreter densifies when no encoder is present
+            head = [_CsrDensifyStep(csr)]
+    steps, _, _ = _lower(ops, in_dim, None)
     return CompiledPlan(
-        steps,
+        head + steps,
         input_dim=package.input_dim,
         output_dim=package.output_dim,
         batch_invariant=batch_invariant,
+        csr=csr,
     )
 
 
@@ -323,27 +994,64 @@ def compile_package(package, *, batch_invariant: bool = True) -> CompiledPlan:
 
 
 def plan_payload(plan: CompiledPlan) -> tuple[dict, dict]:
-    """Lower a plan to ``(json-safe meta, arrays)`` for the npz codec."""
+    """Lower a plan to ``(json-safe meta, arrays)`` for the npz codec.
+
+    Weights, biases and the CSR pattern arrays persist verbatim (npz
+    round-trips bytes exactly); conv gather indices are *derived*
+    constants — rebuilt deterministically from the folded geometry at
+    load time, so they never bloat the payload.
+    """
     arrays: dict[str, np.ndarray] = {}
 
     def encode(steps: list, prefix: str) -> list:
         encoded = []
         for i, step in enumerate(steps):
             tag = f"{prefix}{i}"
-            if isinstance(step, _GemmStep):
+            kind = step.kind
+            if kind in ("gemm", "conv1d", "conv2d", "csr_gemm"):
                 arrays[f"w_{tag}"] = step.weight
                 arrays[f"b_{tag}"] = step.bias
-                encoded.append({"kind": "gemm", "act": step.act, "id": tag})
-            elif isinstance(step, _ActStep):
+                spec = {"kind": kind, "act": step.act, "id": tag}
+                if kind == "conv1d":
+                    spec.update(channels=step.channels, length=step.length)
+                elif kind == "conv2d":
+                    spec.update(
+                        kernel=step.kernel, channels=step.channels,
+                        height=step.height, width=step.width,
+                    )
+                encoded.append(spec)
+            elif kind == "act":
                 encoded.append({"kind": "act", "act": step.act, "dim": step.out_dim})
-            else:
-                encoded.append(
-                    {
-                        "kind": "residual",
-                        "dim": step.out_dim,
-                        "steps": encode(step.steps, tag + "_"),
-                    }
-                )
+            elif kind == "pool1d":
+                encoded.append({
+                    "kind": kind, "op": step.op, "pool": step.pool,
+                    "channels": step.channels, "length": step.length,
+                })
+            elif kind == "pool2d":
+                encoded.append({
+                    "kind": kind, "op": step.op, "pool": step.pool,
+                    "channels": step.channels, "height": step.height,
+                    "width": step.width,
+                })
+            elif kind == "upsample1d":
+                encoded.append({
+                    "kind": kind, "factor": step.factor,
+                    "channels": step.channels, "length": step.length,
+                })
+            elif kind == "upsample2d":
+                encoded.append({
+                    "kind": kind, "factor": step.factor,
+                    "channels": step.channels, "height": step.height,
+                    "width": step.width,
+                })
+            elif kind == "csr_densify":
+                encoded.append({"kind": kind})
+            else:  # residual
+                encoded.append({
+                    "kind": "residual",
+                    "dim": step.out_dim,
+                    "steps": encode(step.steps, tag + "_"),
+                })
         return encoded
 
     meta = {
@@ -353,23 +1061,32 @@ def plan_payload(plan: CompiledPlan) -> tuple[dict, dict]:
         "batch_invariant": plan.batch_invariant,
         "steps": encode(plan.steps, "s"),
     }
+    if plan.csr is not None:
+        meta["csr"] = {"shape": list(plan.csr.shape)}
+        arrays["csr_indptr"] = plan.csr.indptr
+        arrays["csr_indices"] = plan.csr.indices
     return meta, arrays
 
 
 def plan_from_payload(meta: dict, arrays: dict) -> CompiledPlan:
-    """Rebuild a plan from a persisted payload (float64 arrays round-trip
-    exactly through npz, so a disk hit is bit-identical to the plan it
-    memoizes)."""
+    """Rebuild a plan from a persisted payload (arrays round-trip exactly
+    through npz, so a disk hit is bit-identical to the plan it memoizes)."""
     if meta.get("schema") != PLAN_SCHEMA_VERSION:
         raise ValueError(
             f"unsupported plan schema {meta.get('schema')!r} "
             f"(this build executes schema {PLAN_SCHEMA_VERSION})"
         )
+    csr = None
+    if "csr" in meta:
+        csr = _CsrPattern(
+            arrays["csr_indptr"], arrays["csr_indices"], meta["csr"]["shape"]
+        )
 
     def decode(specs: list) -> list:
         steps: list = []
         for spec in specs:
-            if spec["kind"] == "gemm":
+            kind = spec["kind"]
+            if kind == "gemm":
                 steps.append(
                     _GemmStep(
                         arrays[f"w_{spec['id']}"],
@@ -377,8 +1094,58 @@ def plan_from_payload(meta: dict, arrays: dict) -> CompiledPlan:
                         spec["act"],
                     )
                 )
-            elif spec["kind"] == "act":
+            elif kind == "act":
                 steps.append(_ActStep(spec["act"], spec["dim"]))
+            elif kind == "conv1d":
+                steps.append(
+                    _Conv1dStep(
+                        arrays[f"w_{spec['id']}"], arrays[f"b_{spec['id']}"],
+                        spec["act"], spec["channels"], spec["length"],
+                    )
+                )
+            elif kind == "conv2d":
+                steps.append(
+                    _Conv2dStep(
+                        arrays[f"w_{spec['id']}"], arrays[f"b_{spec['id']}"],
+                        spec["act"], spec["kernel"], spec["channels"],
+                        spec["height"], spec["width"],
+                    )
+                )
+            elif kind == "pool1d":
+                steps.append(
+                    _Pool1dStep(
+                        spec["op"], spec["pool"], spec["channels"], spec["length"]
+                    )
+                )
+            elif kind == "pool2d":
+                steps.append(
+                    _Pool2dStep(
+                        spec["op"], spec["pool"], spec["channels"],
+                        spec["height"], spec["width"],
+                    )
+                )
+            elif kind == "upsample1d":
+                steps.append(
+                    _Upsample1dStep(
+                        spec["factor"], spec["channels"], spec["length"]
+                    )
+                )
+            elif kind == "upsample2d":
+                steps.append(
+                    _Upsample2dStep(
+                        spec["factor"], spec["channels"],
+                        spec["height"], spec["width"],
+                    )
+                )
+            elif kind == "csr_gemm":
+                steps.append(
+                    _CsrGemmStep(
+                        arrays[f"w_{spec['id']}"], arrays[f"b_{spec['id']}"],
+                        spec["act"], csr,
+                    )
+                )
+            elif kind == "csr_densify":
+                steps.append(_CsrDensifyStep(csr))
             else:
                 steps.append(_ResidualStep(decode(spec["steps"]), spec["dim"]))
         return steps
@@ -388,4 +1155,5 @@ def plan_from_payload(meta: dict, arrays: dict) -> CompiledPlan:
         input_dim=meta["input_dim"],
         output_dim=meta["output_dim"],
         batch_invariant=meta["batch_invariant"],
+        csr=csr,
     )

@@ -90,6 +90,10 @@ class Conv1d(Module):
     def output_dim(self, input_dim: int) -> int:
         return input_dim  # same padding preserves length
 
+    def trace_spec(self) -> tuple:
+        # weight is (K, C_in, C_out): one matmul per tap, same as forward
+        return ("conv1d", self.weight.data, self.bias.data)
+
 
 class MaxPool1d(Module):
     """Non-overlapping max pooling over the length axis."""
@@ -118,6 +122,9 @@ class MaxPool1d(Module):
             raise ValueError("pool size must divide the length")
         return input_dim // self.pool_size
 
+    def trace_spec(self) -> tuple:
+        return ("pool1d", "max", self.pool_size)
+
 
 class AvgPool1d(Module):
     """Non-overlapping average pooling over the length axis."""
@@ -143,6 +150,9 @@ class AvgPool1d(Module):
             raise ValueError("pool size must divide the length")
         return input_dim // self.pool_size
 
+    def trace_spec(self) -> tuple:
+        return ("pool1d", "avg", self.pool_size)
+
 
 class Upsample1d(Module):
     """Nearest-neighbour unpooling: repeats each position ``factor`` times."""
@@ -161,6 +171,9 @@ class Upsample1d(Module):
 
     def output_dim(self, input_dim: int) -> int:
         return input_dim * self.factor
+
+    def trace_spec(self) -> tuple:
+        return ("upsample1d", self.factor)
 
 
 class SignalView(Module):
@@ -182,6 +195,9 @@ class SignalView(Module):
             raise ValueError("feature count must be divisible by channels")
         return input_dim  # total element count is preserved
 
+    def trace_spec(self) -> tuple:
+        return ("signal_view", self.channels)
+
 
 class Flatten(Module):
     """(B, C, L) -> (B, C*L)."""
@@ -192,3 +208,6 @@ class Flatten(Module):
 
     def output_dim(self, input_dim: int) -> int:
         return input_dim
+
+    def trace_spec(self) -> tuple:
+        return ("flatten",)

@@ -87,6 +87,10 @@ class Conv2d(Module):
         per_point = 2 * self.in_channels * self.kernel_size**2 * self.out_channels
         return batch * points * (per_point + self.out_channels)
 
+    def trace_spec(self) -> tuple:
+        # weight is (K*K, C_in, C_out), taps in (dy, dx) row-major order
+        return ("conv2d", self.weight.data, self.bias.data, self.kernel_size)
+
 
 class Upsample2d(Module):
     """Nearest-neighbour 2-D upsampling by an integer factor."""
@@ -103,6 +107,9 @@ class Upsample2d(Module):
         rows = np.repeat(np.arange(height), self.factor)
         cols = np.repeat(np.arange(width), self.factor)
         return x[:, :, rows][:, :, :, cols]
+
+    def trace_spec(self) -> tuple:
+        return ("upsample2d", self.factor)
 
 
 class Deconv2d(Module):
@@ -133,6 +140,10 @@ class Deconv2d(Module):
     def flops(self, batch: int = 1) -> int:
         return self.conv.flops(batch)
 
+    def trace_spec(self) -> tuple:
+        # forward is literally upsample-then-conv, so trace it that way
+        return ("sequential", [self.upsample, self.conv])
+
 
 class MaxPool2d(Module):
     """Non-overlapping 2-D max pooling."""
@@ -151,6 +162,9 @@ class MaxPool2d(Module):
             raise ValueError(f"pool size {p} must divide ({height}, {width})")
         blocks = x.reshape(batch, channels, height // p, p, width // p, p)
         return blocks.max(axis=5).max(axis=3)
+
+    def trace_spec(self) -> tuple:
+        return ("pool2d", "max", self.pool_size)
 
 
 class AvgPool2d(Module):
@@ -171,6 +185,9 @@ class AvgPool2d(Module):
         blocks = x.reshape(batch, channels, height // p, p, width // p, p)
         return blocks.mean(axis=5).mean(axis=3)
 
+    def trace_spec(self) -> tuple:
+        return ("pool2d", "avg", self.pool_size)
+
 
 class ImageView(Module):
     """(B, F) flat features -> (B, 1, H, W) with H*W == F."""
@@ -188,3 +205,6 @@ class ImageView(Module):
                 f"expected {self.height * self.width} features, got {features}"
             )
         return x.reshape(batch, 1, self.height, self.width)
+
+    def trace_spec(self) -> tuple:
+        return ("image_view", self.height, self.width)

@@ -83,6 +83,15 @@ class Module:
             ("activation", kind)                      # elementwise by name
             ("residual", inner_module)                # y = inner(x) + x
             ("sequential", [module, ...])             # composition
+            ("conv1d", weight, bias)                  # (K, C_in, C_out) taps
+            ("conv2d", weight, bias, kernel_size)     # (K*K, C_in, C_out) taps
+            ("pool1d", "max"|"avg", pool_size)        # non-overlapping pooling
+            ("pool2d", "max"|"avg", pool_size)
+            ("upsample1d", factor)                    # nearest-neighbour repeat
+            ("upsample2d", factor)
+            ("signal_view", channels)                 # (B,F) -> (B,C,F//C)
+            ("image_view", height, width)             # (B,F) -> (B,1,H,W)
+            ("flatten",)                              # (B,C,...) -> (B,prod)
         """
         return None
 
@@ -201,8 +210,9 @@ class SparseDense(Module):
         return self.out_features
 
     def trace_spec(self) -> tuple:
-        # the compiled path only ever sees dense row batches (CSR inputs
-        # stay on the interpreted path), where forward is exactly Dense
+        # for dense row batches the forward is exactly Dense; CSR-input
+        # plans substitute a pattern-folded CSR step for this first layer
+        # (see compile_package's csr_pattern)
         return ("dense", self.weight.data, self.bias.data)
 
 

@@ -233,8 +233,9 @@ def write_plan_npz(path: Union[str, Path], meta: dict, arrays: dict) -> Path:
 
     ``meta``/``arrays`` come from :func:`repro.compile.plan.plan_payload`;
     this codec stays structure-agnostic (one JSON record plus named
-    float64 arrays) so the on-disk plan format is owned here like every
-    other artifact payload.
+    arrays — float64 weights/biases and int64 CSR pattern arrays alike)
+    so the on-disk plan format is owned here like every other artifact
+    payload, and new step kinds need no codec change.
     """
     path = Path(path)
     meta = dict(meta, format_version=PLAN_FORMAT_VERSION)

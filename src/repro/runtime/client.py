@@ -183,7 +183,11 @@ class Client:
     # -- tensor traffic ---------------------------------------------------------
 
     def put_tensor(self, key: str, value: np.ndarray) -> None:
-        # the store preserves floating dtypes (float32 stays float32)
+        # the store preserves floating dtypes (float32 stays float32);
+        # CSR batches pass through whole rather than through asarray
+        if isinstance(value, CSRMatrix):
+            self._orc.put_tensor(key, value)
+            return
         self._orc.put_tensor(key, np.asarray(value))
 
     def get_tensor(self, key: str) -> np.ndarray:

@@ -59,8 +59,15 @@ from typing import Any, Callable, NamedTuple, Optional, Union
 import numpy as np
 
 from .. import obs
-from ..compile import PlanCache, compile_package, package_digest
+from ..compile import (
+    PlanCache,
+    compile_package,
+    csr_pattern_key,
+    package_digest,
+    untraceable_reason,
+)
 from ..nn.tensor import batch_invariant as _batch_invariant_mode
+from ..sparse import CSRMatrix
 
 __all__ = [
     "Orchestrator",
@@ -412,12 +419,17 @@ class Orchestrator:
         self._m_untraceable = registry.counter(
             "repro_compile_untraceable_total",
             "Specializations that fell back to the interpreted path",
+            labels=("reason",),
         )
 
     # -- tensor store ---------------------------------------------------------
 
     @staticmethod
-    def _coerce(value: np.ndarray) -> np.ndarray:
+    def _coerce(value) -> Any:
+        if isinstance(value, CSRMatrix):
+            # CSR batches pass through whole: the dataclass is frozen and
+            # its value arrays are never handed back out writable
+            return value
         value = np.asarray(value)
         if np.issubdtype(value.dtype, np.floating):
             # dtype-preserving defensive copy: float32 HPC data stays
@@ -445,6 +457,12 @@ class Orchestrator:
                 value = self._tensors[key]
             except KeyError:
                 raise KeyError(f"no tensor stored under key {key!r}") from None
+        return self._readonly(value)
+
+    @staticmethod
+    def _readonly(value) -> Any:
+        if isinstance(value, CSRMatrix):
+            return value  # frozen dataclass: no writable view to lock down
         view = value.view()
         view.flags.writeable = False
         return view
@@ -456,12 +474,7 @@ class Orchestrator:
                 values = [self._tensors[k] for k in keys]
             except KeyError as exc:
                 raise KeyError(f"no tensor stored under key {exc.args[0]!r}") from None
-        views = []
-        for value in values:
-            view = value.view()
-            view.flags.writeable = False
-            views.append(view)
-        return views
+        return [self._readonly(value) for value in values]
 
     def delete_tensors(self, keys: list[str]) -> None:
         """Bulk :meth:`delete_tensor`: one lock acquisition for the whole list."""
@@ -545,9 +558,14 @@ class Orchestrator:
             version = int(version)
             if version < 1:
                 raise ValueError("model versions start at 1")
+            replaced = version in entry.versions
             entry.versions[version] = _ModelVersion(
                 predict, bool(batchable), version, package, digest
             )
+            if replaced:
+                # the version number now points at different weights: every
+                # memoized resolution (plans included) is stale
+                self._purge_plan_memos(name, version, drop_plans=True)
             if deploy:
                 self._activate(name, entry, version)
         if blob is not None:
@@ -573,6 +591,7 @@ class Orchestrator:
                     f"available: {sorted(entry.versions)}"
                 )
             self._activate(name, entry, version)
+            self._purge_plan_memos(name, version)
         return version
 
     def rollback(self, name: str) -> int:
@@ -589,6 +608,7 @@ class Orchestrator:
                 )
             target = entry.previous
             entry.previous, entry.active = entry.active, target
+            self._purge_plan_memos(name, target)
             if self._telemetry.enabled:
                 self._m_active_version.set(target, model=name)
                 self._m_rollbacks.inc(model=name)
@@ -694,8 +714,12 @@ class Orchestrator:
         )
         # the specialization key uses the per-request row shape — the same
         # key the micro-batcher groups on — so single and batched serving
-        # of one model share one plan
-        plan = self._plan_for(name, model, x.shape[-1:], x.dtype.str)
+        # of one model share one plan.  CSR batches key on their sparsity
+        # pattern instead of a row shape.
+        if isinstance(x, CSRMatrix):
+            plan = self._plan_for(name, model, (x.shape[1],), "<f8", csr=x)
+        else:
+            plan = self._plan_for(name, model, x.shape[-1:], x.dtype.str)
         if plan is not None:
             y = np.asarray(plan.predict(x))
         else:
@@ -714,7 +738,35 @@ class Orchestrator:
 
     # -- compiled serving plans ---------------------------------------------------
 
-    def _plan_for(self, name: str, model: _ModelVersion, shape, dtype: str):
+    def _purge_plan_memos(
+        self, name: str, version: int, *, drop_plans: bool = False
+    ) -> None:
+        """Forget resolution-map entries for one (name, version).
+
+        ``deploy``/``rollback`` clear only the ``_UNTRACEABLE`` negative
+        memos: an activation is an operator saying "serve this version",
+        so a specialization that once failed to compile (e.g. before its
+        plan landed in the shared disk tier) gets retried instead of
+        being stuck interpreted forever.  Resolved plans stay — they are
+        keyed by version and remain correct.  ``drop_plans=True`` (a
+        re-register that *replaced* the version's weights) drops the
+        plans too.  Lock order ``_lock`` → ``_plan_lock`` (callers hold
+        ``_lock``), same as the serving path.
+        """
+        with self._plan_lock:
+            stale = [
+                key
+                for key, resolved in self._plans.items()
+                if key[0] == name
+                and key[1] == version
+                and (drop_plans or resolved is _UNTRACEABLE)
+            ]
+            for key in stale:
+                del self._plans[key]
+
+    def _plan_for(
+        self, name: str, model: _ModelVersion, shape, dtype: str, *, csr=None
+    ):
         """Compiled plan for one specialization key, or None (interpreted).
 
         Resolution is a dict lookup on the hot path; compilation (or a
@@ -722,14 +774,24 @@ class Orchestrator:
         key.  Two workers racing the same cold key may both compile —
         the plans are bit-identical, ``setdefault`` keeps one, and the
         loser's work is discarded (a benign race, never a wrong answer).
+
+        ``csr`` carries the request's :class:`CSRMatrix` for sparse-input
+        specializations; the resolution key uses its pattern digest, so
+        one plan serves every request with the same sparsity structure.
         """
         if not self.compile_plans or model.package is None:
             return None
-        map_key = (name, model.version, tuple(shape), dtype)
+        pattern = csr_pattern_key(csr) if csr is not None else None
+        map_key = (
+            name,
+            model.version,
+            ("csr", pattern) if pattern is not None else tuple(shape),
+            dtype,
+        )
         with self._plan_lock:
             resolved = self._plans.get(map_key)
         if resolved is None:
-            plan = self._build_plan(model, shape, dtype)
+            plan = self._build_plan(model, shape, dtype, csr=csr, pattern=pattern)
             with self._plan_lock:
                 resolved = self._plans.setdefault(
                     map_key, _UNTRACEABLE if plan is None else plan
@@ -752,7 +814,9 @@ class Orchestrator:
             resolved = self._plans.get(key)
         return resolved is not None and resolved is not _UNTRACEABLE
 
-    def _build_plan(self, model: _ModelVersion, shape, dtype: str):
+    def _build_plan(
+        self, model: _ModelVersion, shape, dtype: str, *, csr=None, pattern=None
+    ):
         """Fetch from the plan cache or trace-and-compile (None: fall back)."""
         try:
             digest = model.digest or package_digest(model.package)
@@ -761,17 +825,18 @@ class Orchestrator:
                 input_shape=shape,
                 dtype=dtype,
                 batch_invariant=self.batch_invariant,
+                csr=pattern,
             )
             plan = self._plan_cache.get(key)
             if plan is not None:
                 return plan
             start = time.perf_counter()
             plan = compile_package(
-                model.package, batch_invariant=self.batch_invariant
+                model.package, batch_invariant=self.batch_invariant, csr_pattern=csr
             )
-        except Exception:  # noqa: BLE001 - any compile failure means: interpret
+        except Exception as exc:  # noqa: BLE001 - any compile failure means: interpret
             if self._telemetry.enabled:
-                self._m_untraceable.inc()
+                self._m_untraceable.inc(reason=untraceable_reason(exc))
             return None
         if self._telemetry.enabled:
             self._m_plan_build.observe(time.perf_counter() - start)
@@ -1133,7 +1198,7 @@ class Orchestrator:
                     tensor = self._tensors.get(request.input_keys[0])
                     if (
                         model is not None
-                        and tensor is not None
+                        and isinstance(tensor, np.ndarray)  # CSR serves per-request
                         and tensor.ndim == 1
                         and (
                             model.batchable

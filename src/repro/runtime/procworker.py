@@ -19,9 +19,13 @@ Wire protocol (all messages are small picklable tuples over raw
   ``("many", [subitems], recycled_segment_names)`` — a whole burst's
   worth of subitems coalesced into ONE wire message (one pipe write,
   one reader wake-up), answered with one ``manyok``.  Each subitem is
-  ``("one", req_id, name, version, handle)`` — one 1-D input row — or
+  ``("one", req_id, name, version, handle)`` — one 1-D input row —
   ``("rows", req_id, name, version, handle)`` — a stacked ``(B, F)``
-  block served as one vectorized forward.  The recycled names are
+  block served as one vectorized forward — or
+  ``("csr", req_id, name, version, ("csrmat", (indptr, indices, data,
+  shape)))`` — a sparse batch shipped as pickled arrays on the pipe
+  itself (small nnz payloads; no shared-memory segment), served through
+  a pattern-keyed compiled plan when one resolves.  The recycled names are
   output segments the front-end finished reading, piggybacked on the
   next request instead of riding a pipe of their own: returning them
   costs zero extra writes (and zero extra reader wake-ups).
@@ -54,8 +58,15 @@ from typing import Any, Callable, NamedTuple, Optional
 import numpy as np
 
 from .. import obs
-from ..compile import PlanCache, compile_package, package_digest
+from ..compile import (
+    PlanCache,
+    compile_package,
+    csr_pattern_key,
+    package_digest,
+    untraceable_reason,
+)
 from ..nn.tensor import batch_invariant as _batch_invariant_mode
+from ..sparse import CSRMatrix
 from .shm_store import SegmentAttachments, ShmTensorStore
 
 __all__ = ["worker_main"]
@@ -131,6 +142,7 @@ class _WorkerCore:
         self._m_untraceable = registry.counter(
             "repro_compile_untraceable_total",
             "Specializations that fell back to the interpreted path",
+            labels=("reason",),
         )
 
     # -- registration --------------------------------------------------------------
@@ -148,7 +160,14 @@ class _WorkerCore:
             package, predict = obj, obj.predict
         else:
             package, predict = None, obj
-        self.models[(name, int(version))] = _WorkerModel(
+        key = (name, int(version))
+        if key in self.models:
+            # re-registered version number -> different weights: every
+            # memoized plan (and negative memo) for it is stale
+            self.plans = {
+                k: v for k, v in self.plans.items() if (k[0], k[1]) != key
+            }
+        self.models[key] = _WorkerModel(
             predict, bool(batchable), package, digest
         )
 
@@ -159,17 +178,27 @@ class _WorkerCore:
             return _batch_invariant_mode()
         return contextlib.nullcontext()
 
-    def _plan_for(self, name: str, version: int, model: _WorkerModel, shape, dtype):
+    def _plan_for(
+        self, name: str, version: int, model: _WorkerModel, shape, dtype, *, csr=None
+    ):
         if not self.compile_plans or model.package is None:
             return None
-        key = (name, version, tuple(shape), dtype)
+        pattern = csr_pattern_key(csr) if csr is not None else None
+        key = (
+            name,
+            version,
+            ("csr", pattern) if pattern is not None else tuple(shape),
+            dtype,
+        )
         resolved = self.plans.get(key)
         if resolved is None:
-            plan = self._build_plan(model, shape, dtype)
+            plan = self._build_plan(model, shape, dtype, csr=csr, pattern=pattern)
             resolved = self.plans[key] = _UNTRACEABLE if plan is None else plan
         return None if resolved is _UNTRACEABLE else resolved
 
-    def _build_plan(self, model: _WorkerModel, shape, dtype: str):
+    def _build_plan(
+        self, model: _WorkerModel, shape, dtype: str, *, csr=None, pattern=None
+    ):
         try:
             digest = model.digest or package_digest(model.package)
             key = self.plan_cache.key(
@@ -177,16 +206,17 @@ class _WorkerCore:
                 input_shape=shape,
                 dtype=dtype,
                 batch_invariant=self.batch_invariant,
+                csr=pattern,
             )
             plan = self.plan_cache.get(key)  # per-process warm from disk tier
             if plan is not None:
                 return plan
             plan = compile_package(
-                model.package, batch_invariant=self.batch_invariant
+                model.package, batch_invariant=self.batch_invariant, csr_pattern=csr
             )
-        except Exception:  # noqa: BLE001 - any compile failure means: interpret
+        except Exception as exc:  # noqa: BLE001 - any compile failure means: interpret
             if obs.is_enabled():
-                self._m_untraceable.inc()
+                self._m_untraceable.inc(reason=untraceable_reason(exc))
             return None
         if obs.is_enabled():
             self._m_plans_built.inc()
@@ -205,15 +235,26 @@ class _WorkerCore:
                     f"shard {self.worker_id} holds no replica of model "
                     f"{name!r} version {version} (sharding bug?)"
                 )
-            x = self.attachments.view(handle)
-            if kind == "rows":
-                rows = int(x.shape[0]) if x.ndim else 1
-                y, used_plan, vectorized = self._forward_rows(
-                    name, version, model, x
+            if kind == "csr":
+                # pipe-shipped sparse batch: rebuild the CSR matrix from
+                # the pickled arrays (no shared-memory segment involved)
+                indptr, indices, data, shape = handle[1]
+                x = CSRMatrix(
+                    indptr=indptr, indices=indices, data=data, shape=tuple(shape)
                 )
+                rows = int(x.shape[0])
+                y, used_plan = self._forward_csr(name, version, model, x)
+                vectorized = True
             else:
-                y, used_plan = self._forward_one(name, version, model, x)
-                vectorized = False
+                x = self.attachments.view(handle)
+                if kind == "rows":
+                    rows = int(x.shape[0]) if x.ndim else 1
+                    y, used_plan, vectorized = self._forward_rows(
+                        name, version, model, x
+                    )
+                else:
+                    y, used_plan = self._forward_one(name, version, model, x)
+                    vectorized = False
             y = np.asarray(y)
             if not np.issubdtype(y.dtype, np.floating):
                 y = y.astype(np.float64)
@@ -245,6 +286,16 @@ class _WorkerCore:
         for segment in recycled:
             self.out_store.release(segment)
         res.send(("manyok", [self.serve_entry(sub) for sub in subitems]))
+
+    def _forward_csr(self, name, version, model: _WorkerModel, x: CSRMatrix):
+        """One CSR batch: pattern-keyed plan, else the interpreted forward."""
+        plan = self._plan_for(
+            name, version, model, (x.shape[1],), "<f8", csr=x
+        )
+        if plan is not None:
+            return np.asarray(plan.predict(x)), True
+        with self._forward_mode():
+            return np.asarray(model.predict(x)), False
 
     def _forward_one(self, name, version, model: _WorkerModel, x):
         plan = self._plan_for(name, version, model, x.shape[-1:], x.dtype.str)

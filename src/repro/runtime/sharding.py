@@ -61,6 +61,7 @@ from typing import Callable, NamedTuple, Optional, Sequence
 import numpy as np
 
 from .. import obs
+from ..sparse import CSRMatrix
 from .orchestrator import OrchestratorStopped
 from .procworker import worker_main
 from .shm_store import SegmentAttachments, ShmTensorStore, unlink_segments
@@ -113,11 +114,16 @@ class ShardRing:
 
 
 class _Pending(NamedTuple):
-    """One in-flight dispatch awaiting its result message."""
+    """One in-flight dispatch awaiting its result message.
+
+    ``input_segment`` is ``None`` for CSR dispatches: sparse batches ride
+    the request pipe as pickled arrays (their nnz payload is small and
+    pattern-dependent), so there is no shared-memory segment to release.
+    """
 
     on_done: Callable[[Optional[np.ndarray], Optional[Exception]], None]
     rows: int
-    input_segment: str
+    input_segment: Optional[str]
     shard_id: int
 
 
@@ -419,6 +425,15 @@ class ProcessShardPool:
         if not self._running:
             raise RuntimeError("process pool is not running")
         shard = self._shards[self.ring.shard_for(name, version)]
+        if isinstance(x, CSRMatrix):
+            # CSR batches cross as pickled arrays on the request pipe:
+            # the nnz payload is small, and the worker rebuilds the
+            # matrix (and its pattern-keyed plan) on its side
+            rows = int(x.shape[0])
+            self._admit(shard, rows)
+            payload = ("csrmat", (x.indptr, x.indices, x.data, tuple(x.shape)))
+            self._enqueue(shard, "csr", name, version, payload, on_done, rows)
+            return
         self._admit(shard, 1)
         try:
             handle = self._store.put(x)
@@ -552,7 +567,8 @@ class ProcessShardPool:
             if pending is None:
                 continue  # stop()'s sweep (or the collector) got there first
             self._release(shard, pending.rows)
-            self._store.release(handle.segment)
+            if pending.input_segment is not None:
+                self._store.release(pending.input_segment)
             try:
                 pending.on_done(
                     None, OrchestratorStopped("serving pool stopped")
@@ -562,7 +578,8 @@ class ProcessShardPool:
 
     def _enqueue(self, shard, kind, name, version, handle, on_done, rows) -> None:
         req_id = next(self._req_ids)
-        pending = _Pending(on_done, rows, handle.segment, shard.id)
+        segment = getattr(handle, "segment", None)  # None: pipe-shipped CSR
+        pending = _Pending(on_done, rows, segment, shard.id)
         with self._pending_lock:
             self._pending[req_id] = pending
         try:
@@ -574,7 +591,8 @@ class ProcessShardPool:
             with self._pending_lock:
                 self._pending.pop(req_id, None)
             self._release(shard, rows)
-            self._store.release(handle.segment)
+            if segment is not None:
+                self._store.release(segment)
             on_done(None, OrchestratorStopped("serving pool stopped"))
             return
         if not self._running:
@@ -605,8 +623,9 @@ class ProcessShardPool:
         else:
             output, error = None, entry[2]
         # worker is done reading the input: its segment can carry the
-        # next request
-        self._store.release(pending.input_segment)
+        # next request (CSR dispatches shipped by pipe have none)
+        if pending.input_segment is not None:
+            self._store.release(pending.input_segment)
         self._release(shard, pending.rows)
         try:
             pending.on_done(output, error)

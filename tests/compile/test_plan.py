@@ -169,7 +169,9 @@ class TestPlanSemantics:
         second[:] = 0.0
         np.testing.assert_array_equal(first, keep)
 
-    def test_cnn_family_is_untraceable(self, rng):
+    def test_cnn_family_compiles_bit_identically(self, rng):
+        # was untraceable before the conv/pool lowering landed; now the
+        # whole CNN family compiles and stays on the compiled fast path
         topology = CNNTopology(
             channels=(4,), kernel_sizes=(3,), pools=(1,), activation="relu"
         )
@@ -177,8 +179,25 @@ class TestPlanSemantics:
         package = SurrogatePackage(
             model=model, topology=topology, input_dim=8, output_dim=2
         )
-        with pytest.raises(UntraceableModelError):
+        plan = compile_package(package)
+        assert "conv1d" in plan.step_kinds()
+        assert_bit_identical(package, plan, rng.standard_normal((5, 8)))
+
+    def test_recurrent_style_module_is_untraceable(self, rng):
+        # a module with no trace_spec lowering still falls back, tagged
+        # with a reason the serving counter can label
+        from repro.compile import untraceable_reason
+        from repro.nn.layers import Module, Sequential
+
+        class Opaque(Module):
+            def forward(self, x):
+                return x
+
+        package = make_package(rng)
+        package.model = Sequential([Opaque()])
+        with pytest.raises(UntraceableModelError) as excinfo:
             compile_package(package)
+        assert untraceable_reason(excinfo.value) == "unknown-module"
 
     def test_plan_ignores_runtime_thread_mode(self, rng):
         # specialization is fixed at compile time: an invariant plan keeps

@@ -15,6 +15,7 @@ from repro.nn.tensor import batch_invariant
 from repro.registry.store import ModelRegistry
 from repro.runtime import Client, Orchestrator
 
+from ..compile.test_conv_plans import cnn_package, make_csr, sparse_ae_package
 from ..compile.test_plan import make_package
 
 
@@ -138,6 +139,216 @@ class TestFallback:
         # the negative result is memoized: serving again compiles nothing
         orc.run_model("m", ("in",), ("out",))
         assert registry.get("repro_compile_untraceable_total").total() == 1
+
+
+class TestCnnAndCsrServing:
+    def test_cnn_package_served_compiled(self, rng):
+        from repro.nn.cnn import CNNTopology
+
+        topology = CNNTopology(
+            channels=(4, 3), kernel_sizes=(3, 5), pools=(2, -2)
+        )
+        package = cnn_package(rng, 8, 2, topology)
+        orc = Orchestrator()
+        Client(orc).set_model("m", package)
+        x = rng.standard_normal((5, 8))
+        orc.put_tensor("in", x)
+        orc.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(package, x))
+        assert obs.get_registry().get("repro_compile_plans_built_total").total() == 1
+        untraceable = obs.get_registry().get("repro_compile_untraceable_total")
+        assert untraceable is None or untraceable.total() == 0
+
+    def test_csr_batch_served_compiled(self, rng):
+        package = sparse_ae_package(rng, 20, 6, 3)
+        orc = Orchestrator()
+        Client(orc).set_model("m", package)
+        x = make_csr(rng, 8, 20, empty_rows=(2,))
+        orc.put_tensor("in", x)
+        orc.run_model("m", ("in",), ("out",))
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(package, x))
+        # the plan map key carries the pattern digest, not an array shape
+        assert any(
+            isinstance(key[2], tuple) and key[2][0] == "csr"
+            for key in orc._plans
+        )
+        assert obs.get_registry().get("repro_compile_plans_built_total").total() == 1
+
+    def test_csr_and_dense_traffic_coexist(self, rng):
+        # the same model serves dense row batches and CSR batches through
+        # two separately keyed plans
+        package = sparse_ae_package(rng, 12, 4, 2)
+        orc = Orchestrator()
+        Client(orc).set_model("m", package)
+        dense = rng.standard_normal((3, 12))
+        sparse = make_csr(rng, 3, 12)
+        orc.put_tensor("d", dense)
+        orc.put_tensor("s", sparse)
+        orc.run_model("m", ("d",), ("d_out",))
+        orc.run_model("m", ("s",), ("s_out",))
+        np.testing.assert_array_equal(orc.get_tensor("d_out"), reference(package, dense))
+        np.testing.assert_array_equal(orc.get_tensor("s_out"), reference(package, sparse))
+        assert len(orc._plans) == 2
+
+    def test_csr_pattern_change_builds_a_second_plan(self, rng):
+        package = sparse_ae_package(rng, 12, 4, 2)
+        orc = Orchestrator()
+        Client(orc).set_model("m", package)
+        for i, x in enumerate(
+            (make_csr(rng, 3, 12), make_csr(rng, 3, 12, empty_rows=(0,)))
+        ):
+            orc.put_tensor("in", x)
+            orc.run_model("m", ("in",), (f"out{i}",))
+            np.testing.assert_array_equal(
+                orc.get_tensor(f"out{i}"), reference(package, x)
+            )
+        assert len(orc._plans) == 2
+
+
+class TestMemoPurge:
+    """deploy()/rollback() clear stale negative compile memos."""
+
+    @staticmethod
+    def _flaky_compile(monkeypatch, fail_times):
+        import repro.runtime.orchestrator as orch_mod
+
+        real = orch_mod.compile_package
+        calls = {"n": 0}
+
+        def flaky(*a, **k):
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise RuntimeError("transient compile failure")
+            return real(*a, **k)
+
+        monkeypatch.setattr(orch_mod, "compile_package", flaky)
+        return calls
+
+    def test_deploy_retries_untraceable_memo(self, rng, monkeypatch):
+        package = make_package(rng)
+        orc = Orchestrator()
+        client = Client(orc)
+        v1 = client.set_model("m", package)
+        calls = self._flaky_compile(monkeypatch, 1)
+        x = rng.standard_normal(6)
+        orc.put_tensor("in", x)
+        orc.run_model("m", ("in",), ("out",))  # compile fails -> interpreted
+        orc.run_model("m", ("in",), ("out",))  # negative memo: no retry
+        assert calls["n"] == 1
+        client.deploy_model("m", v1)  # hot swap clears the negative memo
+        orc.run_model("m", ("in",), ("out",))
+        assert calls["n"] == 2  # retried, and this time it compiled
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(package, x))
+        orc.run_model("m", ("in",), ("out",))
+        assert calls["n"] == 2  # positive result is memoized as before
+
+    def test_rollback_retries_untraceable_memo(self, rng, monkeypatch):
+        v1_pkg = make_package(rng)
+        v2_pkg = make_package(np.random.default_rng(7))
+        orc = Orchestrator()
+        client = Client(orc)
+        client.set_model("m", v1_pkg)
+        client.set_model("m", v2_pkg)
+        calls = self._flaky_compile(monkeypatch, 1)
+        x = rng.standard_normal(6)
+        orc.put_tensor("in", x)
+        orc.run_model("m", ("in",), ("out",), version=1)  # fails, memoized
+        assert calls["n"] == 1
+        client.rollback_model("m")  # back to v1: clears v1's negative memo
+        orc.run_model("m", ("in",), ("out",))
+        assert calls["n"] == 2
+        np.testing.assert_array_equal(orc.get_tensor("out"), reference(v1_pkg, x))
+
+    def test_deploy_keeps_positive_plans(self, rng):
+        package = make_package(rng)
+        orc = Orchestrator()
+        client = Client(orc)
+        v1 = client.set_model("m", package)
+        x = rng.standard_normal(6)
+        orc.put_tensor("in", x)
+        orc.run_model("m", ("in",), ("out",))
+        assert obs.get_registry().get("repro_compile_plans_built_total").total() == 1
+        client.deploy_model("m", v1)  # redeploy must NOT drop the good plan
+        orc.run_model("m", ("in",), ("out",))
+        assert obs.get_registry().get("repro_compile_plans_built_total").total() == 1
+
+    def test_memo_purge_is_safe_under_hot_swap_traffic(self, rng):
+        import threading
+
+        v1_pkg = make_package(rng)
+        v2_pkg = make_package(np.random.default_rng(5))
+        orc = Orchestrator()
+        client = Client(orc)
+        client.set_model("m", v1_pkg)
+        v2 = client.set_model("m", v2_pkg, deploy=False)
+        x = rng.standard_normal((4, 6))
+        expected = {reference(v1_pkg, x).tobytes(), reference(v2_pkg, x).tobytes()}
+        orc.put_tensor("in", x)
+        stop = threading.Event()
+        errors = []
+
+        def traffic():
+            i = 0
+            while not stop.is_set():
+                out = f"out_{threading.get_ident()}_{i % 4}"
+                i += 1
+                try:
+                    orc.run_model("m", ("in",), (out,))
+                    if orc.get_tensor(out).tobytes() not in expected:
+                        errors.append("served output matches neither version")
+                except Exception as exc:  # noqa: BLE001 - fail the test below
+                    errors.append(repr(exc))
+
+        threads = [threading.Thread(target=traffic) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                client.deploy_model("m", v2)
+                client.rollback_model("m")
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors
+
+
+class TestUntraceableReasonLabels:
+    def test_opaque_package_labeled(self, rng):
+        class OpaquePackage:
+            def predict(self, x):
+                return np.asarray(x) * 2.0
+
+        orc = Orchestrator()
+        orc.register_model("m", OpaquePackage().predict, package=OpaquePackage())
+        orc.put_tensor("in", np.ones(3))
+        orc.run_model("m", ("in",), ("out",))
+        counter = obs.get_registry().get("repro_compile_untraceable_total")
+        assert counter.value(reason="opaque") == 1
+
+    def test_conv_geometry_mismatch_labeled(self, rng):
+        from repro.nas.package import SurrogatePackage
+        from repro.nn.cnn import CNNTopology
+        from repro.nn.conv import Flatten, SignalView
+        from repro.nn.layers import Dense, Sequential
+
+        model = Sequential([SignalView(4), Flatten(), Dense(6, 2, rng)])
+        package = SurrogatePackage(
+            model=model,
+            topology=CNNTopology(channels=(1,), kernel_sizes=(1,), pools=(0,)),
+            input_dim=6,
+            output_dim=2,
+        )
+        orc = Orchestrator()
+        Client(orc).set_model("m", package)
+        orc.put_tensor("in", rng.standard_normal(6))
+        # a geometry mismatch fails the interpreted forward too (the
+        # package is mis-specified); the label still records why the
+        # compiler refused it
+        with pytest.raises(ValueError, match="divisible"):
+            orc.run_model("m", ("in",), ("out",))
+        counter = obs.get_registry().get("repro_compile_untraceable_total")
+        assert counter.value(reason="conv") == 1
 
 
 class TestPersistentCache:

@@ -17,6 +17,7 @@ from repro import obs
 from repro.nn.tensor import batch_invariant
 from repro.runtime import Client, Orchestrator, UnknownModelError
 
+from ..compile.test_conv_plans import cnn_package, make_csr, sparse_ae_package
 from ..compile.test_plan import make_package
 from . import procmodels
 
@@ -120,6 +121,37 @@ class TestProcessServing:
         stacked = rng.standard_normal((16, 5))
         got = orc.run_rows("aff", stacked, timeout=60)
         np.testing.assert_array_equal(np.ravel(got), procmodels.affine(stacked))
+
+
+class TestSparseAndCnnTraffic:
+    def test_csr_batch_served_across_processes(self, orc, rng):
+        # the CSR batch rides the request pipe as pickled pattern arrays
+        # (no shm segment) and serves through a pattern-keyed plan
+        package = sparse_ae_package(rng, 16, 5, 3)
+        x = make_csr(rng, 6, 16, empty_rows=(1,))
+        client = Client(orc)
+        client.set_model("m", package)
+        orc.start()
+        client.put_tensor("in", x)
+        got = client.run_model("m", "in", "out")
+        with batch_invariant():
+            want = package.predict(x)
+        np.testing.assert_array_equal(got, want)
+
+    def test_cnn_package_bit_identical_across_processes(self, orc, rng):
+        from repro.nn.cnn import CNNTopology
+
+        topology = CNNTopology(channels=(4, 3), kernel_sizes=(3, 5), pools=(2, -2))
+        package = cnn_package(rng, 8, 2, topology)
+        client = Client(orc)
+        client.set_model("m", package)
+        orc.start()
+        rows = [rng.standard_normal(8) for _ in range(12)]
+        outs = client.run_model_batch("m", rows, timeout=120)
+        with batch_invariant():
+            expected = package.predict(np.stack(rows))
+        for got, want in zip(outs, expected):
+            np.testing.assert_array_equal(np.ravel(got), np.ravel(want))
 
 
 class TestCrossModeIdentity:
