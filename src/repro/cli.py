@@ -48,6 +48,7 @@ from .core.reports import (
     format_evaluation_table,
     format_metrics_table,
 )
+from .lifecycle.cli import add_lifecycle_parser, cmd_lifecycle
 from .registry.cli import add_registry_parser, cmd_registry
 
 __all__ = ["main", "build_parser"]
@@ -236,7 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="for warm: registry directory (default: <cache_dir>/registry)",
     )
 
-    return parser
+    add_lifecycle_parser(sub)
 
     return parser
 
@@ -612,6 +613,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_registry(args)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "lifecycle":
+        return cmd_lifecycle(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,53 @@
+"""Closed-loop model lifecycle: drift → retrain → canary → promote/rollback.
+
+Auto-HPCnet's guard (§7.1) restarts the original code whenever the
+surrogate's answer fails its cheap validity check.  That restart is not
+just a safety net — it is a *signal* (quality is slipping) and a *data
+source* (the exact outputs it computes are free ground truth).  This
+package closes the loop on both:
+
+* :mod:`~repro.lifecycle.drift` — windowed HitRate + input-distribution
+  shift detection over guarded traffic,
+* :mod:`~repro.lifecycle.buffer` — bounded capture of labeled fallback
+  samples,
+* :mod:`~repro.lifecycle.retrain` — guarded fine-tune of a candidate
+  with lineage metadata, idempotent under kill/resume,
+* :mod:`~repro.lifecycle.state` — the persisted state machine
+  (``STABLE → DRIFTING → RETRAINING → CANARY → PROMOTE|ROLLBACK``),
+* :mod:`~repro.lifecycle.controller` — the policy tying them to the
+  orchestrator's canary deploy-policy.
+"""
+
+from .buffer import TrafficBuffer
+from .controller import LifecycleConfig, LifecycleController, ServeResult
+from .drift import DriftConfig, DriftDetector, DriftScore
+from .retrain import RetrainConfig, Retrainer, find_candidate
+from .state import (
+    KIND_LIFECYCLE,
+    LIFECYCLE_SUFFIX,
+    STATE_CODES,
+    InvalidTransition,
+    LifecycleRecord,
+    LifecycleState,
+    LifecycleStore,
+)
+
+__all__ = [
+    "TrafficBuffer",
+    "LifecycleConfig",
+    "LifecycleController",
+    "ServeResult",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftScore",
+    "RetrainConfig",
+    "Retrainer",
+    "find_candidate",
+    "KIND_LIFECYCLE",
+    "LIFECYCLE_SUFFIX",
+    "STATE_CODES",
+    "InvalidTransition",
+    "LifecycleRecord",
+    "LifecycleState",
+    "LifecycleStore",
+]

@@ -1,0 +1,79 @@
+"""``repro lifecycle`` — operator controls for the closed loop.
+
+The CLI talks only to the persisted lifecycle artifact; it never needs
+the serving process.  ``status`` prints the latest record (full history
+included), the other actions record an override the running controller
+consumes on its next step::
+
+    repro lifecycle status  out/ --model heat3d
+    repro lifecycle trigger out/ --model heat3d   # force a loop iteration
+    repro lifecycle promote out/ --model heat3d   # end the canary, keep it
+    repro lifecycle abort   out/ --model heat3d   # end the canary, drop it
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..registry import ModelRegistry
+from .state import LifecycleState, LifecycleStore
+
+__all__ = ["add_lifecycle_parser", "cmd_lifecycle"]
+
+
+def add_lifecycle_parser(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "lifecycle",
+        help="inspect or steer a model's drift/retrain/canary loop",
+    )
+    parser.add_argument(
+        "action",
+        choices=("status", "trigger", "promote", "abort"),
+        help="status: print the persisted record; trigger: force a loop "
+        "iteration; promote/abort: end the in-flight canary",
+    )
+    parser.add_argument(
+        "dir",
+        help="build output directory (the --out of `repro build`; the "
+        "registry lives under <dir>/registry unless --registry is given)",
+    )
+    parser.add_argument(
+        "--model", required=True, help="registry artifact name of the model"
+    )
+    parser.add_argument(
+        "--registry", default=None,
+        help="registry directory (default: <dir>/registry)",
+    )
+
+
+def cmd_lifecycle(args: argparse.Namespace) -> int:
+    registry_dir = args.registry or str(Path(args.dir) / "registry")
+    registry = ModelRegistry(registry_dir)
+    store = LifecycleStore(registry, args.model)
+    record = store.load()
+    if args.action == "status":
+        if record is None:
+            print(f"{args.model}: no lifecycle state recorded")
+            return 0
+        print(json.dumps(record.to_payload(), indent=2))
+        return 0
+    if args.action in ("promote", "abort"):
+        # promote/abort steer an in-flight canary; recording them in any
+        # other state would plant a stale override that fires much later
+        if record is None or record.state is not LifecycleState.CANARY:
+            state = "absent" if record is None else record.state.value
+            print(
+                f"{args.model}: cannot {args.action} — lifecycle state is "
+                f"{state}, not CANARY",
+                file=sys.stderr,
+            )
+            return 1
+    record = store.request(args.action)
+    print(
+        f"{args.model}: {args.action} recorded "
+        f"(state {record.state.value}, seq {record.seq})"
+    )
+    return 0

@@ -166,8 +166,18 @@ class SurrogatePackage:
         name: str,
         *,
         metrics: Optional[dict] = None,
+        extra_meta: Optional[dict] = None,
     ) -> ArtifactRef:
-        """Publish this package as the next version of ``name``."""
+        """Publish this package as the next version of ``name``.
+
+        ``extra_meta`` merges additional keys into the manifest ``meta``
+        — e.g. the retrainer's ``lineage`` block (``parent_version``,
+        ``trigger``, drift stats) that makes a candidate's provenance
+        auditable from the manifest alone.
+        """
+        meta = self.payload_meta()
+        if extra_meta:
+            meta.update(extra_meta)
         return registry.publish(
             name,
             "surrogate-package",
@@ -175,7 +185,7 @@ class SurrogatePackage:
             input_dim=self.input_dim,
             output_dim=self.output_dim,
             metrics=metrics,
-            meta=self.payload_meta(),
+            meta=meta,
         )
 
     @classmethod

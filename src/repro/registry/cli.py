@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 
 from .store import ArtifactNotFoundError, ModelRegistry, RegistryError
 
@@ -53,6 +54,15 @@ def add_registry_parser(sub: argparse._SubParsersAction) -> None:
     gc.add_argument("root")
     gc.add_argument(
         "--keep", type=int, default=1, help="versions to keep per artifact"
+    )
+    gc.add_argument(
+        "--pin",
+        action="append",
+        default=[],
+        metavar="NAME:VERSION",
+        help="never collect this version, regardless of age (repeatable); "
+        "versions declared in manifest meta pins — e.g. a lifecycle "
+        "state's incumbent/candidate/parent — are always protected",
     )
 
 
@@ -111,7 +121,24 @@ def _cmd_verify(registry: ModelRegistry, args: argparse.Namespace) -> int:
 
 
 def _cmd_gc(registry: ModelRegistry, args: argparse.Namespace) -> int:
-    removed = registry.gc(keep=args.keep)
+    pinned: dict[str, list[int]] = {}
+    for spec in args.pin:
+        name, sep, version = spec.rpartition(":")
+        if not sep or not name:
+            print(
+                f"error: --pin expects NAME:VERSION, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            pinned.setdefault(name, []).append(int(version))
+        except ValueError:
+            print(
+                f"error: --pin expects an integer version, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+    removed = registry.gc(keep=args.keep, pinned=pinned)
     for path in removed:
         print(f"removed {path}")
     print(f"gc: {len(removed)} path(s) removed, keeping {args.keep} version(s)")

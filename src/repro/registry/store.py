@@ -39,7 +39,7 @@ import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterator, Optional, Union
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Union
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -432,18 +432,41 @@ class ModelRegistry:
         shutil.rmtree(ref.path)
         return ref.path
 
-    def gc(self, keep: int = 1) -> list[Path]:
+    def gc(
+        self,
+        keep: int = 1,
+        *,
+        pinned: Optional[Mapping[str, Iterable[int]]] = None,
+    ) -> list[Path]:
         """Prune old versions and abandoned publish temp dirs.
 
         Keeps the newest ``keep`` versions of every artifact and sweeps
         ``.tmp-*`` / ``.old-*`` directories left by killed publishers.
         Returns the removed paths.
+
+        Keeping "the newest N by number" is not a safety property on its
+        own: after a burst of failed candidates the *deployed* incumbent
+        can be N versions behind the head and would be collected.  Two
+        mechanisms protect such versions:
+
+        * ``pinned`` — ``{name: versions}`` the caller knows are live
+          (e.g. the orchestrator's active and canary versions).
+        * **manifest pins** — any artifact whose *latest* manifest carries
+          ``meta["pins"] = [{"name": ..., "versions": [...]}, ...]``
+          pins those versions of other artifacts.  The lifecycle state
+          artifact (:mod:`repro.lifecycle`) declares its incumbent,
+          candidate and ``parent_version`` this way, so an offline ``gc``
+          can never collect a version the control loop still references.
+
+        A pinned version is skipped even when older than the keep
+        horizon; everything else behaves as before.
         """
         if keep < 1:
             raise ValueError("gc must keep at least the latest version")
         removed: list[Path] = []
         if not self.root.is_dir():
             return removed
+        pins = self._collect_pins(pinned)
         for child in sorted(self.root.iterdir()):
             if not child.is_dir():
                 continue
@@ -454,8 +477,41 @@ class ModelRegistry:
                     shutil.rmtree(junk, ignore_errors=True)
                     removed.append(junk)
             versions = self.versions(child.name) if _SAFE_NAME.match(child.name) else []
+            protected = pins.get(child.name, frozenset())
             for version in versions[:-keep]:
+                if version in protected:
+                    continue
                 path = child / f"v{version:04d}"
                 shutil.rmtree(path)
                 removed.append(path)
         return removed
+
+    def _collect_pins(
+        self, pinned: Optional[Mapping[str, Iterable[int]]]
+    ) -> dict[str, set[int]]:
+        """Union of caller-supplied pins and manifest-declared pins."""
+        pins: dict[str, set[int]] = {}
+
+        def add(name: Any, version: Any) -> None:
+            try:
+                pins.setdefault(str(name), set()).add(int(version))
+            except (TypeError, ValueError):
+                pass  # a malformed pin must not break gc of everything else
+
+        for name, versions in (pinned or {}).items():
+            for version in versions:
+                add(name, version)
+        for name in self.names():
+            try:
+                ref = self.resolve(name)
+            except RegistryError:
+                continue
+            declared = ref.meta.get("pins")
+            if not isinstance(declared, list):
+                continue
+            for entry in declared:
+                if not isinstance(entry, dict):
+                    continue
+                for version in entry.get("versions", ()):
+                    add(entry.get("name"), version)
+        return pins

@@ -1,6 +1,7 @@
 """Online serving substrate: orchestrator, client, serving cost model (§6.3)."""
 
 from .orchestrator import (
+    CanaryStatus,
     InferenceRequest,
     Orchestrator,
     OrchestratorStopped,
@@ -21,6 +22,7 @@ from .shm_store import SegmentAttachments, ShmHandle, ShmTensorStore
 from .guard import GuardStats, GuardedSurrogate, bounds_validator, default_validator, residual_validator
 
 __all__ = [
+    "CanaryStatus",
     "InferenceRequest",
     "Orchestrator",
     "OrchestratorStopped",

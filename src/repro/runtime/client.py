@@ -119,11 +119,13 @@ class InferenceFuture:
         request: Optional[InferenceRequest] = None,
         value: Optional[np.ndarray] = None,
         error: Optional[Exception] = None,
+        served_version: Optional[int] = None,
     ) -> None:
         self._orc = orchestrator       # cc: type(Orchestrator)
         self._out_key = out_key
         self._scratch_keys = scratch_keys
         self._request = request        # cc: type(InferenceRequest)
+        self._served_version = served_version
         # the done-Event wait in result() orders every bare read after
         # the resolving write, so snapshot reads are safe
         self._value = value            # cc: guarded-by(_resolve_lock, atomic-reads)
@@ -136,6 +138,20 @@ class InferenceFuture:
     @property
     def output_key(self) -> str:
         return self._out_key
+
+    @property
+    def version(self) -> Optional[int]:
+        """Model version this request was admitted under (None if unknown).
+
+        Admission pins the version (incumbent or canary slice), so this
+        is readable as soon as the request is submitted — the caller can
+        attribute the eventual outcome to the exact weights that served
+        it, e.g. via :meth:`Orchestrator.record_outcome`.
+        """
+        request = self._request
+        if request is not None and request.model is not None:
+            return request.model.version
+        return self._served_version
 
     def done(self) -> bool:
         """True once the request finished (successfully or not)."""
@@ -299,6 +315,18 @@ class Client:
         """Return ``name`` to its previously serving version."""
         return self._orc.rollback(name)
 
+    def canary_model(self, name: str, version: int, fraction: float) -> int:
+        """Route a deterministic traffic slice to a candidate version."""
+        return self._orc.canary(name, version, fraction)
+
+    def promote_canary(self, name: str) -> int:
+        """Activate the in-flight canary candidate; returns the new version."""
+        return self._orc.end_canary(name, promote=True)
+
+    def abort_canary(self, name: str) -> int:
+        """Drop the in-flight canary slice; the incumbent keeps serving."""
+        return self._orc.end_canary(name, promote=False)
+
     def _stage_inputs(
         self, inputs: Union[str, Sequence[str], np.ndarray]
     ) -> tuple[tuple[str, ...], tuple[str, ...]]:
@@ -366,11 +394,13 @@ class Client:
             )
             return InferenceFuture(self._orc, out_keys[0], scratch, request=request)
         try:
-            self._orc.run_model(name, in_keys, out_keys)
+            served = self._orc.run_model(name, in_keys, out_keys)
             value = self.get_tensor(out_keys[0])
         except Exception as exc:  # noqa: BLE001 - surfaced via result()
             return InferenceFuture(self._orc, out_keys[0], scratch, error=exc)
-        return InferenceFuture(self._orc, out_keys[0], scratch, value=value)
+        return InferenceFuture(
+            self._orc, out_keys[0], scratch, value=value, served_version=served
+        )
 
     def run_model_batch(
         self,

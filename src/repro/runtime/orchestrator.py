@@ -30,7 +30,19 @@ versions of one name, exactly one of which is *active* (serving).
 pinned to the active version at *admission* (``submit``/``submit_many``),
 so in-flight and already-batched requests always finish on the version
 they were admitted under while new requests see the new version — a swap
-never mixes versions inside one vectorized forward.  Unknown model names
+never mixes versions inside one vectorized forward.
+
+Deployment is a family of **deploy-policies**: ``deploy`` (all traffic),
+``rollback`` (previous version), and ``canary(name, version, fraction)``,
+which routes a deterministic hash-based slice of admissions to a
+candidate version while the incumbent keeps the rest.  The slice is
+decided at admission time — the same place version pinning happens — so
+canary routing behaves identically in thread and process (sharded)
+serving, and in-flight requests finish on whichever version admitted
+them.  ``record_outcome(name, version, valid)`` feeds per-version
+windowed hit-rate trackers (the guarded f_e signal) and
+``canary_status`` exposes them so a controller (see
+:mod:`repro.lifecycle`) can auto-promote or auto-roll-back.  Unknown model names
 raise :class:`UnknownModelError` (a ``KeyError`` naming the registered
 models), surfaced through ``InferenceFuture.result`` and
 ``Client.run_model_batch`` like any other serving error.
@@ -46,6 +58,7 @@ When telemetry is disabled the hot paths pay one attribute check.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import pickle
 import queue
 import threading
@@ -74,6 +87,7 @@ __all__ = [
     "InferenceRequest",
     "OrchestratorStopped",
     "UnknownModelError",
+    "CanaryStatus",
 ]
 
 #: batch-size histogram buckets: powers of two up to a deep GPU-style batch
@@ -128,6 +142,57 @@ class _ModelVersion(NamedTuple):
     digest: Optional[str] = None
 
 
+class _OutcomeWindow:
+    """Ring buffer of recent request outcomes for one (model, version).
+
+    Mutated only under the owning orchestrator's ``_lock`` (it lives
+    inside a ``_ModelEntry``), so it carries no lock of its own.
+    """
+
+    __slots__ = ("_hits",)
+
+    def __init__(self, size: int) -> None:
+        self._hits: "deque[bool]" = deque(maxlen=max(1, int(size)))
+
+    def record(self, ok: bool) -> None:
+        self._hits.append(bool(ok))
+
+    @property
+    def count(self) -> int:
+        return len(self._hits)
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        if not self._hits:
+            return None
+        return sum(self._hits) / len(self._hits)
+
+
+class CanaryStatus(NamedTuple):
+    """Snapshot of one in-flight canary experiment."""
+
+    model: str
+    incumbent: Optional[int]
+    candidate: int
+    fraction: float
+    incumbent_count: int
+    incumbent_hit_rate: Optional[float]
+    candidate_count: int
+    candidate_hit_rate: Optional[float]
+
+
+def _canary_slot(name: str, seq: int) -> float:
+    """Deterministic admission slot in ``[0, 1)`` for canary slicing.
+
+    Hashing (name, admission sequence) instead of drawing random numbers
+    makes the slice reproducible — replaying the same admission order
+    routes the same requests to the candidate, in thread and process
+    serving alike.
+    """
+    digest = hashlib.sha256(f"{name}:{seq}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
 @dataclass
 class _ModelEntry:
     """All versions of one model name plus its deployment pointers."""
@@ -135,6 +200,15 @@ class _ModelEntry:
     versions: dict[int, _ModelVersion] = field(default_factory=dict)
     active: Optional[int] = None
     previous: Optional[int] = None
+    #: canary deploy-policy pointers: a candidate version receiving a
+    #: deterministic ``canary_fraction`` slice of admissions (None: no
+    #: canary in flight).  ``canary_seq`` numbers admissions for the
+    #: hash-based slice.  All mutated under the orchestrator's ``_lock``.
+    canary: Optional[int] = None
+    canary_fraction: float = 0.0
+    canary_seq: int = 0
+    #: per-version windowed validation outcomes (guarded f_e / HitRate)
+    outcomes: dict[int, _OutcomeWindow] = field(default_factory=dict)
 
 
 @dataclass
@@ -295,6 +369,7 @@ class Orchestrator:
         max_queue_depth: int = 512,
         admission_timeout_ms: float = 50.0,
         start_method: str = "spawn",
+        outcome_window: int = 128,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -304,7 +379,10 @@ class Orchestrator:
             raise ValueError("num_workers must be >= 1")
         if num_processes < 0:
             raise ValueError("num_processes must be >= 0")
+        if outcome_window < 1:
+            raise ValueError("outcome_window must be >= 1")
         self.port = int(port)
+        self.outcome_window = int(outcome_window)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
         self.num_workers = int(num_workers)
@@ -401,6 +479,36 @@ class Orchestrator:
         self._m_rollbacks = registry.counter(
             "repro_registry_rollbacks_total",
             "Rollbacks to a model's previously active version",
+            labels=("model",),
+        )
+        self._m_canary_version = registry.gauge(
+            "repro_canary_version",
+            "Version receiving the canary traffic slice (0 = no canary)",
+            labels=("model",),
+        )
+        self._m_canary_fraction = registry.gauge(
+            "repro_canary_fraction",
+            "Fraction of admissions routed to the canary version",
+            labels=("model",),
+        )
+        self._m_canary_requests = registry.counter(
+            "repro_canary_requests_total",
+            "Admissions routed while a canary was in flight, by role",
+            labels=("model", "role"),
+        )
+        self._m_canary_hit_rate = registry.gauge(
+            "repro_canary_hit_rate",
+            "Windowed validation hit rate per serving role during a canary",
+            labels=("model", "role"),
+        )
+        self._m_canary_promotions = registry.counter(
+            "repro_canary_promotions_total",
+            "Canary candidates promoted to the active version",
+            labels=("model",),
+        )
+        self._m_canary_rollbacks = registry.counter(
+            "repro_canary_rollbacks_total",
+            "Canary candidates rolled back without promotion",
             labels=("model",),
         )
         self._m_plans_built = registry.counter(
@@ -591,6 +699,7 @@ class Orchestrator:
                     f"available: {sorted(entry.versions)}"
                 )
             self._activate(name, entry, version)
+            self._clear_canary_locked(name, entry)
             self._purge_plan_memos(name, version)
         return version
 
@@ -608,11 +717,156 @@ class Orchestrator:
                 )
             target = entry.previous
             entry.previous, entry.active = entry.active, target
+            self._clear_canary_locked(name, entry)
             self._purge_plan_memos(name, target)
             if self._telemetry.enabled:
                 self._m_active_version.set(target, model=name)
                 self._m_rollbacks.inc(model=name)
         return target
+
+    # -- canary deploy-policy -----------------------------------------------------
+
+    def canary(self, name: str, version: int, fraction: float) -> int:
+        """Route a deterministic ``fraction`` slice of admissions to ``version``.
+
+        The incumbent stays active and keeps the remaining traffic; the
+        candidate serves the slice.  Slicing happens at admission time —
+        the same place version pinning happens — so it behaves identically
+        in thread and process (sharded) serving, and an already-admitted
+        request never migrates between versions.  ``end_canary`` finishes
+        the experiment (promote or roll back); a manual ``deploy`` or
+        ``rollback`` also cancels it.
+        """
+        version = int(version)
+        fraction = float(fraction)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("canary fraction must be in (0, 1]")
+        with self._lock:
+            entry = self._entry_locked(name)
+            if version not in entry.versions:
+                raise ValueError(
+                    f"model {name!r} has no version {version}; "
+                    f"available: {sorted(entry.versions)}"
+                )
+            if entry.active is None:
+                raise ValueError(
+                    f"model {name!r} has no active incumbent to canary against"
+                )
+            if version == entry.active:
+                raise ValueError(
+                    f"version {version} of model {name!r} is already active"
+                )
+            entry.canary = version
+            entry.canary_fraction = fraction
+            entry.canary_seq = 0
+            # fresh windows for both roles: the comparison must reflect the
+            # experiment's own traffic, not outcomes recorded before it
+            entry.outcomes[version] = _OutcomeWindow(self.outcome_window)
+            entry.outcomes[entry.active] = _OutcomeWindow(self.outcome_window)
+            self._purge_plan_memos(name, version)
+            if self._telemetry.enabled:
+                self._m_canary_version.set(version, model=name)
+                self._m_canary_fraction.set(fraction, model=name)
+        return version
+
+    def end_canary(self, name: str, *, promote: bool) -> int:
+        """Finish the in-flight canary of ``name``; returns the active version.
+
+        ``promote=True`` activates the candidate (the incumbent becomes
+        ``previous``, so a later :meth:`rollback` still works);
+        ``promote=False`` drops the slice and the incumbent keeps serving.
+        Requests already admitted under the candidate finish on it either
+        way — only future admissions change.
+        """
+        with self._lock:
+            entry = self._entry_locked(name)
+            if entry.canary is None:
+                raise ValueError(f"model {name!r} has no canary in flight")
+            candidate = entry.canary
+            entry.canary = None
+            entry.canary_fraction = 0.0
+            if promote:
+                self._activate(name, entry, candidate)
+                self._purge_plan_memos(name, candidate)
+            if self._telemetry.enabled:
+                self._m_canary_version.set(0, model=name)
+                self._m_canary_fraction.set(0.0, model=name)
+                if promote:
+                    self._m_canary_promotions.inc(model=name)
+                else:
+                    self._m_canary_rollbacks.inc(model=name)
+            return entry.active
+
+    def canary_status(self, name: str) -> Optional[CanaryStatus]:
+        """Windowed per-role outcome stats for the in-flight canary (or None)."""
+        with self._lock:
+            entry = self._entry_locked(name)
+            if entry.canary is None:
+                return None
+            incumbent = entry.outcomes.get(entry.active)
+            candidate = entry.outcomes.get(entry.canary)
+            return CanaryStatus(
+                model=name,
+                incumbent=entry.active,
+                candidate=entry.canary,
+                fraction=entry.canary_fraction,
+                incumbent_count=incumbent.count if incumbent else 0,
+                incumbent_hit_rate=incumbent.hit_rate if incumbent else None,
+                candidate_count=candidate.count if candidate else 0,
+                candidate_hit_rate=candidate.hit_rate if candidate else None,
+            )
+
+    def record_outcome(self, name: str, version: int, valid: bool) -> None:
+        """Feed one validation outcome into ``version``'s windowed tracker.
+
+        The orchestrator routes but cannot validate (validation needs the
+        problem context only the caller has), so the guard/controller
+        reports outcomes here and the canary policy reads them back via
+        :meth:`canary_status`.
+        """
+        version = int(version)
+        with self._lock:
+            entry = self._entry_locked(name)
+            if version not in entry.versions:
+                raise ValueError(
+                    f"model {name!r} has no version {version}; "
+                    f"available: {sorted(entry.versions)}"
+                )
+            window = entry.outcomes.get(version)
+            if window is None:
+                window = entry.outcomes[version] = _OutcomeWindow(
+                    self.outcome_window
+                )
+            window.record(bool(valid))
+            if self._telemetry.enabled and entry.canary is not None:
+                if version == entry.canary:
+                    role = "canary"
+                elif version == entry.active:
+                    role = "incumbent"
+                else:
+                    role = "other"
+                rate = window.hit_rate
+                if rate is not None:
+                    self._m_canary_hit_rate.set(rate, model=name, role=role)
+
+    def outcome_stats(self, name: str) -> dict[int, tuple[int, Optional[float]]]:
+        """``{version: (window count, windowed hit rate)}`` for ``name``."""
+        with self._lock:
+            entry = self._entry_locked(name)
+            return {
+                version: (window.count, window.hit_rate)
+                for version, window in entry.outcomes.items()
+            }
+
+    def _clear_canary_locked(self, name: str, entry: _ModelEntry) -> None:  # cc: requires(_lock)
+        """Cancel any in-flight canary (a manual deploy/rollback supersedes it)."""
+        if entry.canary is None:
+            return
+        entry.canary = None
+        entry.canary_fraction = 0.0
+        if self._telemetry.enabled:
+            self._m_canary_version.set(0, model=name)
+            self._m_canary_fraction.set(0.0, model=name)
 
     def _activate(self, name: str, entry: _ModelEntry, version: int) -> None:  # cc: requires(_lock)
         """Move the active pointer (caller holds ``self._lock``)."""
@@ -648,6 +902,35 @@ class Orchestrator:
                 f"available: {sorted(entry.versions)}"
             ) from None
 
+    def _admit_locked(  # cc: requires(_lock)
+        self, name: str, version: Optional[int] = None
+    ) -> _ModelVersion:
+        """Version-route one admission (caller holds ``self._lock``).
+
+        An explicit ``version`` pins that version.  Otherwise the active
+        version serves — unless a canary is in flight, in which case the
+        deterministic hash slot of this admission decides incumbent vs.
+        candidate.  This is the single routing point every serving path
+        (queue submit, process dispatch, bulk rows) goes through, so the
+        canary slice crosses the process boundary for free: the chosen
+        version number rides with the request.
+        """
+        if version is not None:
+            return self._resolve_locked(name, version)
+        entry = self._entry_locked(name)
+        if entry.active is None:
+            raise UnknownModelError(name, tuple(self._models))
+        chosen = entry.active
+        if entry.canary is not None and entry.canary in entry.versions:
+            seq = entry.canary_seq
+            entry.canary_seq += 1
+            if _canary_slot(name, seq) < entry.canary_fraction:
+                chosen = entry.canary
+            if self._telemetry.enabled:
+                role = "canary" if chosen == entry.canary else "incumbent"
+                self._m_canary_requests.inc(model=name, role=role)
+        return entry.versions[chosen]
+
     def model_exists(self, name: str) -> bool:
         with self._lock:
             return name in self._models
@@ -670,22 +953,27 @@ class Orchestrator:
         output_keys: tuple[str, ...],
         *,
         version: Optional[int] = None,
-    ) -> None:
+    ) -> int:
         """Run a registered model on stored tensors, storing the outputs.
 
-        Uses the active version unless ``version`` pins an explicit one.
+        Uses the active version unless ``version`` pins an explicit one
+        (a canary in flight routes its slice of unpinned calls).  Returns
+        the version that served the call.
         """
         if not self._telemetry.enabled:
-            self._run_model_inner(name, input_keys, output_keys, version=version)
-            return
+            _, served = self._run_model_inner(
+                name, input_keys, output_keys, version=version
+            )
+            return served
         start = time.perf_counter()
-        compiled = self._run_model_inner(
+        compiled, served = self._run_model_inner(
             name, input_keys, output_keys, version=version
         )
         elapsed = time.perf_counter() - start
         self._m_latency.observe(elapsed, model=name)
         if compiled:
             self._m_plan_exec.observe(elapsed, model=name)
+        return served
 
     def _run_model_inner(
         self,
@@ -695,10 +983,10 @@ class Orchestrator:
         *,
         version: Optional[int] = None,
         pinned: Optional[_ModelVersion] = None,
-    ) -> bool:
-        """Serve one request; returns True when a compiled plan ran it."""
+    ) -> tuple[bool, int]:
+        """Serve one request; returns (plan ran it, version that served)."""
         with self._lock:
-            model = pinned if pinned is not None else self._resolve_locked(
+            model = pinned if pinned is not None else self._admit_locked(
                 name, version
             )
             # bulk fetch under the one already-held lock: going through
@@ -728,7 +1016,7 @@ class Orchestrator:
         if len(output_keys) != 1:
             raise ValueError("multi-output splitting is the client's job; pass one key")
         self.put_tensor(output_keys[0], y)
-        return plan is not None
+        return plan is not None, model.version
 
     def _forward_mode(self):
         """Context every model forward runs under (see ``batch_invariant``)."""
@@ -947,7 +1235,7 @@ class Orchestrator:
                     continue
                 entry = self._models.get(request.model_name)
                 if entry is not None and entry.active is not None:
-                    request.model = entry.versions[entry.active]
+                    request.model = self._admit_locked(request.model_name)
 
     def submit(self, request: InferenceRequest) -> InferenceRequest:
         """Queue an inference for the serving pool; wait on ``request.done``."""
@@ -1006,7 +1294,7 @@ class Orchestrator:
             model = request.model
             if model is None:
                 with self._lock:
-                    model = self._resolve_locked(request.model_name)
+                    model = self._admit_locked(request.model_name)
                 request.model = model
             if len(request.output_keys) != 1:
                 raise ValueError(
@@ -1063,7 +1351,7 @@ class Orchestrator:
         if not self._running:
             raise RuntimeError("orchestrator not started; call start() first")
         with self._lock:
-            model = self._resolve_locked(name, version)
+            model = self._admit_locked(name, version)
         stacked = np.atleast_2d(np.asarray(rows))
         stacked = self._coerce(stacked)
         if self._telemetry.enabled:
@@ -1105,7 +1393,7 @@ class Orchestrator:
         for i, (name, rows) in enumerate(groups):
             try:
                 with self._lock:
-                    model = self._resolve_locked(name)
+                    model = self._admit_locked(name)
             except Exception as exc:  # noqa: BLE001 - fail this group only
                 failed = RowsResult(1)
                 failed._fail_rest(exc, 1)
@@ -1233,7 +1521,7 @@ class Orchestrator:
                 )
             else:
                 start = time.perf_counter()
-                compiled = self._run_model_inner(
+                compiled, _ = self._run_model_inner(
                     request.model_name,
                     request.input_keys,
                     request.output_keys,

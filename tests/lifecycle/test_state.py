@@ -1,0 +1,171 @@
+"""Lifecycle state machine + persisted store: transitions, history, pins."""
+
+import pytest
+
+from repro import obs
+from repro.lifecycle import (
+    InvalidTransition,
+    LifecycleRecord,
+    LifecycleState,
+    LifecycleStore,
+    TrafficBuffer,
+)
+from repro.registry import ModelRegistry
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    obs.configure(enabled=True, reset=True)
+    yield
+    obs.configure(enabled=True, reset=True)
+
+
+def write_payload(staged):
+    (staged / "blob.bin").write_bytes(b"model bytes")
+
+
+class TestTransitions:
+    def test_full_happy_path_walk(self):
+        record = LifecycleRecord(model="m", incumbent=1)
+        path = [
+            LifecycleState.DRIFTING,
+            LifecycleState.RETRAINING,
+            LifecycleState.CANARY,
+            LifecycleState.PROMOTE,
+            LifecycleState.STABLE,
+        ]
+        for state in path:
+            record = record.transition(state)
+        assert record.state is LifecycleState.STABLE
+        assert record.seq == len(path)
+        assert [h["to"] for h in record.history] == [s.value for s in path]
+        assert [h["seq"] for h in record.history] == list(range(1, 6))
+
+    def test_rollback_branch(self):
+        record = (
+            LifecycleRecord(model="m")
+            .transition(LifecycleState.DRIFTING)
+            .transition(LifecycleState.RETRAINING)
+            .transition(LifecycleState.CANARY)
+            .transition(LifecycleState.ROLLBACK, candidate=2)
+            .transition(LifecycleState.STABLE)
+        )
+        assert record.state is LifecycleState.STABLE
+        assert record.history[-2]["detail"] == {"candidate": 2}
+
+    @pytest.mark.parametrize(
+        "start,to",
+        [
+            (LifecycleState.STABLE, LifecycleState.CANARY),
+            (LifecycleState.STABLE, LifecycleState.PROMOTE),
+            (LifecycleState.CANARY, LifecycleState.STABLE),
+            (LifecycleState.CANARY, LifecycleState.RETRAINING),
+            (LifecycleState.PROMOTE, LifecycleState.CANARY),
+        ],
+    )
+    def test_non_edges_rejected(self, start, to):
+        record = LifecycleRecord(model="m", state=start)
+        with pytest.raises(InvalidTransition):
+            record.transition(to)
+
+    def test_records_are_immutable(self):
+        record = LifecycleRecord(model="m")
+        after = record.transition(LifecycleState.DRIFTING)
+        assert record.state is LifecycleState.STABLE
+        assert after is not record
+
+    def test_pins_collect_referenced_versions(self):
+        record = LifecycleRecord(
+            model="m", incumbent=3, candidate=5, parent_version=3
+        )
+        assert record.pins == [3, 5]
+        assert LifecycleRecord(model="m").pins == []
+
+
+class TestStore:
+    def test_round_trip_preserves_history(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        store = LifecycleStore(registry, "m")
+        assert store.load() is None
+        record = (
+            LifecycleRecord(model="m", incumbent=1)
+            .transition(LifecycleState.DRIFTING, trigger="drift")
+            .transition(LifecycleState.RETRAINING)
+        )
+        store.save(record)
+        loaded = store.load()
+        assert loaded.state is LifecycleState.RETRAINING
+        assert loaded.seq == 2
+        assert loaded.history == record.history
+        assert loaded.incumbent == 1
+
+    def test_every_save_is_a_new_version(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        store = LifecycleStore(registry, "m")
+        record = LifecycleRecord(model="m", incumbent=1)
+        store.save(record)
+        record = record.transition(LifecycleState.DRIFTING)
+        store.save(record)
+        assert registry.versions("m-lifecycle") == [1, 2]
+        # latest wins: the newest version is the truth
+        assert store.load().state is LifecycleState.DRIFTING
+
+    def test_manifest_declares_gc_pins(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(3):
+            registry.publish("m", "nn-model", write_payload)
+        store = LifecycleStore(registry, "m")
+        store.save(LifecycleRecord(model="m", incumbent=1, candidate=2))
+        ref = registry.resolve("m-lifecycle")
+        assert ref.meta["pins"] == [{"name": "m", "versions": [1, 2]}]
+        # and gc honors them without being told anything about lifecycles
+        registry.gc(keep=1)
+        assert registry.versions("m") == [1, 2, 3]
+
+    def test_request_seeds_record_from_registry(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("m", "nn-model", write_payload)
+        store = LifecycleStore(registry, "m")
+        record = store.request("trigger")
+        assert record.requested == "trigger"
+        assert record.incumbent == 1
+        assert store.load().requested == "trigger"
+
+    def test_unknown_request_rejected(self, tmp_path):
+        store = LifecycleStore(ModelRegistry(tmp_path), "m")
+        with pytest.raises(ValueError):
+            store.request("explode")
+
+    def test_state_metrics_exported(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        store = LifecycleStore(registry, "m")
+        store.save(LifecycleRecord(model="m").transition(LifecycleState.DRIFTING))
+        rendered = obs.get_registry().to_prometheus()
+        assert 'repro_lifecycle_state{model="m"} 1' in rendered
+        assert (
+            'repro_lifecycle_transitions_total{model="m",to="DRIFTING"} 1'
+            in rendered
+        )
+
+
+class TestTrafficBuffer:
+    def test_ring_semantics_and_arrays(self, rng):
+        buffer = TrafficBuffer(capacity=4)
+        for i in range(6):
+            buffer.add([float(i)] * 3, [float(i)])
+        assert len(buffer) == 4
+        x, y = buffer.arrays()
+        assert x.shape == (4, 3) and y.shape == (4, 1)
+        assert y.ravel().tolist() == [2.0, 3.0, 4.0, 5.0]
+        buffer.clear()
+        assert len(buffer) == 0
+        with pytest.raises(ValueError):
+            buffer.arrays()
+
+    def test_add_copies_inputs(self, rng):
+        buffer = TrafficBuffer()
+        row = rng.standard_normal(3)
+        buffer.add(row, [1.0])
+        row[:] = 0.0
+        x, _ = buffer.arrays()
+        assert x[0].any()

@@ -82,3 +82,18 @@ class TestGc:
         assert main(["registry", "gc", str(tmp_path), "--keep", "1"]) == 0
         assert "2 path(s) removed" in capsys.readouterr().out
         assert registry.versions("demo") == [3]
+
+    def test_pin_flag_protects_versions(self, tmp_path, capsys):
+        registry, _ = publish_some(tmp_path, versions=3)
+        assert main(
+            ["registry", "gc", str(tmp_path), "--keep", "1",
+             "--pin", "demo:1"]
+        ) == 0
+        assert registry.versions("demo") == [1, 3]
+
+    def test_malformed_pin_exits_2(self, tmp_path, capsys):
+        publish_some(tmp_path, versions=1)
+        assert main(
+            ["registry", "gc", str(tmp_path), "--pin", "demo"]
+        ) == 2
+        assert "NAME:VERSION" in capsys.readouterr().err

@@ -234,3 +234,57 @@ class TestManifestHelpers:
         with pytest.raises(ArtifactNotFoundError):
             read_manifest(tmp_path)
         assert verify_directory(tmp_path)  # reported, not raised
+
+
+class TestGcPinning:
+    """Regression: gc used to count versions blindly, so a deployed or
+    canaried version older than ``keep`` could be deleted out from under
+    the serving layer."""
+
+    def test_explicit_pins_survive(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(4):
+            registry.publish("m", "nn-model", write_payload)
+        removed = registry.gc(keep=1, pinned={"m": [1, 2]})
+        assert registry.versions("m") == [1, 2, 4]
+        assert len(removed) == 1  # only v3 was collectable
+
+    def test_manifest_declared_pins_survive(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(3):
+            registry.publish("m", "nn-model", write_payload)
+        # a lifecycle-style artifact declares which model versions it needs
+        registry.publish(
+            "m-lifecycle", "lifecycle-state", write_payload,
+            meta={"pins": [{"name": "m", "versions": [1]}]},
+        )
+        registry.gc(keep=1)
+        # v1 is pinned by the lifecycle artifact; v2 was collectable
+        assert registry.versions("m") == [1, 3]
+
+    def test_only_latest_manifest_pins_apply(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(3):
+            registry.publish("m", "nn-model", write_payload)
+        registry.publish(
+            "m-lifecycle", "lifecycle-state", write_payload,
+            meta={"pins": [{"name": "m", "versions": [1]}]},
+        )
+        registry.publish(
+            "m-lifecycle", "lifecycle-state", write_payload,
+            meta={"pins": [{"name": "m", "versions": [2]}]},
+        )
+        registry.gc(keep=1)
+        # the newest lifecycle record pins v2; the stale v1 pin is gone
+        assert registry.versions("m") == [2, 3]
+
+    def test_malformed_pin_entries_ignored(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(3):
+            registry.publish("m", "nn-model", write_payload)
+        registry.publish(
+            "junk", "lifecycle-state", write_payload,
+            meta={"pins": [{"oops": True}, "nonsense", {"name": "m", "versions": ["x"]}]},
+        )
+        registry.gc(keep=1)
+        assert registry.versions("m") == [3]

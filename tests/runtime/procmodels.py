@@ -47,3 +47,18 @@ class FailingModel:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         raise ValueError("synthetic failure from FailingModel")
+
+
+class Tag:
+    """Constant-output model: every element equals the version tag.
+
+    Canary tests register ``Tag(1.0)`` / ``Tag(2.0)`` as two versions of
+    one model so the served version is readable off the result.
+    """
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.full(x.shape[0], self.value)

@@ -118,3 +118,105 @@ class TestDefaultValidators:
 
         with pytest.raises(ValueError):
             default_validator("doom")
+
+
+class TestSplitLatencyAndWindow:
+    def test_surrogate_and_fallback_seconds_accumulate(self, cg_guarded, rng):
+        app = cg_guarded.surrogate.app
+        problem = app.example_problem(rng)
+        stats = cg_guarded.stats
+        before_s, before_f = stats.surrogate_seconds, stats.fallback_seconds
+        cg_guarded.run(problem)  # surrogate is sabotaged by an earlier test
+        assert stats.surrogate_seconds > before_s
+        if stats.fallbacks:
+            assert stats.fallback_seconds > before_f
+            assert stats.time_ratio is not None and stats.time_ratio > 0
+
+    def test_windowed_hit_rate_tracks_recent_traffic(self):
+        from repro.runtime import GuardStats
+
+        stats = GuardStats(window=4)
+        assert stats.windowed_hit_rate is None
+        for fallback in (True, True, True, True):
+            stats.record(fallback=fallback)
+        assert stats.windowed_hit_rate == 0.0
+        for fallback in (False, False, False, False):
+            stats.record(fallback=fallback)
+        # the early misses aged out of the window
+        assert stats.windowed_hit_rate == 1.0
+        assert stats.window_count == 4
+        # lifetime counters still remember everything
+        assert stats.invocations == 8 and stats.fallbacks == 4
+
+    def test_split_histograms_exported(self, rng):
+        from repro import obs
+        from repro.apps import CGApplication
+        from repro.core import AutoHPCnet
+        from repro.runtime import GuardedSurrogate, residual_validator
+
+        obs.configure(enabled=True, reset=True)
+        try:
+            app = CGApplication()
+            build = AutoHPCnet(FAST).build(app)
+            guarded = GuardedSurrogate(
+                build.surrogate, residual_validator("A", "b", "x", rtol=0.25)
+            )
+            guarded.run(app.example_problem(rng))
+            rendered = obs.get_registry().to_prometheus()
+            assert "repro_guard_surrogate_seconds" in rendered
+        finally:
+            obs.configure(enabled=False, reset=True)
+
+
+class TestGuardHooks:
+    def test_capture_fires_only_on_fallback(self, rng):
+        from repro.apps import CGApplication
+        from repro.core import AutoHPCnet
+        from repro.runtime import GuardedSurrogate, residual_validator
+
+        app = CGApplication()
+        build = AutoHPCnet(FAST).build(app)
+        captured = []
+        guarded = GuardedSurrogate(
+            build.surrogate,
+            residual_validator("A", "b", "x", rtol=0.25),
+            capture=lambda problem, x, outputs: captured.append((x, outputs)),
+        )
+        problem = app.example_problem(rng)
+        guarded.run(problem)
+        assert len(captured) == guarded.stats.fallbacks
+        # now sabotage: every run falls back and must be captured
+        for param in guarded.surrogate.package.model.parameters():
+            param.data[:] = 0.0
+        before = len(captured)
+        guarded.run(problem)
+        assert len(captured) == before + 1
+        x, outputs = captured[-1]
+        assert x.ndim == 1  # flattened model-space feature row
+        exact = app.run_exact(problem).outputs
+        assert np.allclose(outputs["x"], exact["x"])
+
+    def test_drift_detector_observes_every_invocation(self, rng):
+        from repro.apps import CGApplication
+        from repro.core import AutoHPCnet
+        from repro.runtime import GuardedSurrogate, residual_validator
+
+        class Recorder:
+            def __init__(self):
+                self.calls = []
+
+            def observe(self, x, *, fallback=False):
+                self.calls.append((np.asarray(x).copy(), fallback))
+
+        app = CGApplication()
+        build = AutoHPCnet(FAST).build(app)
+        recorder = Recorder()
+        guarded = GuardedSurrogate(
+            build.surrogate,
+            residual_validator("A", "b", "x", rtol=0.25),
+            drift_detector=recorder,
+        )
+        for problem in app.generate_problems(3, rng):
+            guarded.run(problem)
+        assert len(recorder.calls) == 3
+        assert recorder.calls[0][0].ndim == 1
